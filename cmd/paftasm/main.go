@@ -1,0 +1,80 @@
+// Command paftasm assembles and disassembles guest programs, and can run
+// them untraced on the simulated machine for quick iteration.
+//
+// Usage:
+//
+//	paftasm prog.pasm                  # assemble + validate, print stats
+//	paftasm -d prog.pasm               # disassemble back to text
+//	paftasm -run prog.pasm             # assemble and run on a big core
+//	paftasm -d -workload 429.mcf       # disassemble a built-in workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+	"parallaft/internal/workload"
+)
+
+func main() {
+	var (
+		disasm = flag.Bool("d", false, "disassemble the program")
+		run    = flag.Bool("run", false, "run the program untraced on a big core")
+		wlName = flag.String("workload", "", "use a built-in workload instead of a file")
+	)
+	flag.Parse()
+
+	prog, err := load(*wlName, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paftasm:", err)
+		os.Exit(2)
+	}
+
+	switch {
+	case *disasm:
+		fmt.Print(prog.Disassemble())
+	case *run:
+		m := machine.New(machine.AppleM2Like())
+		k := oskernel.NewKernel(m.PageSize, 1)
+		for name, data := range workload.Files() {
+			k.AddFile(name, data)
+		}
+		l := oskernel.NewLoader(k, m.PageSize, 1)
+		e := sim.New(m, k, l)
+		e.MaxInstr = 4_000_000_000
+		res, err := e.RunBaseline(prog, m.BigCores()[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paftasm:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(res.Stdout)
+		fmt.Printf("[exit %d; %d instructions, %d branches, %.3f ms simulated]\n",
+			res.ExitCode, res.Instrs, res.Branches, res.WallNs/1e6)
+	default:
+		fmt.Printf("%s: %d instructions, %d data bytes, %d BSS bytes, entry %d — OK\n",
+			prog.Name, len(prog.Code), len(prog.Data), prog.BSS, prog.Entry)
+	}
+}
+
+func load(wlName string, args []string) (*asm.Program, error) {
+	if wlName != "" {
+		w := workload.Get(wlName)
+		if w == nil {
+			return nil, fmt.Errorf("unknown workload %q", wlName)
+		}
+		return w.Gen(1.0)[0], nil
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected one assembly file (or -workload)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(args[0], string(src))
+}

@@ -1,0 +1,134 @@
+// Command paftbench regenerates the paper's tables and figures on the
+// simulated platforms. Each experiment prints the same rows/series the
+// paper reports, with the paper's own numbers quoted for comparison.
+//
+// Usage:
+//
+//	paftbench -experiment fig5            # figures: fig5 fig6 fig7 fig8 fig9a fig9b fig9c fig10
+//	paftbench -experiment table1          # tables: table1 table2
+//	paftbench -experiment stress          # §5.7 syscall/signal stress
+//	paftbench -experiment intel           # §5.8 Intel platform
+//	paftbench -experiment all             # everything
+//	paftbench -workloads 429.mcf,470.lbm  # restrict the suite
+//	paftbench -scale 0.25                 # shrink workloads for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parallaft/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9a fig9b fig9c fig10 table1 table2 stress intel all")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
+		seed       = flag.Int64("seed", 12345, "simulation seed")
+		trials     = flag.Int("trials", 5, "fault-injection trials per segment (fig10)")
+	)
+	flag.Parse()
+
+	var names []string
+	if *workloads != "" {
+		names = strings.Split(*workloads, ",")
+	}
+
+	runner := stats.NewRunner()
+	runner.Scale = *scale
+	runner.Seed = *seed
+
+	if err := run(runner, *experiment, names, *trials, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "paftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runner *stats.Runner, experiment string, names []string, trials int, scale float64) error {
+	needsSuite := map[string]bool{
+		"fig5": true, "fig6": true, "fig7": true, "fig8": true,
+		"table1": true, "all": true,
+	}
+
+	var suite *stats.SuiteResult
+	if needsSuite[experiment] {
+		var err error
+		suite, err = runner.RunSuite(names, true)
+		if err != nil {
+			return err
+		}
+	}
+
+	show := func(e string) bool { return experiment == e || experiment == "all" }
+
+	if show("table1") {
+		fmt.Println(suite.FormatTable1())
+	}
+	if show("fig5") {
+		fmt.Println(suite.FormatFig5())
+	}
+	if show("fig6") {
+		fmt.Println(suite.FormatFig6())
+	}
+	if show("fig7") {
+		fmt.Println(suite.FormatFig7())
+	}
+	if show("fig8") {
+		fmt.Println(suite.FormatFig8())
+	}
+
+	if show("fig9a") || show("fig9b") || show("fig9c") || experiment == "fig9" {
+		var benches []string
+		if names != nil {
+			benches = names
+		}
+		points, err := runner.RunFig9(benches, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatFig9(points))
+	}
+
+	if show("fig10") {
+		// Injection campaigns rerun the whole program once per trial, so
+		// they use shortened workloads (the paper itself reruns only the
+		// injured segment, which the simulator cannot share).
+		rows, err := runner.RunFig10(names, trials, scale*0.3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatFig10(rows))
+	}
+
+	if show("table2") {
+		res, err := runner.RunTable2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatTable2(res))
+	}
+
+	if show("stress") {
+		rows, err := runner.RunStress()
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatStress(rows))
+	}
+
+	if show("intel") {
+		intel := stats.NewIntelRunner()
+		intel.Scale = runner.Scale
+		intel.Seed = runner.Seed
+		sr, err := intel.RunSuite(names, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sr.FormatIntel())
+	}
+
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command paftcc compiles paftlang programs to the guest ISA and
+// optionally runs them — unprotected, under Parallaft, or under the RAFT
+// baseline.
+//
+// Usage:
+//
+//	paftcc prog.pl                  # compile + validate
+//	paftcc -S prog.pl               # emit guest assembly
+//	paftcc -run prog.pl             # compile and run unprotected
+//	paftcc -run -mode parallaft prog.pl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parallaft/internal/core"
+	"parallaft/internal/lang"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+)
+
+func main() {
+	var (
+		emitAsm = flag.Bool("S", false, "emit guest assembly instead of running")
+		runProg = flag.Bool("run", false, "run the compiled program")
+		mode    = flag.String("mode", "baseline", "execution mode with -run: baseline, parallaft, raft")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "paftcc: expected exactly one source file")
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paftcc:", err)
+		os.Exit(2)
+	}
+	prog, err := lang.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *emitAsm:
+		fmt.Print(prog.Disassemble())
+	case *runProg:
+		m := machine.New(machine.AppleM2Like())
+		k := oskernel.NewKernel(m.PageSize, *seed)
+		l := oskernel.NewLoader(k, m.PageSize, *seed)
+		e := sim.New(m, k, l)
+		e.MaxInstr = 4_000_000_000
+		switch *mode {
+		case "baseline":
+			res, err := e.RunBaseline(prog, m.BigCores()[0])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paftcc:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(res.Stdout)
+			fmt.Printf("[exit %d; %.3f ms simulated]\n", res.ExitCode, res.WallNs/1e6)
+		case "parallaft", "raft":
+			cfg := core.DefaultConfig()
+			if *mode == "raft" {
+				cfg = core.RAFTConfig()
+			}
+			rt := core.NewRuntime(e, cfg)
+			st, err := rt.Run(prog)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paftcc:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(st.Stdout)
+			fmt.Printf("[exit %d; %d segments; detected=%v]\n", st.ExitCode, st.Slices, st.Detected)
+		default:
+			fmt.Fprintf(os.Stderr, "paftcc: unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+	default:
+		fmt.Printf("%s: %d instructions, %d data bytes — OK\n",
+			prog.Name, len(prog.Code), len(prog.Data))
+	}
+}

@@ -1,0 +1,179 @@
+// Command parallaft runs a guest assembly program under Parallaft
+// protection (or the RAFT baseline, or no protection) on the simulated
+// heterogeneous machine, then dumps the statistics block the original
+// artifact prints (Appendix A.7).
+//
+// Usage:
+//
+//	parallaft [-mode parallaft|raft|baseline] [-machine apple|intel] prog.pasm [args...]
+//	parallaft -workload 429.mcf            # run a built-in workload instead
+//	parallaft -period 2000000 prog.pasm    # slicing period in sim cycles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+	"parallaft/internal/trace"
+	"parallaft/internal/workload"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "parallaft", "execution mode: parallaft, raft, or baseline")
+		machName  = flag.String("machine", "apple", "machine preset: apple or intel")
+		wlName    = flag.String("workload", "", "run a built-in workload instead of an assembly file")
+		period    = flag.Float64("period", 0, "slicing period in sim cycles (0 = default)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		scale     = flag.Float64("scale", 1.0, "workload scale (built-in workloads only)")
+		list      = flag.Bool("list", false, "list built-in workloads and exit")
+		traceFile = flag.String("trace", "", "write a JSONL trace of runtime decisions to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			w := workload.Get(name)
+			fmt.Printf("%-18s [%s] %s\n", w.Name, w.Class, w.Note)
+		}
+		return
+	}
+
+	progs, err := loadPrograms(*wlName, *scale, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parallaft:", err)
+		os.Exit(2)
+	}
+
+	var mcfg machine.Config
+	switch *machName {
+	case "apple":
+		mcfg = machine.AppleM2Like()
+	case "intel":
+		mcfg = machine.IntelLike()
+	default:
+		fmt.Fprintf(os.Stderr, "parallaft: unknown machine %q\n", *machName)
+		os.Exit(2)
+	}
+
+	for _, prog := range progs {
+		if err := runOne(prog, mcfg, *mode, *period, *seed, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "parallaft:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func loadPrograms(wlName string, scale float64, args []string) ([]*asm.Program, error) {
+	if wlName != "" {
+		w := workload.Get(wlName)
+		if w == nil {
+			return nil, fmt.Errorf("unknown workload %q (try -list)", wlName)
+		}
+		return w.Gen(scale), nil
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected exactly one assembly file (or -workload)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(args[0], string(src))
+	if err != nil {
+		return nil, err
+	}
+	return []*asm.Program{prog}, nil
+}
+
+func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64, seed int64, traceFile string) error {
+	m := machine.New(mcfg)
+	k := oskernel.NewKernel(m.PageSize, seed)
+	for name, data := range workload.Files() {
+		k.AddFile(name, data)
+	}
+	l := oskernel.NewLoader(k, m.PageSize, seed)
+	e := sim.New(m, k, l)
+	e.MaxInstr = 4_000_000_000
+
+	switch mode {
+	case "baseline":
+		res, err := e.RunBaseline(prog, m.BigCores()[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s (baseline on %s) ==\n", prog.Name, m)
+		fmt.Printf("timing.all_wall_time:   %.3f ms\n", res.WallNs/1e6)
+		fmt.Printf("timing.user_time:       %.3f ms\n", res.UserNs/1e6)
+		fmt.Printf("timing.sys_time:        %.3f ms\n", res.SysNs/1e6)
+		fmt.Printf("energy.total:           %.3f mJ\n", res.EnergyJ*1e3)
+		fmt.Printf("instructions:           %d\n", res.Instrs)
+		fmt.Printf("branches:               %d\n", res.Branches)
+		fmt.Printf("exit_code:              %d\n", res.ExitCode)
+		os.Stdout.Write(res.Stdout)
+		return nil
+
+	case "parallaft", "raft":
+		var cfg core.Config
+		if mode == "raft" {
+			cfg = core.RAFTConfig()
+		} else {
+			cfg = core.DefaultConfig()
+			if m.SliceByInstructions {
+				cfg.SliceByInstructions = true
+				cfg.Tracking = core.TrackSoftDirty
+			}
+		}
+		if period > 0 {
+			cfg.SlicePeriodCycles = period
+			cfg.SlicePeriodInstrs = uint64(period)
+		}
+		var rec *trace.Recorder
+		if traceFile != "" {
+			rec = trace.New(0)
+			cfg.Trace = rec
+		}
+		rt := core.NewRuntime(e, cfg)
+		st, err := rt.Run(prog)
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rec.WriteJSONL(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", rec.Count(""), traceFile)
+		}
+		fmt.Printf("== %s (%s on %s) ==\n", prog.Name, mode, m)
+		fmt.Printf("timing.all_wall_time:            %.3f ms\n", st.AllWallNs/1e6)
+		fmt.Printf("timing.main_wall_time:           %.3f ms\n", st.MainWallNs/1e6)
+		fmt.Printf("timing.main_user_time:           %.3f ms\n", st.MainUserNs/1e6)
+		fmt.Printf("timing.main_sys_time:            %.3f ms\n", st.MainSysNs/1e6)
+		fmt.Printf("timing.runtime_work:             %.3f ms\n", st.RuntimeNs/1e6)
+		fmt.Printf("hwmon.energy_total:              %.3f mJ\n", st.EnergyJ*1e3)
+		fmt.Printf("counter.checkpoint_count:        %d\n", st.Checkpoints)
+		fmt.Printf("fixed_interval_slicer.nr_slices: %d\n", st.Slices)
+		fmt.Printf("counter.syscalls_traced:         %d\n", st.SyscallsTraced)
+		fmt.Printf("counter.cow_copies:              %d\n", st.COWCopies)
+		fmt.Printf("counter.dirty_pages_hashed:      %d\n", st.DirtyPagesHashed)
+		fmt.Printf("checker.big_work_fraction:       %.1f%%\n", st.BigWorkFraction()*100)
+		fmt.Printf("exit_code:                       %d\n", st.ExitCode)
+		if st.Detected != nil {
+			fmt.Printf("DETECTED ERROR: %v\n", st.Detected)
+		}
+		os.Stdout.Write(st.Stdout)
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}

@@ -1,0 +1,36 @@
+// Package parallaft is a reproduction, in pure Go, of "Parallaft:
+// Runtime-Based CPU Fault Tolerance via Heterogeneous Parallelism"
+// (Zhang, Ainsworth, Mukhanov, Jones — CGO 2025).
+//
+// The paper's runtime supervises real Linux binaries with ptrace on an
+// Apple M2; this repository rebuilds the entire stack as a deterministic
+// simulation (see DESIGN.md for the substitution table) and implements
+// Parallaft — program slicing, copy-on-write checkpointing, execution-point
+// record/replay via branch counters and breakpoints, syscall/signal/
+// nondeterministic-instruction record and replay, dirty-page hash
+// comparison, and checker scheduling with big-core migration and DVFS
+// pacing — against that substrate, together with the RAFT baseline the
+// paper compares against.
+//
+// Layout:
+//
+//	internal/isa       guest instruction set
+//	internal/asm       assembler, program builder, disassembler
+//	internal/hashx     xxHash64 (state comparison)
+//	internal/mem       paged memory: COW, soft-dirty, map counts, ASLR
+//	internal/cache     set-associative cache hierarchy model
+//	internal/machine   heterogeneous cores, DVFS ladders, energy model
+//	internal/proc      interpreter, PMU (branch counters, skid), breakpoints
+//	internal/oskernel  simulated OS: syscall models, files, signals
+//	internal/sim       co-simulation engine, contention, baseline runner
+//	internal/core      Parallaft itself (and the RAFT configuration)
+//	internal/inject    §5.6 fault-injection campaigns
+//	internal/workload  synthetic SPEC CPU2006 analogues + stress tests
+//	internal/stats     experiment harness: every table and figure
+//	cmd/parallaft      run one program under protection
+//	cmd/paftbench      regenerate the paper's tables and figures
+//	cmd/paftasm        assemble / disassemble / run guest programs
+//
+// The benchmarks in bench_test.go regenerate each table and figure at
+// reduced scale; cmd/paftbench runs them at full scale.
+package parallaft

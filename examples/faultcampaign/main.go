@@ -1,0 +1,70 @@
+// Faultcampaign: a miniature §5.6 fault-injection campaign on one workload.
+// Each segment's checker is profiled, then rerun several times with a
+// random register bit flipped at a random instant; the outcome distribution
+// (detected / exception / timeout / benign) is reported like figure 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parallaft/internal/core"
+	"parallaft/internal/inject"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+	"parallaft/internal/workload"
+)
+
+func main() {
+	bench := flag.String("benchmark", "456.hmmer", "workload to inject into")
+	trials := flag.Int("trials", 3, "injection trials per segment")
+	scale := flag.Float64("scale", 0.25, "workload scale")
+	seed := flag.Int64("seed", 2024, "campaign seed")
+	flag.Parse()
+
+	w := workload.Get(*bench)
+	if w == nil {
+		log.Fatalf("unknown workload %q", *bench)
+	}
+
+	campaign := &inject.Campaign{
+		NewEngine: func() *sim.Engine {
+			m := machine.New(machine.AppleM2Like())
+			k := oskernel.NewKernel(m.PageSize, 11)
+			for name, data := range workload.Files() {
+				k.AddFile(name, data)
+			}
+			l := oskernel.NewLoader(k, m.PageSize, 11)
+			return sim.New(m, k, l)
+		},
+		Program:          w.Gen(*scale)[0],
+		Config:           core.DefaultConfig(),
+		TrialsPerSegment: *trials,
+		Seed:             *seed,
+	}
+
+	rep, err := campaign.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fault-injection campaign on %s (%d trials/segment):\n\n", *bench, *trials)
+	for _, tr := range rep.Trials {
+		if tr.Outcome == inject.OutcomeFailed {
+			continue
+		}
+		fmt.Printf("  segment %2d  t'=%.0fus  %-14s -> %-9s %s\n",
+			tr.Segment, tr.AtNs/1e3, tr.Target, tr.Outcome, tr.Detail)
+	}
+	fmt.Printf("\ntotals: detected=%d exception=%d timeout=%d benign=%d (failed redraws=%d)\n",
+		rep.Counts[inject.OutcomeDetected], rep.Counts[inject.OutcomeException],
+		rep.Counts[inject.OutcomeTimeout], rep.Counts[inject.OutcomeBenign],
+		rep.Counts[inject.OutcomeFailed])
+	if rep.DetectionComplete() {
+		fmt.Println("every non-benign fault was detected — 100% coverage for landed SEUs (§5.6)")
+	} else {
+		fmt.Println("WARNING: a non-benign fault escaped detection")
+	}
+}

@@ -1,0 +1,41 @@
+// Tuning: reproduce figure 9 in miniature — sweep the slicing period for
+// one workload and watch the forking-and-COW overhead fall while the
+// last-checker-sync overhead rises, with a sweet spot in between (§5.5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parallaft/internal/stats"
+)
+
+func main() {
+	bench := flag.String("benchmark", "429.mcf", "workload to sweep")
+	scale := flag.Float64("scale", 0.5, "workload scale")
+	flag.Parse()
+
+	runner := stats.NewRunner()
+	runner.Scale = *scale
+
+	points, err := runner.RunFig9([]string{*bench}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("slicing-period sweep for %s (the paper's 5 G cycles = 2.0M sim cycles)\n\n", *bench)
+	fmt.Printf("%-10s %12s %12s %12s\n", "period", "fork+COW", "last-sync", "combined")
+	best := points[0]
+	for _, p := range points {
+		marker := ""
+		if p.Combined < best.Combined {
+			best = p
+		}
+		fmt.Printf("%8.1fM %11.1f%% %11.1f%% %11.1f%%%s\n",
+			p.PeriodCycles/1e6, p.ForkCOW, p.LastChecker, p.Combined, marker)
+	}
+	fmt.Printf("\nsweet spot: %.1fM cycles (%.1f%% total overhead) — "+
+		"shorter periods pay more forking and COW, longer ones wait longer for the last checker\n",
+		best.PeriodCycles/1e6, best.Combined)
+}

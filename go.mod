@@ -1,0 +1,3 @@
+module parallaft
+
+go 1.22

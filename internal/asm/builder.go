@@ -1,0 +1,423 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"parallaft/internal/isa"
+)
+
+// Builder constructs a Program programmatically. Workload generators use it
+// to emit guest code with symbolic labels and named data regions; Build
+// resolves everything and validates the result.
+//
+// Branch-target operands are label names; data addresses are obtained with
+// Addr (an immediate-materialising movi). The zero value is not ready for
+// use; call NewBuilder.
+type Builder struct {
+	name      string
+	code      []isa.Instr
+	fixups    []fixup // branch instructions awaiting label resolution
+	labels    map[string]uint64
+	data      []byte
+	symbols   map[string]uint64
+	symFix    []symFixup
+	symFixBSS []bssReservation
+	bss       uint64
+	err       error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+type symFixup struct {
+	pc  int
+	sym string
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		labels:  make(map[string]uint64),
+		symbols: make(map[string]uint64),
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm: builder %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// PC returns the index of the next instruction to be emitted.
+func (b *Builder) PC() uint64 { return uint64(len(b.code)) }
+
+// Label defines a code label at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(i isa.Instr) { b.code = append(b.code, i) }
+
+// --- data section -----------------------------------------------------
+
+func (b *Builder) defineSymbol(name string, addr uint64) {
+	if _, dup := b.symbols[name]; dup {
+		b.fail("duplicate symbol %q", name)
+		return
+	}
+	b.symbols[name] = addr
+}
+
+// Words appends named 64-bit data words to the data image.
+func (b *Builder) Words(name string, vals ...uint64) {
+	b.align(8)
+	b.defineSymbol(name, DataBase+uint64(len(b.data)))
+	for _, v := range vals {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], v)
+		b.data = append(b.data, w[:]...)
+	}
+}
+
+// Floats appends named float64 data to the data image.
+func (b *Builder) Floats(name string, vals ...float64) {
+	b.align(8)
+	b.defineSymbol(name, DataBase+uint64(len(b.data)))
+	for _, v := range vals {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		b.data = append(b.data, w[:]...)
+	}
+}
+
+// Bytes appends named raw bytes to the data image.
+func (b *Builder) Bytes(name string, val []byte) {
+	b.defineSymbol(name, DataBase+uint64(len(b.data)))
+	b.data = append(b.data, val...)
+}
+
+// Ascii appends a NUL-terminated string to the data image (the guest ABI's
+// path-string convention).
+func (b *Builder) Ascii(name, s string) {
+	b.Bytes(name, append([]byte(s), 0))
+}
+
+// Space reserves n zero bytes in the BSS after all initialised data. All
+// Space regions are laid out, in call order, after the data image.
+func (b *Builder) Space(name string, n uint64) {
+	b.align(8)
+	// BSS symbols are resolved at Build time, once the data image is final.
+	b.symFixBSS = append(b.symFixBSS, bssReservation{name: name, size: n, offset: b.bss})
+	b.bss += (n + 7) &^ 7
+}
+
+type bssReservation struct {
+	name   string
+	size   uint64
+	offset uint64
+}
+
+func (b *Builder) align(n int) {
+	for len(b.data)%n != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// --- instruction helpers ----------------------------------------------
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Instr{Op: isa.OpNop}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() { b.Emit(isa.Instr{Op: isa.OpHalt}) }
+
+// MovI loads an immediate into a GPR.
+func (b *Builder) MovI(rd uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpMovI, Rd: rd, Imm: imm})
+}
+
+// Addr loads the address of a data symbol into a GPR.
+func (b *Builder) Addr(rd uint8, sym string) {
+	b.symFix = append(b.symFix, symFixup{pc: len(b.code), sym: sym})
+	b.Emit(isa.Instr{Op: isa.OpMovI, Rd: rd})
+}
+
+// LabelAddr loads a code label's instruction index into a GPR (for indirect
+// jumps and signal-handler registration).
+func (b *Builder) LabelAddr(rd uint8, label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label})
+	b.Emit(isa.Instr{Op: isa.OpMovI, Rd: rd})
+}
+
+// Mov copies Ra to Rd.
+func (b *Builder) Mov(rd, ra uint8) { b.Emit(isa.Instr{Op: isa.OpMov, Rd: rd, Ra: ra}) }
+
+// Three-register ALU helpers.
+
+// Add emits rd = ra + rb.
+func (b *Builder) Add(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpAdd, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Sub emits rd = ra - rb.
+func (b *Builder) Sub(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpSub, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Mul emits rd = ra * rb.
+func (b *Builder) Mul(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpMul, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Div emits rd = ra / rb (signed; divide-by-zero faults).
+func (b *Builder) Div(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpDiv, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Rem emits rd = ra % rb (signed; divide-by-zero faults).
+func (b *Builder) Rem(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpRem, Rd: rd, Ra: ra, Rb: rb}) }
+
+// And emits rd = ra & rb.
+func (b *Builder) And(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpAnd, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Or emits rd = ra | rb.
+func (b *Builder) Or(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpOr, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Xor emits rd = ra ^ rb.
+func (b *Builder) Xor(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpXor, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Shl emits rd = ra << (rb & 63).
+func (b *Builder) Shl(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpShl, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Shr emits rd = ra >> (rb & 63) (logical).
+func (b *Builder) Shr(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpShr, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Slt emits rd = (ra < rb) signed.
+func (b *Builder) Slt(rd, ra, rb uint8) { b.Emit(isa.Instr{Op: isa.OpSlt, Rd: rd, Ra: ra, Rb: rb}) }
+
+// Immediate ALU helpers.
+
+// AddI emits rd = ra + imm.
+func (b *Builder) AddI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpAddI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// MulI emits rd = ra * imm.
+func (b *Builder) MulI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpMulI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// AndI emits rd = ra & imm.
+func (b *Builder) AndI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpAndI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// OrI emits rd = ra | imm.
+func (b *Builder) OrI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpOrI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// XorI emits rd = ra ^ imm.
+func (b *Builder) XorI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpXorI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// ShlI emits rd = ra << imm.
+func (b *Builder) ShlI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpShlI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// ShrI emits rd = ra >> imm (logical).
+func (b *Builder) ShrI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpShrI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// SltI emits rd = (ra < imm) signed.
+func (b *Builder) SltI(rd, ra uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.OpSltI, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Floating-point helpers.
+
+// FMovI loads a float64 constant into an FPR.
+func (b *Builder) FMovI(fd uint8, v float64) {
+	b.Emit(isa.Instr{Op: isa.OpFMovI, Rd: fd, Imm: int64(math.Float64bits(v))})
+}
+
+// FMov copies Fa to Fd.
+func (b *Builder) FMov(fd, fa uint8) { b.Emit(isa.Instr{Op: isa.OpFMov, Rd: fd, Ra: fa}) }
+
+// FAdd emits fd = fa + fb.
+func (b *Builder) FAdd(fd, fa, fb uint8) { b.Emit(isa.Instr{Op: isa.OpFAdd, Rd: fd, Ra: fa, Rb: fb}) }
+
+// FSub emits fd = fa - fb.
+func (b *Builder) FSub(fd, fa, fb uint8) { b.Emit(isa.Instr{Op: isa.OpFSub, Rd: fd, Ra: fa, Rb: fb}) }
+
+// FMul emits fd = fa * fb.
+func (b *Builder) FMul(fd, fa, fb uint8) { b.Emit(isa.Instr{Op: isa.OpFMul, Rd: fd, Ra: fa, Rb: fb}) }
+
+// FDiv emits fd = fa / fb.
+func (b *Builder) FDiv(fd, fa, fb uint8) { b.Emit(isa.Instr{Op: isa.OpFDiv, Rd: fd, Ra: fa, Rb: fb}) }
+
+// FSqrt emits fd = sqrt(fa).
+func (b *Builder) FSqrt(fd, fa uint8) { b.Emit(isa.Instr{Op: isa.OpFSqrt, Rd: fd, Ra: fa}) }
+
+// CvtIF emits fd = float64(xa).
+func (b *Builder) CvtIF(fd, xa uint8) { b.Emit(isa.Instr{Op: isa.OpCvtIF, Rd: fd, Ra: xa}) }
+
+// CvtFI emits xd = int64(fa).
+func (b *Builder) CvtFI(xd, fa uint8) { b.Emit(isa.Instr{Op: isa.OpCvtFI, Rd: xd, Ra: fa}) }
+
+// FCmpLt emits xd = (fa < fb) ? 1 : 0.
+func (b *Builder) FCmpLt(xd, fa, fb uint8) {
+	b.Emit(isa.Instr{Op: isa.OpFCmpLt, Rd: xd, Ra: fa, Rb: fb})
+}
+
+// Vector helpers.
+
+// VAdd emits vd = va + vb lane-wise.
+func (b *Builder) VAdd(vd, va, vb uint8) { b.Emit(isa.Instr{Op: isa.OpVAdd, Rd: vd, Ra: va, Rb: vb}) }
+
+// VXor emits vd = va ^ vb lane-wise.
+func (b *Builder) VXor(vd, va, vb uint8) { b.Emit(isa.Instr{Op: isa.OpVXor, Rd: vd, Ra: va, Rb: vb}) }
+
+// VMul emits vd = va * vb lane-wise.
+func (b *Builder) VMul(vd, va, vb uint8) { b.Emit(isa.Instr{Op: isa.OpVMul, Rd: vd, Ra: va, Rb: vb}) }
+
+// VSplat broadcasts xa into all lanes of vd.
+func (b *Builder) VSplat(vd, xa uint8) { b.Emit(isa.Instr{Op: isa.OpVSplat, Rd: vd, Ra: xa}) }
+
+// Memory helpers. The effective address is xa + off.
+
+// Ld emits xd = mem64[xa+off].
+func (b *Builder) Ld(xd, xa uint8, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpLd, Rd: xd, Ra: xa, Imm: off})
+}
+
+// St emits mem64[xa+off] = xb.
+func (b *Builder) St(xa uint8, off int64, xb uint8) {
+	b.Emit(isa.Instr{Op: isa.OpSt, Ra: xa, Rb: xb, Imm: off})
+}
+
+// LdB emits xd = zext(mem8[xa+off]).
+func (b *Builder) LdB(xd, xa uint8, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpLdB, Rd: xd, Ra: xa, Imm: off})
+}
+
+// StB emits mem8[xa+off] = low byte of xb.
+func (b *Builder) StB(xa uint8, off int64, xb uint8) {
+	b.Emit(isa.Instr{Op: isa.OpStB, Ra: xa, Rb: xb, Imm: off})
+}
+
+// FLd emits fd = memf64[xa+off].
+func (b *Builder) FLd(fd, xa uint8, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpFLd, Rd: fd, Ra: xa, Imm: off})
+}
+
+// FSt emits memf64[xa+off] = fb.
+func (b *Builder) FSt(xa uint8, off int64, fb uint8) {
+	b.Emit(isa.Instr{Op: isa.OpFSt, Ra: xa, Rb: fb, Imm: off})
+}
+
+// VLd emits vd = mem256[xa+off].
+func (b *Builder) VLd(vd, xa uint8, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpVLd, Rd: vd, Ra: xa, Imm: off})
+}
+
+// VSt emits mem256[xa+off] = vb.
+func (b *Builder) VSt(xa uint8, off int64, vb uint8) {
+	b.Emit(isa.Instr{Op: isa.OpVSt, Ra: xa, Rb: vb, Imm: off})
+}
+
+// Control-flow helpers; targets are label names resolved at Build.
+
+func (b *Builder) branch(op isa.Op, ra, rb uint8, label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label})
+	b.Emit(isa.Instr{Op: op, Ra: ra, Rb: rb})
+}
+
+// Beq branches to label when xa == xb.
+func (b *Builder) Beq(ra, rb uint8, label string) { b.branch(isa.OpBeq, ra, rb, label) }
+
+// Bne branches to label when xa != xb.
+func (b *Builder) Bne(ra, rb uint8, label string) { b.branch(isa.OpBne, ra, rb, label) }
+
+// Blt branches to label when xa < xb (signed).
+func (b *Builder) Blt(ra, rb uint8, label string) { b.branch(isa.OpBlt, ra, rb, label) }
+
+// Bge branches to label when xa >= xb (signed).
+func (b *Builder) Bge(ra, rb uint8, label string) { b.branch(isa.OpBge, ra, rb, label) }
+
+// Jmp branches unconditionally to label.
+func (b *Builder) Jmp(label string) { b.branch(isa.OpJmp, 0, 0, label) }
+
+// Jal jumps to label, writing the return PC to x15.
+func (b *Builder) Jal(label string) { b.branch(isa.OpJal, 0, 0, label) }
+
+// Jr jumps to the address in xa.
+func (b *Builder) Jr(xa uint8) { b.Emit(isa.Instr{Op: isa.OpJr, Ra: xa}) }
+
+// System helpers.
+
+// Syscall emits a syscall instruction (number in x0, args in x1..x5).
+func (b *Builder) Syscall() { b.Emit(isa.Instr{Op: isa.OpSyscall}) }
+
+// Rdtsc reads the timestamp counter into xd (nondeterministic; trapped).
+func (b *Builder) Rdtsc(xd uint8) { b.Emit(isa.Instr{Op: isa.OpRdtsc, Rd: xd}) }
+
+// Mrs reads system register sysreg into xd (nondeterministic; trapped).
+func (b *Builder) Mrs(xd uint8, sysreg int64) {
+	b.Emit(isa.Instr{Op: isa.OpMrs, Rd: xd, Imm: sysreg})
+}
+
+// Build resolves labels and symbols, validates, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: builder %q: undefined label %q", b.name, f.label)
+		}
+		b.code[f.pc].Imm = int64(pc)
+	}
+	b.align(8)
+	bssBase := DataBase + uint64(len(b.data))
+	for _, r := range b.symFixBSS {
+		b.defineSymbol(r.name, bssBase+r.offset)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.symFix {
+		addr, ok := b.symbols[f.sym]
+		if !ok {
+			return nil, fmt.Errorf("asm: builder %q: undefined symbol %q", b.name, f.sym)
+		}
+		b.code[f.pc].Imm = int64(addr)
+	}
+	p := &Program{
+		Name:    b.name,
+		Code:    b.code,
+		Data:    b.data,
+		BSS:     b.bss,
+		Symbols: b.symbols,
+		Labels:  b.labels,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for static program definitions.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,101 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"parallaft/internal/isa"
+)
+
+// TestRandomProgramsRoundTrip: random valid programs survive
+// disassemble-then-reassemble bit-for-bit — the property that makes the
+// disassembler trustworthy for debugging workloads.
+func TestRandomProgramsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		b := NewBuilder("rt")
+		b.Words("data", uint64(rng.Int63()), uint64(rng.Int63()))
+		b.Space("bss", 64)
+
+		n := 5 + rng.Intn(40)
+		// lay down labels we can branch to
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				b.Label(labelName(i))
+			}
+			switch rng.Intn(10) {
+			case 0:
+				b.MovI(uint8(rng.Intn(16)), rng.Int63n(1e9)-5e8)
+			case 1:
+				b.Add(uint8(rng.Intn(16)), uint8(rng.Intn(16)), uint8(rng.Intn(16)))
+			case 2:
+				b.Ld(uint8(rng.Intn(16)), uint8(rng.Intn(16)), int64(rng.Intn(64)*8))
+			case 3:
+				b.St(uint8(rng.Intn(16)), int64(rng.Intn(64)*8), uint8(rng.Intn(16)))
+			case 4:
+				b.FMovI(uint8(rng.Intn(8)), rng.Float64()*100-50)
+			case 5:
+				b.FAdd(uint8(rng.Intn(8)), uint8(rng.Intn(8)), uint8(rng.Intn(8)))
+			case 6:
+				b.VSplat(uint8(rng.Intn(4)), uint8(rng.Intn(16)))
+			case 7:
+				b.Rdtsc(uint8(rng.Intn(16)))
+			case 8:
+				b.Addr(uint8(rng.Intn(16)), "data")
+			case 9:
+				b.Syscall()
+			}
+		}
+		// a branch back to an existing label, if any were laid
+		b.Label("end")
+		b.Beq(uint8(rng.Intn(16)), uint8(rng.Intn(16)), "end")
+		b.Halt()
+
+		p1, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		p2, err := Assemble("rt2", p1.Disassemble())
+		if err != nil {
+			t.Fatalf("trial %d: reassemble: %v\n%s", trial, err, p1.Disassemble())
+		}
+		if len(p1.Code) != len(p2.Code) {
+			t.Fatalf("trial %d: code length %d -> %d", trial, len(p1.Code), len(p2.Code))
+		}
+		for i := range p1.Code {
+			if p1.Code[i] != p2.Code[i] {
+				t.Fatalf("trial %d instr %d: %v -> %v", trial, i, p1.Code[i], p2.Code[i])
+			}
+		}
+		if string(p1.Data) != string(p2.Data) {
+			t.Fatalf("trial %d: data image changed", trial)
+		}
+		if p1.BSS != p2.BSS {
+			t.Fatalf("trial %d: BSS %d -> %d", trial, p1.BSS, p2.BSS)
+		}
+	}
+}
+
+func labelName(i int) string {
+	return "lab" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// TestDisassembleSynthesisesBranchLabels: branch targets without source
+// labels get synthetic ones.
+func TestDisassembleSynthesisesBranchLabels(t *testing.T) {
+	p := &Program{
+		Name: "synth",
+		Code: []isa.Instr{
+			{Op: isa.OpMovI, Rd: 1, Imm: 3},
+			{Op: isa.OpBne, Ra: 1, Rb: 2, Imm: 0},
+			{Op: isa.OpHalt},
+		},
+	}
+	p2, err := Assemble("resynth", p.Disassemble())
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, p.Disassemble())
+	}
+	if p2.Code[1].Imm != 0 {
+		t.Errorf("branch target %d, want 0", p2.Code[1].Imm)
+	}
+}

@@ -1,0 +1,254 @@
+// Package cache models the simulated cache hierarchy: a private L1 per
+// core, a shared L2 per cluster (big cores share one L2, little cores share
+// another, as on the Apple M2), and DRAM behind both.
+//
+// The model is a real set-associative tag simulation with LRU replacement,
+// not a probabilistic one, so the performance effects the paper leans on
+// emerge rather than being scripted:
+//
+//   - memory-intensive workloads slow down much more on little cores,
+//     whose L1 and shared L2 are smaller (§4.5);
+//   - concurrent checkers contend for the little cluster's shared L2;
+//   - a checker migrated to a big core arrives cold and pollutes the big
+//     cluster's L2, slowing the main process (§5.2.1);
+//   - main and checker contend for DRAM bandwidth regardless of cluster.
+//
+// Lines are tagged with (address-space ID, line address): the simulated
+// machine behaves like a physically-tagged hierarchy whose COW sharing is
+// ignored, a deliberate simplification that errs on the side of *more*
+// contention, matching the paper's observation that contention dominates.
+package cache
+
+import "fmt"
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Access result levels.
+const (
+	L1Hit Level = iota
+	L2Hit
+	DRAM
+	NumLevels
+)
+
+// String returns a short label for the level.
+func (l Level) String() string {
+	switch l {
+	case L1Hit:
+		return "L1"
+	case L2Hit:
+		return "L2"
+	case DRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Geometry describes one cache's organisation.
+type Geometry struct {
+	Sets int // number of sets (power of two)
+	Ways int // associativity
+}
+
+// SizeBytes returns the cache capacity for a given line size.
+func (g Geometry) SizeBytes(lineSize int) int { return g.Sets * g.Ways * lineSize }
+
+type line struct {
+	tag   uint64 // (asid << 40) | lineAddr — see key()
+	valid bool
+	lru   uint64
+}
+
+type setAssoc struct {
+	geom  Geometry
+	lines []line // Sets*Ways, set-major
+	clock uint64
+	mask  uint64
+
+	hits, misses uint64
+}
+
+func newSetAssoc(g Geometry) *setAssoc {
+	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets %d not a power of two", g.Sets))
+	}
+	if g.Ways <= 0 {
+		panic("cache: ways must be positive")
+	}
+	return &setAssoc{
+		geom:  g,
+		lines: make([]line, g.Sets*g.Ways),
+		mask:  uint64(g.Sets - 1),
+	}
+}
+
+// access probes the cache and fills on miss; returns true on hit.
+func (c *setAssoc) access(tag uint64) bool {
+	c.clock++
+	set := int(tag&c.mask) * c.geom.Ways
+	ways := c.lines[set : set+c.geom.Ways]
+	victim := 0
+	var victimLRU uint64 = ^uint64(0)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.clock
+			c.hits++
+			return true
+		}
+		if !ways[i].valid {
+			victim = i
+			victimLRU = 0
+		} else if ways[i].lru < victimLRU {
+			victim = i
+			victimLRU = ways[i].lru
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, lru: c.clock}
+	c.misses++
+	return false
+}
+
+// flush invalidates every line belonging to the given ASID (used when an
+// address space is destroyed, to avoid stale hits for a recycled ASID).
+func (c *setAssoc) flush(asid uint64) {
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].tag>>asidShift == asid {
+			c.lines[i].valid = false
+		}
+	}
+}
+
+// Config describes the whole hierarchy.
+type Config struct {
+	LineSize int        // bytes per cache line (power of two)
+	L1Big    Geometry   // private L1 on each big core
+	L1Little Geometry   // private L1 on each little core
+	L2       []Geometry // one shared L2 per cluster, indexed by cluster ID
+}
+
+// Hierarchy is the full multi-core cache model. It is not safe for
+// concurrent use; the simulation engine serialises access.
+type Hierarchy struct {
+	cfg       Config
+	lineShift uint
+	l1        []*setAssoc // per core
+	l2        []*setAssoc // per cluster
+	coreL2    []int       // core -> cluster
+	stats     []LevelStats
+}
+
+// LevelStats counts accesses per satisfaction level for one core.
+type LevelStats struct {
+	Counts [NumLevels]uint64
+}
+
+// Total returns the total number of accesses.
+func (s LevelStats) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// MissRatio returns the fraction of accesses that reached DRAM.
+func (s LevelStats) MissRatio() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Counts[DRAM]) / float64(t)
+}
+
+const asidShift = 40 // line addresses occupy the low 40 bits of a tag
+
+// New builds a hierarchy for the given per-core layout. coreIsBig[i]
+// selects the L1 geometry for core i; coreCluster[i] selects its L2.
+func New(cfg Config, coreIsBig []bool, coreCluster []int) *Hierarchy {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	shift := uint(0)
+	for s := cfg.LineSize; s > 1; s >>= 1 {
+		shift++
+	}
+	h := &Hierarchy{
+		cfg:       cfg,
+		lineShift: shift,
+		l1:        make([]*setAssoc, len(coreIsBig)),
+		l2:        make([]*setAssoc, len(cfg.L2)),
+		coreL2:    make([]int, len(coreCluster)),
+		stats:     make([]LevelStats, len(coreIsBig)),
+	}
+	for i, big := range coreIsBig {
+		if big {
+			h.l1[i] = newSetAssoc(cfg.L1Big)
+		} else {
+			h.l1[i] = newSetAssoc(cfg.L1Little)
+		}
+	}
+	for i, g := range cfg.L2 {
+		h.l2[i] = newSetAssoc(g)
+	}
+	copy(h.coreL2, coreCluster)
+	return h
+}
+
+func (h *Hierarchy) key(asid, addr uint64) uint64 {
+	return asid<<asidShift | (addr >> h.lineShift & (1<<asidShift - 1))
+}
+
+// Access simulates a data access by the process with the given ASID running
+// on the given core, and returns the level that satisfied it.
+func (h *Hierarchy) Access(core int, asid, addr uint64) Level {
+	tag := h.key(asid, addr)
+	lvl := DRAM
+	if h.l1[core].access(tag) {
+		lvl = L1Hit
+	} else if h.l2[h.coreL2[core]].access(tag) {
+		lvl = L2Hit
+	}
+	h.stats[core].Counts[lvl]++
+	return lvl
+}
+
+// AccessRange simulates an access spanning [addr, addr+size); it touches
+// each distinct line and returns the worst (slowest) level observed.
+func (h *Hierarchy) AccessRange(core int, asid, addr uint64, size int) Level {
+	worst := L1Hit
+	first := addr >> h.lineShift
+	last := (addr + uint64(size) - 1) >> h.lineShift
+	for lineAddr := first; lineAddr <= last; lineAddr++ {
+		lvl := h.Access(core, asid, lineAddr<<h.lineShift)
+		if lvl > worst {
+			worst = lvl
+		}
+	}
+	return worst
+}
+
+// FlushASID invalidates all lines belonging to the ASID across the whole
+// hierarchy. Called when a process exits so a recycled ASID starts cold.
+func (h *Hierarchy) FlushASID(asid uint64) {
+	for _, c := range h.l1 {
+		c.flush(asid)
+	}
+	for _, c := range h.l2 {
+		c.flush(asid)
+	}
+}
+
+// CoreStats returns a copy of the per-core access statistics.
+func (h *Hierarchy) CoreStats(core int) LevelStats { return h.stats[core] }
+
+// ResetStats zeroes all per-core statistics (the tag arrays keep their
+// contents).
+func (h *Hierarchy) ResetStats() {
+	for i := range h.stats {
+		h.stats[i] = LevelStats{}
+	}
+}
+
+// LineSize returns the configured line size in bytes.
+func (h *Hierarchy) LineSize() int { return h.cfg.LineSize }

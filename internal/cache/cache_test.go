@@ -1,0 +1,192 @@
+package cache
+
+import (
+	"testing"
+)
+
+// tiny two-core machine: core 0 big (cluster 0), core 1 little (cluster 1)
+func newTestHierarchy() *Hierarchy {
+	cfg := Config{
+		LineSize: 64,
+		L1Big:    Geometry{Sets: 8, Ways: 2}, // 1 KiB
+		L1Little: Geometry{Sets: 4, Ways: 2}, // 512 B
+		L2: []Geometry{
+			{Sets: 32, Ways: 4}, // big cluster: 8 KiB
+			{Sets: 16, Ways: 2}, // little cluster: 2 KiB
+		},
+	}
+	return New(cfg, []bool{true, false}, []int{0, 1})
+}
+
+func TestGeometrySize(t *testing.T) {
+	g := Geometry{Sets: 128, Ways: 8}
+	if got := g.SizeBytes(64); got != 64*1024 {
+		t.Errorf("SizeBytes = %d, want 65536", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets accepted")
+		}
+	}()
+	newSetAssoc(Geometry{Sets: 3, Ways: 1})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := newTestHierarchy()
+	if lvl := h.Access(0, 1, 0x1000); lvl != DRAM {
+		t.Errorf("cold access = %v, want DRAM", lvl)
+	}
+	if lvl := h.Access(0, 1, 0x1000); lvl != L1Hit {
+		t.Errorf("second access = %v, want L1", lvl)
+	}
+	if lvl := h.Access(0, 1, 0x1008); lvl != L1Hit {
+		t.Errorf("same-line access = %v, want L1", lvl)
+	}
+	st := h.CoreStats(0)
+	if st.Counts[DRAM] != 1 || st.Counts[L1Hit] != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestL2BacksL1(t *testing.T) {
+	h := newTestHierarchy()
+	// fill far beyond L1 (1 KiB) but within L2 (8 KiB)
+	for addr := uint64(0); addr < 4*1024; addr += 64 {
+		h.Access(0, 1, addr)
+	}
+	// the first lines were evicted from L1 but must hit in L2
+	if lvl := h.Access(0, 1, 0); lvl != L2Hit {
+		t.Errorf("re-access after L1 eviction = %v, want L2", lvl)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	h := newTestHierarchy()
+	// stream far beyond L2 capacity
+	for addr := uint64(0); addr < 64*1024; addr += 64 {
+		h.Access(0, 1, addr)
+	}
+	if lvl := h.Access(0, 1, 0); lvl != DRAM {
+		t.Errorf("access after full eviction = %v, want DRAM", lvl)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// L1 big: 8 sets x 2 ways. Three lines mapping to the same set:
+	// addresses differing by sets*linesize = 512.
+	h := newTestHierarchy()
+	a, b, c := uint64(0), uint64(512), uint64(1024)
+	h.Access(0, 1, a) // miss
+	h.Access(0, 1, b) // miss; set now [a,b]
+	h.Access(0, 1, a) // hit; a most recent
+	h.Access(0, 1, c) // evicts b (LRU)
+	// Note: all three may also hit L2 now; check L1 via re-access levels.
+	if lvl := h.Access(0, 1, a); lvl != L1Hit {
+		t.Errorf("a should still be in L1, got %v", lvl)
+	}
+	if lvl := h.Access(0, 1, b); lvl == L1Hit {
+		t.Error("b should have been evicted from L1")
+	}
+}
+
+func TestClusterIsolation(t *testing.T) {
+	h := newTestHierarchy()
+	h.Access(0, 1, 0x4000) // fill big cluster caches
+	h.Access(0, 1, 0x4000)
+	// same data accessed from the little core must miss both its L1 and
+	// its (separate) L2
+	if lvl := h.Access(1, 1, 0x4000); lvl != DRAM {
+		t.Errorf("cross-cluster access = %v, want DRAM", lvl)
+	}
+}
+
+func TestASIDSeparation(t *testing.T) {
+	h := newTestHierarchy()
+	h.Access(0, 1, 0x8000)
+	if lvl := h.Access(0, 2, 0x8000); lvl == L1Hit {
+		t.Error("different ASID hit another process's line")
+	}
+}
+
+func TestFlushASID(t *testing.T) {
+	h := newTestHierarchy()
+	h.Access(0, 1, 0x100)
+	h.Access(0, 2, 0x9000)
+	h.FlushASID(1)
+	if lvl := h.Access(0, 1, 0x100); lvl != DRAM {
+		t.Errorf("flushed line still resident: %v", lvl)
+	}
+	if lvl := h.Access(0, 2, 0x9000); lvl == DRAM {
+		t.Error("flush removed another ASID's line")
+	}
+}
+
+func TestAccessRangeWorstLevel(t *testing.T) {
+	h := newTestHierarchy()
+	h.Access(0, 1, 0x2000) // line resident
+	// range spanning the resident line and the next (cold) one
+	if lvl := h.AccessRange(0, 1, 0x2038, 16); lvl != DRAM {
+		t.Errorf("spanning range = %v, want worst (DRAM)", lvl)
+	}
+	if lvl := h.AccessRange(0, 1, 0x2000, 8); lvl != L1Hit {
+		t.Errorf("resident range = %v, want L1", lvl)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	h := newTestHierarchy()
+	for i := 0; i < 10; i++ {
+		h.Access(0, 1, uint64(i)*64)
+	}
+	for i := 0; i < 10; i++ {
+		h.Access(0, 1, uint64(i)*64)
+	}
+	st := h.CoreStats(0)
+	if st.Total() != 20 {
+		t.Errorf("total = %d, want 20", st.Total())
+	}
+	if mr := st.MissRatio(); mr != 0.5 {
+		t.Errorf("miss ratio = %v, want 0.5", mr)
+	}
+	h.ResetStats()
+	if h.CoreStats(0).Total() != 0 {
+		t.Error("ResetStats did not clear counts")
+	}
+	// the tag arrays survive a stats reset
+	if lvl := h.Access(0, 1, 0); lvl != L1Hit {
+		t.Errorf("tags lost on ResetStats: %v", lvl)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L1Hit.String() != "L1" || L2Hit.String() != "L2" || DRAM.String() != "DRAM" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestWorkingSetBehaviourMatchesCapacity(t *testing.T) {
+	// The differentiation Parallaft's scheduler depends on: a working set
+	// that fits the big L1 but not the little one.
+	h := newTestHierarchy()
+	sweep := func(core int, asid uint64, bytes uint64) (l1Frac float64) {
+		h.ResetStats()
+		for pass := 0; pass < 8; pass++ {
+			for addr := uint64(0); addr < bytes; addr += 64 {
+				h.Access(core, asid, addr)
+			}
+		}
+		st := h.CoreStats(core)
+		return float64(st.Counts[L1Hit]) / float64(st.Total())
+	}
+	bigL1 := sweep(0, 10, 768)    // fits big L1 (1 KiB)
+	littleL1 := sweep(1, 11, 768) // exceeds little L1 (512 B)
+	if bigL1 < 0.8 {
+		t.Errorf("big-core resident sweep L1 fraction %v, want >= 0.8", bigL1)
+	}
+	if littleL1 >= bigL1 {
+		t.Errorf("little core should hit L1 less: %v vs %v", littleL1, bigL1)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"parallaft/internal/hashx"
+	"parallaft/internal/mem"
+	"parallaft/internal/proc"
+	"parallaft/internal/trace"
+)
+
+// hashSeed seeds the page hashes; any fixed value works, it only needs to
+// be identical on both sides.
+const hashSeed = 0x9a7a11af7
+
+// compareSegment compares the checker's end state against the segment-end
+// checkpoint (§4.4): registers plus the hashes of every page modified
+// during the segment on either side. On mismatch the application is
+// terminated with a DetectedError.
+//
+// The dirty set is the union of the main-side modified pages (frame diff
+// between consecutive checkpoints, or inherited soft-dirty bits, depending
+// on Config.Tracking) and the checker-side modified pages, so a checker
+// that erroneously wrote pages the main never touched is still caught.
+func (r *Runtime) compareSegment(seg *Segment) {
+	defer func() {
+		if r.detected != nil && r.cfg.EnableRecovery && r.detected.Segment == seg.Index {
+			// Leave the segment live: recovery needs its checkpoints and
+			// record for arbitration and possible rollback.
+			return
+		}
+		seg.compared = true
+		r.stats.Segments = append(r.stats.Segments, SegmentStat{
+			Index:        seg.Index,
+			MainNs:       seg.mainEndNs - seg.mainStartNs,
+			CheckerNs:    seg.doneNs - seg.startNs,
+			CheckerOnBig: seg.bigNs > 0,
+			BigNs:        seg.bigNs,
+			LittleNs:     seg.littleNs,
+			Events:       len(seg.Log.Events),
+		})
+		r.stats.CheckerBigNs += seg.bigNs
+		r.stats.CheckerLittleNs += seg.littleNs
+		r.stats.CheckerBigInstrs += seg.bigInstrs
+		r.stats.CheckerLittleInstrs += seg.littleInstrs
+		if seg.bigNs > 0 {
+			r.stats.SegmentsOnBig++
+		}
+		r.retireSegment(seg)
+
+		// Un-stall the main: the wall time it spent gated (live-segment
+		// bound or containment barrier) elapses until this comparison
+		// finished.
+		if r.mainStalled && !r.main.Exited && !r.mainBlocked() {
+			if r.mainTask.Clock < seg.compareNs {
+				r.stats.MainStallNs += seg.compareNs - r.mainTask.Clock
+				r.mainTask.Clock = seg.compareNs
+			}
+			r.mainStalled = false
+		}
+	}()
+
+	if !r.cfg.CompareStates {
+		// RAFT model (§5.1): no state comparison at segment ends.
+		seg.compareNs = seg.doneNs
+		if seg.compareNs > r.maxCompareNs {
+			r.maxCompareNs = seg.compareNs
+		}
+		return
+	}
+
+	result := r.compareAgainstEndCP(seg, seg.Checker)
+	if result.err != nil {
+		r.fail(seg.Index, result.err.Kind, "%s", result.err.Detail)
+	}
+	verdict := "ok"
+	if result.err != nil {
+		verdict = result.err.Kind.String()
+	}
+	r.cfg.Trace.Emit(seg.doneNs, trace.Compare, seg.Index, "%d dirty pages, %s", result.dirtyPages, verdict)
+	r.stats.DirtyPagesHashed += result.dirtyPages
+	r.stats.BytesHashed += result.hashedBytes
+	hashedBytes := result.hashedBytes
+
+	// The comparison can only start once both the checker has finished and
+	// the end checkpoint exists (the later of the two times).
+	hashNs := float64(hashedBytes) * r.cfg.HashByteNs
+	start := seg.doneNs
+	if seg.mainEndNs > start {
+		start = seg.mainEndNs
+	}
+	seg.compareNs = start + hashNs
+	if seg.compareNs > r.maxCompareNs {
+		r.maxCompareNs = seg.compareNs
+	}
+	// Energy for the injected hashers, charged to the checker's last core.
+	if seg.Task != nil {
+		seg.Task.Core.AccountActive(hashNs)
+	}
+}
+
+// compareResult carries the outcome of one state comparison.
+type compareResult struct {
+	err         *DetectedError
+	dirtyPages  uint64
+	hashedBytes uint64
+}
+
+// compareAgainstEndCP compares an arbitrary process (the segment's checker,
+// or an arbitration referee during recovery) against the segment's end
+// checkpoint: registers, PC, and the hashes of every page modified on
+// either side (§4.4).
+func (r *Runtime) compareAgainstEndCP(seg *Segment, chk *proc.Process) compareResult {
+	ref := seg.EndCP.p
+	var res compareResult
+	mismatch := func(kind ErrorKind, format string, args ...any) {
+		if res.err == nil {
+			res.err = &DetectedError{Kind: kind, Segment: seg.Index,
+				Detail: fmt.Sprintf(format, args...)}
+		}
+	}
+
+	// Registers (and the PC, which exec-point replay already pinned).
+	if !chk.Regs.Equal(&ref.Regs) {
+		mismatch(ErrRegMismatch, "registers differ at segment end (checker/checkpoint):%s",
+			chk.Regs.Diff(&ref.Regs))
+	}
+	if chk.PC != ref.PC {
+		mismatch(ErrRegMismatch, "pc %d differs from checkpoint pc %d", chk.PC, ref.PC)
+	}
+
+	// Dirty-page discovery.
+	var mainDirty []uint64
+	if r.cfg.CompareFullMemory {
+		mainDirty = allVPNs(ref.AS)
+	} else {
+		switch r.cfg.Tracking {
+		case TrackFrameDiff:
+			mainDirty = mem.DiffFrames(seg.StartCP.p.AS, ref.AS)
+		case TrackSoftDirty:
+			mainDirty = ref.AS.DirtyPages(mem.DirtySoft)
+		}
+	}
+	chkDirty := chk.AS.DirtyPages(r.cfg.checkerDirtyMode())
+	dirty := unionVPNs(mainDirty, chkDirty)
+	res.dirtyPages = uint64(len(dirty))
+
+	// Hash and compare page contents. The hashing is modelled as injected
+	// code running in the two target processes (§4.4), so its cost lands
+	// on the comparison path, not the main's.
+	for _, vpn := range dirty {
+		refPage := ref.AS.PageData(vpn)
+		chkPage := chk.AS.PageData(vpn)
+		switch {
+		case refPage == nil && chkPage == nil:
+			// e.g. both sides unmapped the page during the segment
+		case refPage == nil || chkPage == nil:
+			mismatch(ErrStructuralMismatch, "page %#x mapped on only one side", vpn)
+		default:
+			res.hashedBytes += uint64(len(refPage)) * 2
+			if hashx.Sum64(hashSeed, refPage) != hashx.Sum64(hashSeed, chkPage) {
+				mismatch(ErrMemMismatch, "page %#x content hash differs", vpn)
+			}
+		}
+	}
+	return res
+}
+
+// retireSegment releases the segment's resources once compared: checker
+// process, checkpoint references, and its entry in the live list.
+func (r *Runtime) retireSegment(seg *Segment) {
+	if seg.Task != nil {
+		r.e.Retire(seg.Task)
+	}
+	if seg.Checker != nil {
+		r.e.L.Reap(seg.Checker)
+		r.e.M.Caches.FlushASID(seg.Checker.ASID)
+	}
+	r.releaseCP(seg.StartCP)
+	r.releaseCP(seg.EndCP)
+	for i, s := range r.segments {
+		if s == seg {
+			r.segments = append(r.segments[:i], r.segments[i+1:]...)
+			break
+		}
+	}
+}
+
+// allVPNs lists every mapped page (the full-memory-comparison ablation).
+func allVPNs(as *mem.AddressSpace) []uint64 {
+	var out []uint64
+	for _, v := range as.VMAs() {
+		for vpn := v.Base / as.PageSize(); vpn < v.End()/as.PageSize(); vpn++ {
+			out = append(out, vpn)
+		}
+	}
+	return out
+}
+
+// finish drains remaining segments, computes wall times and energy, and
+// fills the stats block.
+func (r *Runtime) finish() {
+	mainWall := r.mainTask.Clock
+	allWall := mainWall
+
+	// Drain remaining checkers (last-checker sync, §5.2.1). On detection
+	// the application is terminated instead, mirroring §4.4.
+	for r.detected == nil {
+		var seg *Segment
+		for _, s := range r.segments {
+			if s.Task != nil && !s.compared && !s.Checker.Exited && s.phase != phaseReached && !s.waiting {
+				if seg == nil || s.Task.Clock < seg.Task.Clock {
+					seg = s
+				}
+			}
+		}
+		if seg == nil {
+			break
+		}
+		r.stepChecker(seg)
+	}
+
+	for _, s := range append([]*Segment(nil), r.segments...) {
+		if r.detected != nil {
+			break
+		}
+		if !s.compared && s.phase == phaseReached {
+			r.compareSegment(s)
+		}
+	}
+
+	if r.maxCompareNs > allWall {
+		allWall = r.maxCompareNs
+	}
+
+	r.stats.Detected = r.detected
+	r.stats.AllWallNs = allWall
+	r.stats.MainWallNs = mainWall
+	if r.main != nil {
+		r.stats.MainUserNs = r.main.UserNs
+		r.stats.MainSysNs = r.main.SysNs
+		r.stats.ExitCode = r.main.ExitCode
+		r.stats.KilledBy = r.main.KilledBy
+		r.stats.Stdout = append([]byte(nil), r.e.K.Stdout(r.main.PID)...)
+		st := r.main.AS.Stats()
+		r.stats.COWCopies = st.COWCopies
+		r.stats.COWBytes = st.COWBytes
+	}
+	if r.stats.pssSamples > 0 {
+		r.stats.AvgPSSBytes = r.stats.pssAccum / float64(r.stats.pssSamples)
+	}
+	r.stats.EnergyJ = r.e.M.EnergyJ(allWall)
+	if math.IsNaN(r.stats.EnergyJ) {
+		r.stats.EnergyJ = 0
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"parallaft/internal/proc"
+)
+
+func containConfig() Config {
+	cfg := smallSliceConfig()
+	cfg.ContainSyscalls = true
+	return cfg
+}
+
+// TestContainmentCleanRun: with containment on, a clean program still
+// produces identical output, just slower (the §3.4 synchronisation cost).
+func TestContainmentCleanRun(t *testing.T) {
+	prog := testProgram(40_000)
+	be := newTestEngine(7)
+	base, err := be.RunBaseline(prog, be.M.BigCores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(7)
+	rt := NewRuntime(e, containConfig())
+	stats, err := rt.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detected != nil {
+		t.Fatalf("false positive under containment: %v", stats.Detected)
+	}
+	if string(stats.Stdout) != string(base.Stdout) || stats.ExitCode != base.ExitCode {
+		t.Error("containment changed program behaviour")
+	}
+	if stats.ContainBarriers == 0 {
+		t.Error("no containment barriers were taken")
+	}
+	if stats.MainStallNs == 0 {
+		t.Error("containment produced no synchronisation stalls — the cost §3.4 avoids")
+	}
+}
+
+// TestContainmentBlocksErroneousEscape is the table-2 containment property:
+// with the main corrupted before a write, the barrier's verification fires
+// *before* the write executes, so the wrong bytes never leave the sphere of
+// replication. Without containment the same fault escapes first.
+func TestContainmentBlocksErroneousEscape(t *testing.T) {
+	mkHook := func() func(*proc.Process, float64) {
+		fired := false
+		return func(m *proc.Process, _ float64) {
+			if fired || m.Instrs < 100_000 {
+				return
+			}
+			// corrupt the data that the final write will emit
+			m.FlipRegisterBit(proc.GPRClass, 1, 0, 3)
+			fired = true
+		}
+	}
+	prog := testProgram(40_000)
+
+	// Without containment: the fault is detected, but §3.4 allows the
+	// syscall to escape first.
+	cfg := smallSliceConfig()
+	cfg.MainHook = mkHook()
+	e := newTestEngine(7)
+	rt := NewRuntime(e, cfg)
+	uncontained, err := rt.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncontained.Detected == nil {
+		t.Fatal("fault undetected without containment")
+	}
+
+	// With containment: detection happens at the pre-write barrier, and
+	// nothing corrupted is written.
+	ccfg := containConfig()
+	ccfg.MainHook = mkHook()
+	e2 := newTestEngine(7)
+	rt2 := NewRuntime(e2, ccfg)
+	contained, err := rt2.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contained.Detected == nil {
+		t.Fatal("fault undetected under containment")
+	}
+	if strings.Contains(string(contained.Stdout), "hello") {
+		t.Errorf("corrupted run still wrote %q under containment — the write should have been blocked",
+			contained.Stdout)
+	}
+}
+
+// TestContainmentCostsPerformance: the barrier serialises main and
+// checkers, so wall time grows versus plain Parallaft — quantifying why
+// the paper declines containment (§3.4).
+func TestContainmentCostsPerformance(t *testing.T) {
+	prog := testProgram(40_000)
+	run := func(cfg Config) float64 {
+		e := newTestEngine(7)
+		rt := NewRuntime(e, cfg)
+		st, err := rt.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Detected != nil {
+			t.Fatalf("false positive: %v", st.Detected)
+		}
+		return st.AllWallNs
+	}
+	plain := run(smallSliceConfig())
+	contained := run(containConfig())
+	if contained <= plain {
+		t.Errorf("containment was free (%.0f vs %.0f ns); it must cost synchronisation time",
+			contained, plain)
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements Parallaft: the heterogeneous parallel
+// error-detection runtime that is the paper's contribution.
+//
+// Parallaft supervises a main process, slices its execution into segments
+// (§4.1), forks a copy-on-write checkpoint and checker at each boundary
+// (§3.1), records the segment's interactions (syscalls §4.3.1–4.3.2,
+// signals §4.3.3, nondeterministic instructions §4.3.4) and its end
+// execution point (§4.2), replays each segment on a little core, and
+// compares registers and dirty-page hashes against the next checkpoint
+// (§4.4). A checker scheduler and pacer migrates checkers to big cores when
+// little cores are exhausted and scales little-core frequency for energy
+// (§4.5).
+//
+// The RAFT baseline of the evaluation is, exactly as in §5.1, this same
+// runtime reconfigured: no periodic slicing (one segment for the whole
+// program), checkers on big cores, and no end-of-segment state comparison.
+package core
+
+import (
+	"fmt"
+
+	"parallaft/internal/proc"
+)
+
+// ErrorKind classifies how a divergence was detected.
+type ErrorKind uint8
+
+// Detection kinds.
+const (
+	// ErrSyscallMismatch: the checker issued a different syscall (number,
+	// arguments, or input data) than the main recorded.
+	ErrSyscallMismatch ErrorKind = iota
+	// ErrEventOrderMismatch: the checker produced a traced event (syscall,
+	// nondet instruction, fault) where the record expected a different
+	// event kind.
+	ErrEventOrderMismatch
+	// ErrRegMismatch: registers differ at the segment-end comparison.
+	ErrRegMismatch
+	// ErrMemMismatch: a dirty page's hash differs at the segment-end
+	// comparison.
+	ErrMemMismatch
+	// ErrStructuralMismatch: the address-space shapes differ at the
+	// comparison (a page mapped on one side only).
+	ErrStructuralMismatch
+	// ErrCheckerException: the checker took a fault the main did not.
+	ErrCheckerException
+	// ErrCheckerTimeout: the checker exceeded the instruction budget
+	// derived from the main's (noisy) instruction count × the timeout
+	// scale (§4.2.2), e.g. because an error sent it into a loop that never
+	// reaches the target PC.
+	ErrCheckerTimeout
+	// ErrExecPointOverrun: the checker ran past the target branch count,
+	// which the skid buffer should prevent (§4.2.2, footnote 6); observed
+	// only in the no-skid-buffer ablation or under injected faults.
+	ErrExecPointOverrun
+	// ErrCheckerExited: the checker exited or was killed mid-segment where
+	// the main did not.
+	ErrCheckerExited
+)
+
+// String names the error kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrSyscallMismatch:
+		return "syscall-mismatch"
+	case ErrEventOrderMismatch:
+		return "event-order-mismatch"
+	case ErrRegMismatch:
+		return "register-mismatch"
+	case ErrMemMismatch:
+		return "memory-hash-mismatch"
+	case ErrStructuralMismatch:
+		return "structural-mismatch"
+	case ErrCheckerException:
+		return "checker-exception"
+	case ErrCheckerTimeout:
+		return "checker-timeout"
+	case ErrExecPointOverrun:
+		return "exec-point-overrun"
+	case ErrCheckerExited:
+		return "checker-exited"
+	}
+	return fmt.Sprintf("error-kind(%d)", uint8(k))
+}
+
+// DetectedError is a divergence flagged by Parallaft. In response the
+// runtime terminates the application and reports the mismatch (§4.4).
+type DetectedError struct {
+	Kind    ErrorKind
+	Segment int
+	Detail  string
+	Sig     proc.Signal // for ErrCheckerException
+}
+
+// Error implements the error interface.
+func (d *DetectedError) Error() string {
+	return fmt.Sprintf("parallaft: segment %d: %s: %s", d.Segment, d.Kind, d.Detail)
+}
+
+// IsException reports whether the detection was via a checker exception,
+// the fault-injection taxonomy's separately-counted special case of
+// Detected (§5.6).
+func (d *DetectedError) IsException() bool { return d.Kind == ErrCheckerException }
+
+// IsTimeout reports whether the detection was via the instruction-budget
+// timeout (§5.6's Timeout class).
+func (d *DetectedError) IsTimeout() bool { return d.Kind == ErrCheckerTimeout }

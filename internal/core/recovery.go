@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"parallaft/internal/oskernel"
+	"parallaft/internal/trace"
+)
+
+// Error recovery — the paper's table-2 "future work" row, implemented.
+//
+// When a divergence is detected, the single-fault model leaves two
+// suspects: the main execution or the checker. Recovery arbitrates by
+// re-executing the segment once more from its start checkpoint with a
+// clean *referee* process, replaying the same record/replay log:
+//
+//   - if the referee reproduces the end checkpoint, the main's execution
+//     was reproducible and the original checker carried the fault — the
+//     segment is accepted and execution continues (no rollback);
+//   - otherwise the main (or the record itself) was faulty — the runtime
+//     rolls back: every live segment is discarded and the main process is
+//     restored from the oldest live segment's start checkpoint, which the
+//     induction argument (§3.1) has verified transitively.
+//
+// Without syscall containment (§3.4), globally-effectful syscalls in the
+// rolled-back region have already escaped and will be issued again on
+// re-execution; RunStats.ReexecutedEffects counts them so callers can
+// reason about the exposure, exactly the caveat the paper describes.
+
+// arbVerdict is the outcome of a recovery arbitration.
+type arbVerdict uint8
+
+const (
+	verdictCheckerFault arbVerdict = iota
+	verdictMainFault
+)
+
+// tryRecover attempts to absorb the pending detection. Returns true when
+// execution can continue (the detection has been handled).
+func (r *Runtime) tryRecover() bool {
+	d := r.detected
+	if d == nil {
+		return true
+	}
+	var seg *Segment
+	for _, s := range r.segments {
+		if s.Index == d.Segment {
+			seg = s
+			break
+		}
+	}
+	if seg == nil {
+		return false // detection without a live segment: unrecoverable
+	}
+	if seg.recoveries >= r.cfg.RecoveryMaxRetries {
+		r.stats.UnrecoverableFault = true
+		return false
+	}
+	seg.recoveries++
+
+	// A permanent fault keeps corrupting fresh segments; the global
+	// rollback budget turns that into a terminating diagnosis.
+	if r.stats.Rollbacks >= r.cfg.RecoveryMaxRollbacks {
+		r.stats.UnrecoverableFault = true
+		return false
+	}
+
+	verdict := verdictMainFault
+	if seg.sealed && seg.EndCP != nil {
+		r.cfg.Trace.Emit(r.mainTask.Clock, trace.Arbitrate, seg.Index, "re-executing with a clean referee")
+		verdict = r.arbitrate(seg)
+	}
+	r.detected = nil
+
+	if verdict == verdictCheckerFault {
+		// The checker carried the fault; the referee itself verified the
+		// segment. Accept it and release its resources.
+		r.stats.RecoveredCheckerFaults++
+		r.cfg.Trace.Emit(r.mainTask.Clock, trace.Recover, seg.Index, "checker fault absorbed; segment verified by referee")
+		if !seg.compared {
+			if seg.doneNs == 0 {
+				seg.doneNs = r.mainTask.Clock
+			}
+			seg.compareNs = seg.doneNs
+			if seg.compareNs > r.maxCompareNs {
+				r.maxCompareNs = seg.compareNs
+			}
+			seg.compared = true
+			r.stats.Segments = append(r.stats.Segments, SegmentStat{
+				Index: seg.Index, MainNs: seg.mainEndNs - seg.mainStartNs,
+				CheckerNs: seg.doneNs - seg.startNs,
+			})
+			r.sched.drop(seg)
+			r.retireSegment(seg)
+			r.sched.kick(r.mainTask.Clock)
+		}
+		return true
+	}
+
+	r.rollback()
+	return true
+}
+
+// arbitrate re-executes the segment with a clean referee forked from the
+// start checkpoint, replaying the recorded log, and compares the result
+// against the end checkpoint.
+func (r *Runtime) arbitrate(seg *Segment) arbVerdict {
+	r.stats.Arbitrations++
+
+	referee := r.e.L.Fork(seg.StartCP.p, fmt.Sprintf("referee%d", seg.Index))
+	referee.AS.ClearSoftDirty()
+	limit := uint64(float64(seg.MainInstrs) * r.cfg.TimeoutScale)
+	if limit < 64 {
+		limit = 64
+	}
+	referee.InstrLimit = limit
+
+	// A private shadow segment shares the record but has fresh replay
+	// state; it never enters r.segments or the scheduler.
+	shadow := &Segment{
+		Index:      seg.Index,
+		StartCP:    seg.StartCP,
+		EndCP:      seg.EndCP,
+		Checker:    referee,
+		Log:        seg.Log,
+		End:        seg.End,
+		EndIsExit:  seg.EndIsExit,
+		MainInstrs: seg.MainInstrs,
+		sealed:     true,
+		arb:        true,
+	}
+	// Run on a big core at the current wall position; arbitration is rare
+	// and latency matters more than energy here.
+	core := r.mainCore
+	if bigs := r.e.M.BigCores(); len(bigs) > 1 {
+		core = bigs[1]
+	}
+	shadow.Task = r.e.NewTask(referee, core, r.mainTask.Clock)
+	defer func() {
+		r.e.Retire(shadow.Task)
+		r.e.L.Reap(referee)
+	}()
+
+	r.arbitrating = true
+	r.arbErr = nil
+	defer func() { r.arbitrating = false }()
+
+	// The instruction limit bounds the referee's execution; the iteration
+	// cap is a belt-and-braces guard against replay-state livelock.
+	for i := 0; r.arbErr == nil && !shadow.arbDone && shadow.phase != phaseReached; i++ {
+		if i > 1_000_000 {
+			r.arbErr = &DetectedError{Kind: ErrCheckerTimeout, Segment: seg.Index,
+				Detail: "arbitration referee made no progress"}
+			break
+		}
+		r.stepChecker(shadow)
+	}
+	if r.arbErr != nil {
+		// The clean referee also diverged from the record/end point: the
+		// main side was at fault.
+		return verdictMainFault
+	}
+	res := r.compareAgainstEndCP(shadow, referee)
+	if res.err != nil {
+		return verdictMainFault
+	}
+	return verdictCheckerFault
+}
+
+// rollback discards all live segments and restores the main process from
+// the oldest live segment's start checkpoint — the newest state verified by
+// induction.
+func (r *Runtime) rollback() {
+	if len(r.segments) == 0 {
+		r.stats.UnrecoverableFault = true
+		return
+	}
+	oldest := r.segments[0]
+	target := oldest.StartCP
+	target.refs++ // keep it alive through the teardown below
+	retries := oldest.recoveries
+
+	// Wall time when the rollback happens: everything observed so far.
+	wall := r.mainTask.Clock
+	for _, s := range r.segments {
+		if s.Task != nil && s.Task.Clock > wall {
+			wall = s.Task.Clock
+		}
+	}
+
+	// Count global syscalls whose external effects will re-escape.
+	for _, s := range r.segments {
+		for _, ev := range s.Log.Events {
+			if ev.Kind == EvSyscall && ev.Syscall.Class == oskernel.ClassGlobal {
+				r.stats.ReexecutedEffects++
+			}
+		}
+	}
+
+	// Tear down every live segment.
+	for _, s := range append([]*Segment(nil), r.segments...) {
+		r.sched.drop(s)
+		if s.Task != nil {
+			r.e.Retire(s.Task)
+		}
+		if s.Checker != nil && s.Checker != r.main {
+			r.e.L.Reap(s.Checker)
+		}
+		r.releaseCP(s.StartCP)
+		if s.EndCP != nil {
+			r.releaseCP(s.EndCP)
+		}
+	}
+	r.segments = r.segments[:0]
+	r.current = nil
+	r.mainStalled = false
+
+	// Replace the main process with a fork of the verified checkpoint.
+	r.e.Retire(r.mainTask)
+	oldMain := r.main
+	r.main = r.e.L.Fork(target.p, "main-restored")
+	r.e.L.Reap(oldMain)
+	r.releaseCP(target)
+	r.mainTask = r.e.NewTask(r.main, r.mainCore, wall+r.cfg.tracerStopNs())
+	r.stats.Rollbacks++
+	r.cfg.Trace.Emit(wall, trace.Rollback, oldest.Index, "main restored from segment %d's start checkpoint", oldest.Index)
+
+	// Restart protection from the restored state, carrying the retry
+	// count so a permanent fault cannot loop forever.
+	r.startSegment()
+	r.current.recoveries = retries
+}

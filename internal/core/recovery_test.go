@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"parallaft/internal/proc"
+)
+
+func recoveryConfig() Config {
+	cfg := smallSliceConfig()
+	cfg.EnableRecovery = true
+	return cfg
+}
+
+// TestRecoveryAbsorbsCheckerFault: a transient fault in a checker is
+// arbitrated (referee reproduces the end checkpoint), absorbed without
+// rollback, and the program completes with correct output.
+func TestRecoveryAbsorbsCheckerFault(t *testing.T) {
+	prog := loopProgram(120_000)
+	be := newTestEngine(13)
+	base, err := be.RunBaseline(prog, be.M.BigCores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats := runWithHook(t, recoveryConfig(), prog,
+		onceInSegment(1, func(c *proc.Process) {
+			c.FlipRegisterBit(proc.GPRClass, 1, 0, 40)
+		}))
+	if stats.Detected != nil {
+		t.Fatalf("fault not absorbed: %v", stats.Detected)
+	}
+	if stats.RecoveredCheckerFaults != 1 {
+		t.Errorf("recovered checker faults = %d, want 1", stats.RecoveredCheckerFaults)
+	}
+	if stats.Rollbacks != 0 {
+		t.Errorf("rollbacks = %d, want 0 (fault was in the checker)", stats.Rollbacks)
+	}
+	if stats.Arbitrations != 1 {
+		t.Errorf("arbitrations = %d, want 1", stats.Arbitrations)
+	}
+	if stats.ExitCode != base.ExitCode {
+		t.Errorf("exit code %d != baseline %d after recovery", stats.ExitCode, base.ExitCode)
+	}
+}
+
+// TestRecoveryRollsBackMainFault: a transient fault in the *main* is
+// attributed by arbitration (the clean referee cannot reproduce the end
+// checkpoint) and rolled back; re-execution produces the correct result.
+func TestRecoveryRollsBackMainFault(t *testing.T) {
+	prog := loopProgram(120_000)
+	be := newTestEngine(13)
+	base, err := be.RunBaseline(prog, be.M.BigCores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := recoveryConfig()
+	fired := false
+	cfg.MainHook = func(m *proc.Process, nowNs float64) {
+		// corrupt the main's checksum register once, mid-run
+		if fired || m.Instrs < 200_000 {
+			return
+		}
+		m.FlipRegisterBit(proc.GPRClass, 1, 0, 33)
+		fired = true
+	}
+	e := newTestEngine(13)
+	rt := NewRuntime(e, cfg)
+	stats, err := rt.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Skip("main finished before the injection point")
+	}
+	if stats.Detected != nil {
+		t.Fatalf("main fault not recovered: %v", stats.Detected)
+	}
+	if stats.Rollbacks == 0 {
+		t.Error("main fault produced no rollback")
+	}
+	if stats.ExitCode != base.ExitCode {
+		t.Errorf("exit code %d != baseline %d after rollback (the whole point of recovery)",
+			stats.ExitCode, base.ExitCode)
+	}
+	if string(stats.Stdout) != string(base.Stdout) {
+		t.Errorf("output differs after rollback")
+	}
+}
+
+// TestRecoveryPermanentFaultTerminates: a fault injected on *every* main
+// dispatch exhausts the retry budget and terminates with a diagnosis
+// instead of looping forever.
+func TestRecoveryPermanentFaultTerminates(t *testing.T) {
+	cfg := recoveryConfig()
+	cfg.RecoveryMaxRetries = 2
+	cfg.MainHook = func(m *proc.Process, _ float64) {
+		if m.Instrs > 100_000 {
+			m.Regs.X[1] ^= 1 << 7 // keeps corrupting after every restore
+		}
+	}
+	e := newTestEngine(13)
+	rt := NewRuntime(e, cfg)
+	stats, err := rt.Run(loopProgram(120_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detected == nil {
+		t.Fatal("permanent fault ended without a detection")
+	}
+	if !stats.UnrecoverableFault {
+		t.Error("permanent fault not marked unrecoverable")
+	}
+	if stats.Rollbacks == 0 {
+		t.Error("no rollback was even attempted")
+	}
+}
+
+// TestRecoveryMidReplayCheckerFault: a checker fault that manifests as a
+// replay divergence (exception) rather than a compare mismatch is also
+// arbitrated and absorbed.
+func TestRecoveryMidReplayCheckerFault(t *testing.T) {
+	stats := runWithHook(t, recoveryConfig(), loopProgram(120_000),
+		onceInSegment(1, func(c *proc.Process) {
+			c.Regs.X[4] = 0xdead_0000 // wild pointer -> checker SIGSEGV
+		}))
+	if stats.Detected != nil {
+		t.Fatalf("checker exception not absorbed: %v", stats.Detected)
+	}
+	if stats.RecoveredCheckerFaults != 1 {
+		t.Errorf("recovered = %d, want 1", stats.RecoveredCheckerFaults)
+	}
+}
+
+// TestRecoveryCountsReexecutedEffects: rolling back across a segment whose
+// log contains globally-effectful syscalls reports the double-escape.
+func TestRecoveryCountsReexecutedEffects(t *testing.T) {
+	// program: loop, write, loop, exit — corrupt the main after the write
+	prog := testProgram(60_000)
+	cfg := recoveryConfig()
+	cfg.SlicePeriodCycles = 100_000
+	fired := false
+	cfg.MainHook = func(m *proc.Process, _ float64) {
+		if fired || m.Instrs < 400_000 {
+			return
+		}
+		m.FlipRegisterBit(proc.GPRClass, 1, 0, 21)
+		fired = true
+	}
+	e := newTestEngine(7)
+	rt := NewRuntime(e, cfg)
+	stats, err := rt.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired || stats.Rollbacks == 0 {
+		t.Skip("injection did not land in a rollback window")
+	}
+	t.Logf("rollbacks=%d reexecuted-effects=%d", stats.Rollbacks, stats.ReexecutedEffects)
+	// duplicated writes appear in stdout when effects re-escape; the stat
+	// must account for them
+	if stats.ReexecutedEffects > 0 && len(stats.Stdout) <= len("hello\n") {
+		t.Errorf("reexecuted effects reported but stdout %q shows no duplication", stats.Stdout)
+	}
+}
+
+// TestRecoveryDisabledStillDetects: with recovery off, behaviour is the
+// paper's: terminate-and-report.
+func TestRecoveryDisabledStillDetects(t *testing.T) {
+	stats := runWithHook(t, smallSliceConfig(), loopProgram(120_000),
+		onceInSegment(1, func(c *proc.Process) {
+			c.FlipRegisterBit(proc.GPRClass, 1, 0, 40)
+		}))
+	if stats.Detected == nil {
+		t.Fatal("detection lost")
+	}
+	if stats.RecoveredCheckerFaults != 0 || stats.Rollbacks != 0 {
+		t.Error("recovery ran while disabled")
+	}
+}

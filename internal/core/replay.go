@@ -1,0 +1,404 @@
+package core
+
+import (
+	"parallaft/internal/oskernel"
+	"parallaft/internal/proc"
+)
+
+// ensureTarget keeps the checker's execution-point steering machinery
+// (§4.2.2) pointed at the right place. Targets, in priority order:
+//
+//  1. the delivery point of the next recorded external signal (§4.3.3) —
+//     known as soon as the event is next in the log, sealed or not;
+//  2. the segment's end point, once sealed (unless the segment ends with
+//     the program exiting, which the final replayed event produces).
+//
+// Arming: branch-counter overflow a skid buffer short of the target, then
+// a breakpoint on the target PC until the branch count matches.
+func (r *Runtime) ensureTarget(seg *Segment) {
+	var want ExecPoint
+	var isEnd, active bool
+	if ev := seg.nextEvent(); ev != nil && ev.Kind == EvSignalExternal {
+		want, isEnd, active = ev.Signal.Point, false, true
+	} else if seg.sealed && !seg.EndIsExit {
+		want, isEnd, active = seg.End, true, true
+	}
+	if !active {
+		if seg.targetActive {
+			seg.Checker.DisarmBranchCounter()
+			seg.Checker.ClearAllBreakpoints()
+			seg.targetActive = false
+			seg.phase = phaseEvents
+		}
+		return
+	}
+	if seg.targetActive && seg.target == want && seg.targetIsEnd == isEnd {
+		return // already armed at this target
+	}
+	seg.target = want
+	seg.targetIsEnd = isEnd
+	seg.targetActive = true
+
+	c := seg.Checker
+	c.DisarmBranchCounter()
+	c.ClearAllBreakpoints()
+	rel := seg.relBranches()
+	if want.Branches > rel && want.Branches-rel > r.cfg.SkidBuffer {
+		c.ArmBranchCounter(want.Branches - r.cfg.SkidBuffer)
+		seg.phase = phaseCounted
+	} else {
+		// within the buffer (or already at/past the count): breakpoint
+		// directly; the per-hit check decides reached vs overrun
+		c.SetBreakpoint(want.PC)
+		seg.phase = phaseStepped
+	}
+	r.chargeRuntimeChecker(seg, r.cfg.CounterSetupNs)
+}
+
+// enterStepped switches from counting to breakpointing on the current
+// target's PC.
+func (r *Runtime) enterStepped(seg *Segment) {
+	seg.Checker.DisarmBranchCounter()
+	seg.Checker.SetBreakpoint(seg.target.PC)
+	seg.phase = phaseStepped
+	r.chargeRuntimeChecker(seg, r.cfg.CounterSetupNs)
+}
+
+// atTarget reports whether the checker is exactly at the active target.
+func (seg *Segment) atTarget() bool {
+	return seg.targetActive &&
+		seg.relBranches() == seg.target.Branches &&
+		seg.Checker.PC == seg.target.PC
+}
+
+// reachedTarget consumes the active target: deliver an external signal and
+// re-arm, or finish the segment.
+func (r *Runtime) reachedTarget(seg *Segment) {
+	if seg.targetIsEnd {
+		if seg.replayIdx < len(seg.Log.Events) {
+			r.fail(seg.Index, ErrEventOrderMismatch,
+				"checker reached segment end with %d unreplayed events",
+				len(seg.Log.Events)-seg.replayIdx)
+			return
+		}
+		r.checkerReached(seg)
+		return
+	}
+	// Deliver the external signal at the recorded point (§4.3.3).
+	ev := seg.nextEvent()
+	seg.replayIdx++
+	seg.targetActive = false
+	seg.Checker.DisarmBranchCounter()
+	seg.Checker.ClearAllBreakpoints()
+	r.chargeRuntimeChecker(seg, r.cfg.tracerStopNs())
+	alive := seg.Checker.DeliverSignal(ev.Signal.Sig)
+	if ev.Signal.Fatal == alive {
+		r.failSig(seg.Index, ev.Signal.Sig, "checker signal disposition differs from main's")
+		return
+	}
+	if !alive {
+		r.checkerHalted(seg)
+		return
+	}
+	r.ensureTarget(seg)
+}
+
+// stepChecker dispatches a checker for one quantum and interprets its stop
+// against the record/replay log.
+func (r *Runtime) stepChecker(seg *Segment) {
+	c := seg.Checker
+	if seg.startNs == 0 {
+		seg.startNs = seg.Task.Clock
+	}
+	if r.cfg.CheckerHook != nil && !seg.arb {
+		r.cfg.CheckerHook(seg.Index, c, seg.Task.Clock-seg.startNs)
+	}
+	r.ensureTarget(seg)
+	if seg.atTarget() {
+		// already positioned (e.g. a signal point right at a prior stop)
+		r.reachedTarget(seg)
+		return
+	}
+
+	// The checker's dispatch quantum is deliberately offset from the
+	// main's: otherwise its budget stops land on exactly the architectural
+	// positions where the main was sliced, the end point is "reached" at a
+	// budget stop, and the counter/skid/breakpoint protocol of §4.2.2
+	// never has to do its job. Real checkers get no such alignment.
+	before := c.UserNs + c.SysNs
+	beforeInstrs := c.Instrs
+	stop := r.e.Run(seg.Task, r.cfg.Quantum+37)
+	delta := c.UserNs + c.SysNs - before
+	if seg.onBig {
+		seg.bigNs += delta
+		seg.bigInstrs += c.Instrs - beforeInstrs
+	} else {
+		seg.littleNs += delta
+		seg.littleInstrs += c.Instrs - beforeInstrs
+	}
+	seg.checkerInstrs = c.Instrs
+
+	// Reaching the active target takes precedence over whatever the stop
+	// reason says (e.g. the target lands exactly on a syscall).
+	if seg.atTarget() {
+		r.reachedTarget(seg)
+		return
+	}
+
+	switch stop.Reason {
+	case proc.StopBudget:
+		// keep going
+
+	case proc.StopSyscall:
+		r.replaySyscall(seg)
+		r.ensureTarget(seg)
+
+	case proc.StopNondet:
+		r.replayNondet(seg)
+		r.ensureTarget(seg)
+
+	case proc.StopSignal:
+		r.replayFault(seg, stop.Sig)
+		r.ensureTarget(seg)
+
+	case proc.StopCounter:
+		// Undershoot phase done; switch to breakpointing (§4.2.2).
+		r.chargeRuntimeChecker(seg, r.cfg.BreakpointHitNs)
+		r.enterStepped(seg)
+
+	case proc.StopBreakpoint:
+		r.chargeRuntimeChecker(seg, r.cfg.BreakpointHitNs)
+		rel := seg.relBranches()
+		switch {
+		case seg.atTarget():
+			r.reachedTarget(seg)
+		case seg.targetActive && rel > seg.target.Branches:
+			r.fail(seg.Index, ErrExecPointOverrun,
+				"checker at %d branches, target %d", rel, seg.target.Branches)
+		default:
+			// Same PC, earlier iteration: continue to the next hit.
+		}
+
+	case proc.StopInstrLimit:
+		r.fail(seg.Index, ErrCheckerTimeout,
+			"checker executed %d instructions, budget %d (main %d x %.2f)",
+			c.Instrs, c.InstrLimit, seg.MainInstrs, r.cfg.TimeoutScale)
+
+	case proc.StopHalt:
+		r.checkerHalted(seg)
+	}
+}
+
+// nextEvent returns the next unconsumed log event, or nil.
+func (seg *Segment) nextEvent() *Event {
+	if seg.replayIdx >= len(seg.Log.Events) {
+		return nil
+	}
+	return &seg.Log.Events[seg.replayIdx]
+}
+
+// replaySyscall validates the checker's syscall against the record and
+// applies the class-appropriate behaviour (§4.3.1).
+func (r *Runtime) replaySyscall(seg *Segment) {
+	c := seg.Checker
+	r.chargeRuntimeChecker(seg, 2*r.cfg.tracerStopNs())
+
+	ev := seg.nextEvent()
+	if ev == nil {
+		if !seg.sealed {
+			// The main has not recorded this far yet; wait for it.
+			seg.waiting = true
+			return
+		}
+		r.fail(seg.Index, ErrSyscallMismatch,
+			"checker issued syscall %v past the end of the record", oskernel.Decode(c).Nr)
+		return
+	}
+	if ev.Kind != EvSyscall {
+		r.fail(seg.Index, ErrEventOrderMismatch,
+			"checker at a syscall, record expects %v", ev.Kind)
+		return
+	}
+	rec := ev.Syscall
+	info := oskernel.Decode(c)
+	if info != rec.Info {
+		r.fail(seg.Index, ErrSyscallMismatch,
+			"checker %v%v vs recorded %v%v", info.Nr, info.Args, rec.Info.Nr, rec.Info.Args)
+		return
+	}
+
+	// Compare input data (e.g. the bytes passed to write) byte-for-byte.
+	model := oskernel.ModelOf(info.Nr)
+	chkIn := captureRegions(c, model.In(r.e.K, c, info.Args))
+	r.chargeRuntimeChecker(seg, float64(bytesIn(chkIn))*r.cfg.RecordByteNs)
+	if !regionsEqual(chkIn, rec.In) {
+		r.fail(seg.Index, ErrSyscallMismatch, "%v input data differs", info.Nr)
+		return
+	}
+
+	seg.replayIdx++
+
+	switch rec.Class {
+	case oskernel.ClassLocal:
+		// Both sides execute; pin ASLR'd mmaps to the recorded address
+		// with MAP_FIXED (§4.3.2). Only the kernel-visible arguments are
+		// rewritten — the checker's architectural registers must keep the
+		// original values or the segment-end register compare would
+		// diverge from the main's.
+		if info.Nr == oskernel.SysMmap && rec.MmapFixedAddr != 0 {
+			info.Args[0] = rec.MmapFixedAddr
+			info.Args[3] |= oskernel.MapFixed
+		}
+		res := r.e.ExecSyscall(seg.Task, info)
+		if res.Ret != rec.Ret {
+			r.fail(seg.Index, ErrSyscallMismatch,
+				"%v local result %d differs from recorded %d", info.Nr, res.Ret, rec.Ret)
+			return
+		}
+		if res.Exited {
+			c.Exited = true
+			return
+		}
+		oskernel.Finish(c, res.Ret)
+		if res.SelfSignal != proc.SigNone {
+			if !c.DeliverSignal(res.SelfSignal) {
+				r.checkerHalted(seg)
+			}
+		}
+
+	case oskernel.ClassGlobal, oskernel.ClassNonEffectful:
+		// Replay outputs and result without touching the OS, so the
+		// external effect happens exactly once (§4.3.1).
+		if info.Nr == oskernel.SysExit {
+			c.Exited = true
+			c.ExitCode = int64(info.Args[0])
+			r.checkerHalted(seg)
+			return
+		}
+		for _, out := range rec.Out {
+			r.chargeRuntimeChecker(seg, float64(len(out.Data))*r.cfg.RecordByteNs)
+			if f := c.AS.Write(out.Addr, out.Data); f != nil {
+				r.fail(seg.Index, ErrSyscallMismatch,
+					"replaying %v output into checker faulted at %#x", info.Nr, f.Addr)
+				return
+			}
+		}
+		oskernel.ReplayFinish(c, rec.Ret)
+	}
+}
+
+func bytesIn(regions []RegionData) int {
+	n := 0
+	for _, r := range regions {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// replayNondet feeds the recorded value of a nondeterministic instruction
+// to the checker (§4.3.4) — even when the checker runs on a different core
+// type whose real MIDR would differ.
+func (r *Runtime) replayNondet(seg *Segment) {
+	c := seg.Checker
+	r.chargeRuntimeChecker(seg, r.cfg.tracerStopNs())
+	ev := seg.nextEvent()
+	if ev == nil {
+		if !seg.sealed {
+			seg.waiting = true
+			return
+		}
+		r.fail(seg.Index, ErrEventOrderMismatch, "checker nondet instruction past end of record")
+		return
+	}
+	if ev.Kind != EvNondet {
+		r.fail(seg.Index, ErrEventOrderMismatch, "checker at nondet instruction, record expects %v", ev.Kind)
+		return
+	}
+	if ev.Nondet.PC != c.PC {
+		r.fail(seg.Index, ErrEventOrderMismatch,
+			"nondet at pc %d, recorded pc %d", c.PC, ev.Nondet.PC)
+		return
+	}
+	seg.replayIdx++
+	// sim.FinishNondet equivalent, with the recorded value.
+	ins := c.CurrentInstr()
+	c.Regs.X[ins.Rd] = ev.Nondet.Value
+	c.PC++
+	c.Instrs++
+}
+
+// replayFault checks a checker fault against the record: the main must have
+// taken the identical signal at the identical PC, otherwise the fault is an
+// error manifestation (the §5.6 Exception class).
+func (r *Runtime) replayFault(seg *Segment, sig proc.Signal) {
+	c := seg.Checker
+	r.chargeRuntimeChecker(seg, r.cfg.tracerStopNs())
+	ev := seg.nextEvent()
+	if ev == nil && !seg.sealed {
+		// Could be a fault the main will also take; but a fault the main
+		// has not yet reached cannot be distinguished from divergence
+		// without waiting — and the checker cannot be architecturally
+		// ahead of the main (guarded in pickActor), so a fault here with
+		// no record is divergence.
+		r.failSig(seg.Index, sig, "checker fault %v at pc %d with no recorded event", sig, c.PC)
+		return
+	}
+	if ev == nil || ev.Kind != EvSignalInternal || ev.Signal.Sig != sig || ev.Signal.PC != c.PC {
+		r.failSig(seg.Index, sig, "checker fault %v at pc %d diverges from record", sig, c.PC)
+		return
+	}
+	seg.replayIdx++
+	alive := c.DeliverSignal(sig)
+	if ev.Signal.Fatal != !alive {
+		r.failSig(seg.Index, sig, "checker signal disposition differs from main's")
+		return
+	}
+	if !alive {
+		r.checkerHalted(seg)
+	}
+}
+
+// checkerHalted handles the checker finishing execution (exit syscall,
+// halt, or fatal signal). For the final segment this is the expected end;
+// anywhere else it is a divergence.
+func (r *Runtime) checkerHalted(seg *Segment) {
+	if !seg.sealed {
+		seg.waiting = true // main still running this segment; wait to decide
+		if seg.Checker.Exited {
+			// An exited checker cannot resume; if the main does not also
+			// exit in this segment, the comparison below will fail.
+			seg.waiting = false
+			r.fail(seg.Index, ErrCheckerExited, "checker finished before the segment was sealed")
+		}
+		return
+	}
+	if !seg.EndIsExit {
+		r.fail(seg.Index, ErrCheckerExited, "checker exited mid-segment")
+		return
+	}
+	if seg.replayIdx < len(seg.Log.Events) {
+		r.fail(seg.Index, ErrEventOrderMismatch,
+			"checker exited with %d unreplayed events", len(seg.Log.Events)-seg.replayIdx)
+		return
+	}
+	r.checkerReached(seg)
+}
+
+// checkerReached marks the checker at the segment end point and runs the
+// comparison if the end checkpoint is available (it always is: sealing
+// created it). Arbitration shadows stop here; their comparison belongs to
+// the arbitration driver.
+func (r *Runtime) checkerReached(seg *Segment) {
+	c := seg.Checker
+	c.DisarmBranchCounter()
+	c.ClearAllBreakpoints()
+	seg.phase = phaseReached
+	seg.doneNs = seg.Task.Clock
+	if seg.arb {
+		seg.arbDone = true
+		return
+	}
+	r.sched.observeCheckerDone(seg)
+	r.sched.onCheckerDone(seg)
+	r.compareSegment(seg)
+}

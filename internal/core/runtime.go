@@ -1,0 +1,497 @@
+package core
+
+import (
+	"fmt"
+
+	"parallaft/internal/machine"
+	"parallaft/internal/mem"
+	"parallaft/internal/proc"
+	"parallaft/internal/sim"
+	"parallaft/internal/trace"
+)
+
+// DirtyTracking selects the dirty-page discovery mechanism (§4.4).
+type DirtyTracking uint8
+
+// Dirty-tracking mechanisms.
+const (
+	// TrackFrameDiff discovers main-side modified pages by comparing frame
+	// identity between consecutive checkpoints, the moral equivalent of the
+	// PAGEMAP_SCAN map-count technique Parallaft uses on AArch64.
+	TrackFrameDiff DirtyTracking = iota
+	// TrackSoftDirty uses per-PTE soft-dirty bits, as on x86_64.
+	TrackSoftDirty
+)
+
+// Config parameterises the runtime. DefaultConfig gives the paper's
+// Parallaft setup; RAFTConfig gives the §5.1 RAFT model.
+type Config struct {
+	// SlicePeriodCycles slices the main execution each time it accumulates
+	// this many user cycles (§4.1). Zero disables periodic slicing (the
+	// RAFT model: one segment for the whole program).
+	SlicePeriodCycles float64
+	// SliceByInstructions switches the period to retired instructions, as
+	// on Intel (§5.8, footnote 14); SlicePeriodInstrs is then used.
+	SliceByInstructions bool
+	SlicePeriodInstrs   uint64
+
+	// MaxLiveSegments bounds outstanding unverified segments; together
+	// with the slice period it caps detection latency (§3.4). The main
+	// process stalls when the bound is hit.
+	MaxLiveSegments int
+
+	// SkidBuffer is how many branches short of the target the checker's
+	// overflow counter is armed, to absorb counter skid (§4.2.2).
+	SkidBuffer uint64
+	// TimeoutScale multiplies the main's (noisy) instruction count to get
+	// the checker's kill budget (§4.2.2, "currently set to 1.1").
+	TimeoutScale float64
+
+	// CompareStates enables end-of-segment register and dirty-page-hash
+	// comparison. Disabled in the RAFT model (§5.1 modification 3).
+	CompareStates bool
+	// Tracking selects the dirty-page mechanism.
+	Tracking DirtyTracking
+	// CompareFullMemory hashes every mapped page instead of only dirty
+	// ones — the ablation that motivates dirty tracking.
+	CompareFullMemory bool
+
+	// CheckersOnBig pins checkers to big cores (RAFT model, §5.1
+	// modification 2) instead of the little-core pool.
+	CheckersOnBig bool
+	// EnableDVFS lets the pacer scale little-core frequency (§4.5).
+	EnableDVFS bool
+	// EnableMigration lets the scheduler move the oldest checker to a big
+	// core when little cores run out (§4.5).
+	EnableMigration bool
+	// MigrateNewest migrates the newest instead of the oldest checker —
+	// the footnote-11 ablation.
+	MigrateNewest bool
+
+	// Runtime-work cost knobs (nanoseconds). Event-driven costs
+	// (TracerStopNs, RecordByteNs) are kept at realistic absolute size so
+	// the §5.7 syscall/signal stress ratios reproduce; segment-machinery
+	// costs (BoundaryStopNs, BreakpointHitNs, CounterSetupNs) are scaled
+	// with the 1:2500 segment length so per-segment runtime work keeps the
+	// paper's small share (§5.2.1).
+	TracerStopNs        float64 // one ptrace-style stop round trip (syscalls, signals, nondet)
+	BoundaryStopNs      float64 // the tracer stop at a slicing boundary
+	BreakpointHitNs     float64 // one breakpoint/counter stop during end-point replay
+	RecordByteNs        float64 // capturing or checking one recorded byte
+	HashByteNs          float64 // hashing one byte during comparison
+	ForkBaseNs          float64 // fixed fork cost
+	ForkPerPageNs       float64 // per-PTE fork cost
+	DirtyClearPerPageNs float64 // clearing soft-dirty bits per page
+	CounterSetupNs      float64 // arming a performance counter
+
+	// SampleIntervalNs is the PSS sampling period (§5.4; the paper's 0.5 s
+	// scaled by the simulation time scale).
+	SampleIntervalNs float64
+
+	// CheckerHook, when set, is invoked before every checker dispatch with
+	// the segment index, the checker process, and the checker's elapsed
+	// segment time. The fault injector uses it to flip register bits at a
+	// chosen instant (§5.6). Arbitration referees are exempt.
+	CheckerHook func(segment int, checker *proc.Process, elapsedNs float64)
+	// MainHook is the main-process counterpart, used to model faults in
+	// the main execution for the recovery experiments.
+	MainHook func(main *proc.Process, nowNs float64)
+
+	// EnableRecovery turns on rollback-based error recovery (the paper's
+	// table-2 future work): detections are arbitrated by re-executing the
+	// segment with a clean referee; checker faults are absorbed in place,
+	// main faults roll the main back to the newest induction-verified
+	// checkpoint. Detection remains guaranteed either way.
+	EnableRecovery bool
+	// RecoveryMaxRetries bounds recovery attempts per segment, so a
+	// permanent fault still terminates with a diagnosis.
+	RecoveryMaxRetries int
+	// RecoveryMaxRollbacks bounds rollbacks across the whole run: a
+	// permanent fault that keeps corrupting fresh segments would otherwise
+	// roll back forever.
+	RecoveryMaxRollbacks int
+
+	// Trace, when set, receives a structured event stream of runtime
+	// decisions (segments, replay events, scheduling, detections).
+	Trace *trace.Recorder
+
+	// ContainSyscalls enables error containment in the sphere of
+	// replication (the paper's other table-2 future-work row): before any
+	// globally-effectful syscall escapes, the current segment is sealed
+	// and the main stalls until every outstanding segment has been
+	// verified, so only checked state ever leaves the SoR. The paper
+	// declines this because of the synchronisation cost (§3.4) — the
+	// containment ablation bench quantifies exactly that cost.
+	ContainSyscalls bool
+
+	// InProcessInterception models the §5.7 future-work optimisation of
+	// intercepting syscalls inside the traced process (seccomp/in-process
+	// dispatch, as in rr) instead of via ptrace stops: per-event tracer
+	// costs drop by roughly an order of magnitude. The stress benches
+	// quantify the difference.
+	InProcessInterception bool
+
+	// Quantum is the dispatch budget in instructions.
+	Quantum uint64
+}
+
+// tracerStopNs returns the per-stop supervision cost under the active
+// interception mechanism.
+func (c *Config) tracerStopNs() float64 {
+	if c.InProcessInterception {
+		return c.TracerStopNs / 12
+	}
+	return c.TracerStopNs
+}
+
+// DefaultSlicePeriodCycles is the scaled equivalent of the paper's 5-billion
+// cycle slicing period (simulation time scale 1:2500, see DESIGN.md).
+const DefaultSlicePeriodCycles = 2_000_000
+
+// DefaultConfig returns the Parallaft configuration used in the paper's
+// main evaluation.
+func DefaultConfig() Config {
+	return Config{
+		SlicePeriodCycles:   DefaultSlicePeriodCycles,
+		SlicePeriodInstrs:   DefaultSlicePeriodCycles, // used in instruction mode
+		MaxLiveSegments:     12,
+		SkidBuffer:          32,
+		TimeoutScale:        1.1,
+		CompareStates:       true,
+		Tracking:            TrackFrameDiff,
+		EnableDVFS:          true,
+		EnableMigration:     true,
+		TracerStopNs:        17000,
+		BoundaryStopNs:      500,
+		BreakpointHitNs:     70,
+		RecordByteNs:        6.0,
+		HashByteNs:          0.002,
+		ForkBaseNs:          900,
+		ForkPerPageNs:       10,
+		DirtyClearPerPageNs: 3,
+		CounterSetupNs:      120,
+		SampleIntervalNs:    200_000,
+		Quantum:             sim.DefaultQuantum,
+	}
+}
+
+// RAFTConfig returns the RAFT model of §5.1: no periodic checkpoints, the
+// checker on a big core, and no state comparison or dirty tracking.
+func RAFTConfig() Config {
+	c := DefaultConfig()
+	c.SlicePeriodCycles = 0
+	c.SlicePeriodInstrs = 0
+	c.CompareStates = false
+	c.CheckersOnBig = true
+	c.EnableDVFS = false
+	c.EnableMigration = false
+	c.MaxLiveSegments = 4
+	return c
+}
+
+// checkpoint is a frozen COW fork of the main process. A boundary
+// checkpoint serves two segments — as the comparison reference for the one
+// that ends there and as the frame-diff base for the one that starts there —
+// so it is released by refcount.
+type checkpoint struct {
+	p    *proc.Process
+	refs int
+}
+
+type checkerPhase uint8
+
+const (
+	phaseEvents  checkerPhase = iota // consuming recorded events; end unknown or far
+	phaseCounted                     // branch counter armed toward target-skid
+	phaseStepped                     // breakpoint at target PC, checking counts
+	phaseReached                     // at the end point, awaiting comparison
+)
+
+// Segment is one slice of the main execution and its replay state.
+type Segment struct {
+	Index int
+
+	StartCP *checkpoint
+	EndCP   *checkpoint
+
+	Checker *proc.Process
+	Task    *sim.Task
+
+	Log RRLog
+
+	// Recorded end of the segment.
+	End        ExecPoint
+	EndIsExit  bool
+	MainInstrs uint64 // noisy count, for the timeout budget
+
+	// Main-side bookkeeping.
+	mainStartBranches uint64
+	mainStartInstrs   uint64
+	mainStartCycles   float64
+	mainStartNs       float64
+	mainEndNs         float64
+	sealed            bool
+
+	// Checker-side bookkeeping.
+	replayIdx     int
+	phase         checkerPhase
+	target        ExecPoint // active steering target (signal point or segment end)
+	targetIsEnd   bool
+	targetActive  bool
+	recoveries    int     // recovery attempts consumed (EnableRecovery)
+	arb           bool    // this is an arbitration shadow, not a real segment
+	arbDone       bool    // the referee reached the end point
+	forkNs        float64 // when the checker was forked (main clock)
+	startNs       float64 // when the checker began executing
+	doneNs        float64 // when the checker reached the end point
+	compareNs     float64 // when the comparison completed
+	queued        bool
+	waiting       bool // waiting for the main to record more events
+	onBig         bool
+	littleNs      float64
+	bigNs         float64
+	littleInstrs  uint64
+	bigInstrs     uint64
+	compared      bool
+	checkerInstrs uint64
+}
+
+// LiveAhead reports the checker's segment-relative branch count.
+func (s *Segment) relBranches() uint64 { return s.Checker.Branches }
+
+// SegmentStat is the per-segment summary exposed in RunStats.
+type SegmentStat struct {
+	Index        int
+	MainNs       float64 // main-side duration of the segment
+	CheckerNs    float64 // checker execution duration
+	CheckerOnBig bool    // whether the checker (partly) ran on a big core
+	BigNs        float64 // checker time spent on big cores
+	LittleNs     float64
+	Events       int
+	DirtyPages   int
+}
+
+// RunStats mirrors the statistics block the Parallaft artifact dumps
+// (Appendix A.7) plus the quantities the evaluation figures need.
+type RunStats struct {
+	Benchmark string
+
+	AllWallNs  float64 // timing.all_wall_time
+	MainWallNs float64 // timing.main_wall_time
+	MainUserNs float64 // timing.main_user_time
+	MainSysNs  float64 // timing.main_sys_time
+	RuntimeNs  float64 // tracer/runtime work on the main's critical path
+
+	EnergyJ float64 // hwmon.* equivalent: SoC+DRAM energy for the run
+
+	Checkpoints int // counter.checkpoint_count
+	Slices      int // fixed_interval_slicer.nr_slices
+
+	SyscallsTraced uint64
+	SignalsTraced  uint64
+	NondetTraced   uint64
+
+	ContainBarriers int // containment barriers taken (Config.ContainSyscalls)
+
+	Migrations   int // checkers moved from little to big cores
+	ExitMigrated int // checkers migrated at main exit
+	Queued       int // checkers that had to queue for a core
+	// SegmentsOnBig counts segments whose checker touched a big core; the
+	// paper's "checkers do N% of work on big cores" corresponds to
+	// SegmentsOnBig/Slices (each segment is the same amount of work).
+	SegmentsOnBig int
+	// MainStallNs is wall time the main spent gated on MaxLiveSegments.
+	MainStallNs float64
+
+	COWCopies uint64
+	COWBytes  uint64
+
+	DirtyPagesHashed uint64
+	BytesHashed      uint64
+
+	CheckerLittleNs float64
+	CheckerBigNs    float64
+	// Instruction-weighted work split: the paper's "checkers do N% of
+	// work on big cores" (§5.2.1, §5.3) is CheckerBigInstrs over the total.
+	CheckerLittleInstrs uint64
+	CheckerBigInstrs    uint64
+
+	AvgPSSBytes float64
+	pssSamples  int
+	pssAccum    float64
+
+	Segments []SegmentStat
+
+	// Recovery accounting (Config.EnableRecovery).
+	RecoveredCheckerFaults int  // checker faults absorbed without rollback
+	Rollbacks              int  // main restorations from a verified checkpoint
+	Arbitrations           int  // referee re-executions run
+	ReexecutedEffects      int  // global syscalls whose effects escaped twice
+	UnrecoverableFault     bool // retry budget exhausted (permanent fault)
+
+	Detected *DetectedError
+	ExitCode int64
+	KilledBy proc.Signal
+	Stdout   []byte
+}
+
+// BigWorkFraction returns the fraction of checker work (instructions) done
+// on big cores (the paper quotes 41.7 %, 38.0 % and 50.0 % for mcf, milc
+// and lbm).
+func (s *RunStats) BigWorkFraction() float64 {
+	tot := s.CheckerBigInstrs + s.CheckerLittleInstrs
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.CheckerBigInstrs) / float64(tot)
+}
+
+// Runtime supervises one protected program execution.
+type Runtime struct {
+	cfg Config
+	e   *sim.Engine
+
+	main     *proc.Process
+	mainTask *sim.Task
+	mainCore *machine.Core
+
+	segments []*Segment // live (unverified) segments, oldest first
+	current  *Segment   // segment the main is currently executing
+	sched    *scheduler
+
+	stats        RunStats
+	nextSampleNs float64
+	detected     *DetectedError
+	segCounter   int
+	maxCompareNs float64
+	mainStalled  bool // main currently gated on MaxLiveSegments
+
+	// arbitration state: while arbitrating, fail() diverts to arbErr so a
+	// referee divergence is a verdict, not a detection.
+	arbitrating bool
+	arbErr      *DetectedError
+
+	// containWait gates the main at a globally-effectful syscall until all
+	// prior segments verify (Config.ContainSyscalls).
+	containWait bool
+}
+
+// NewRuntime creates a Parallaft (or RAFT-configured) runtime over an
+// engine. The main process runs on the machine's first big core.
+func NewRuntime(e *sim.Engine, cfg Config) *Runtime {
+	if cfg.Quantum == 0 {
+		cfg.Quantum = sim.DefaultQuantum
+	}
+	if cfg.TimeoutScale == 0 {
+		cfg.TimeoutScale = 1.1
+	}
+	if cfg.MaxLiveSegments == 0 {
+		cfg.MaxLiveSegments = 12
+	}
+	if cfg.RecoveryMaxRetries == 0 {
+		cfg.RecoveryMaxRetries = 2
+	}
+	if cfg.RecoveryMaxRollbacks == 0 {
+		cfg.RecoveryMaxRollbacks = 8
+	}
+	bigs := e.M.BigCores()
+	if len(bigs) == 0 {
+		panic("core: machine has no big cores")
+	}
+	r := &Runtime{cfg: cfg, e: e, mainCore: bigs[0]}
+	r.sched = newScheduler(r)
+	return r
+}
+
+// Config returns the active configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// chargeRuntimeMain charges tracer work to the main's critical path.
+func (r *Runtime) chargeRuntimeMain(ns float64) {
+	r.e.ChargeRuntime(r.mainTask, ns)
+	r.stats.RuntimeNs += ns
+}
+
+// chargeRuntimeChecker charges tracer work to a checker's clock.
+func (r *Runtime) chargeRuntimeChecker(seg *Segment, ns float64) {
+	if seg.Task != nil {
+		r.e.ChargeRuntime(seg.Task, ns)
+	}
+}
+
+func (r *Runtime) fail(seg int, kind ErrorKind, format string, args ...any) {
+	d := &DetectedError{Kind: kind, Segment: seg, Detail: fmt.Sprintf(format, args...)}
+	if r.arbitrating {
+		if r.arbErr == nil {
+			r.arbErr = d
+		}
+		return
+	}
+	if r.detected == nil {
+		r.detected = d
+		r.cfg.Trace.Emit(r.mainTask.Clock, trace.Detect, d.Segment, "%s: %s", d.Kind, d.Detail)
+	}
+}
+
+func (r *Runtime) failSig(seg int, sig proc.Signal, format string, args ...any) {
+	d := &DetectedError{Kind: ErrCheckerException, Segment: seg, Sig: sig,
+		Detail: fmt.Sprintf(format, args...)}
+	if r.arbitrating {
+		if r.arbErr == nil {
+			r.arbErr = d
+		}
+		return
+	}
+	if r.detected == nil {
+		r.detected = d
+	}
+}
+
+// releaseCP drops one reference to a checkpoint, reaping it at zero.
+func (r *Runtime) releaseCP(cp *checkpoint) {
+	if cp == nil {
+		return
+	}
+	cp.refs--
+	if cp.refs <= 0 {
+		r.e.L.Reap(cp.p)
+		r.e.M.Caches.FlushASID(cp.p.ASID)
+	}
+}
+
+// forkCheckpoint freezes the main's current state, charging the fork cost
+// to the main's system time (it is on the critical path, §5.2.1). The
+// returned checkpoint starts with zero references; each holding segment
+// adds one.
+func (r *Runtime) forkCheckpoint(name string) *checkpoint {
+	cost := r.cfg.ForkBaseNs + float64(r.main.AS.PageCount())*r.cfg.ForkPerPageNs
+	r.e.ChargeSys(r.mainTask, cost)
+	p := r.e.L.Fork(r.main, name)
+	r.stats.Checkpoints++
+	return &checkpoint{p: p}
+}
+
+// mmapDirtyFallback decides the dirty union when the address spaces have
+// diverged structurally; exposed for tests.
+func unionVPNs(lists ...[]uint64) []uint64 {
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	for _, l := range lists {
+		for _, v := range l {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// DirtyModeOf maps the core-level tracking selection to the mem package's
+// query mode for the checker side.
+func (c Config) checkerDirtyMode() mem.DirtyMode {
+	if c.Tracking == TrackSoftDirty {
+		return mem.DirtySoft
+	}
+	return mem.DirtyMapCount
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"parallaft/internal/machine"
+	"parallaft/internal/trace"
+)
+
+// scheduler is the checker scheduler and pacer (§4.5). It places checkers
+// on the little-core pool, migrates the oldest checker to a big core when
+// the pool is exhausted (so the newest can start, fig. 4), queues checkers
+// when every core is busy, and scales the little cores' DVFS point so their
+// combined throughput just keeps up with the main execution.
+type scheduler struct {
+	r       *Runtime
+	littles []*machine.Core
+	bigs    []*machine.Core // big cores available to checkers (not the main's)
+
+	occ   map[int]*Segment // core ID -> running segment
+	queue []*Segment
+
+	// DVFS controller state: EWMAs of segment durations.
+	ewmaCheckerNorm float64 // checker time per segment, normalised to fmax
+	ewmaMainNs      float64
+	boundaryCount   int
+	lastMigration   int // boundary index of the most recent migration
+}
+
+func newScheduler(r *Runtime) *scheduler {
+	s := &scheduler{r: r, occ: make(map[int]*Segment), lastMigration: -100}
+	for _, c := range r.e.M.LittleCores() {
+		s.littles = append(s.littles, c)
+	}
+	for _, c := range r.e.M.BigCores() {
+		if c != r.mainCore {
+			s.bigs = append(s.bigs, c)
+		}
+	}
+	return s
+}
+
+func (s *scheduler) pool() []*machine.Core {
+	if s.r.cfg.CheckersOnBig {
+		return s.bigs
+	}
+	return s.littles
+}
+
+func (s *scheduler) freeCore(cores []*machine.Core) *machine.Core {
+	for _, c := range cores {
+		if s.occ[c.ID] == nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// place assigns a newly forked checker to a core, migrating or queueing if
+// necessary.
+func (s *scheduler) place(seg *Segment, nowNs float64) {
+	if c := s.freeCore(s.pool()); c != nil {
+		s.assign(seg, c, nowNs)
+		return
+	}
+	if s.r.cfg.EnableMigration && !s.r.cfg.CheckersOnBig {
+		if big := s.freeCore(s.bigs); big != nil {
+			victim := s.pickMigrationVictim()
+			if victim != nil {
+				s.migrate(victim, big)
+				s.r.stats.Migrations++
+				s.lastMigration = s.boundaryCount
+				// Checkers are falling behind: run the pool flat out.
+				s.setLittleFreqIdx(len(s.littles[0].Ladder) - 1)
+				if c := s.freeCore(s.littles); c != nil {
+					s.assign(seg, c, nowNs)
+					return
+				}
+			}
+		}
+	}
+	seg.queued = true
+	s.r.stats.Queued++
+	s.r.cfg.Trace.Emit(nowNs, trace.Queue, seg.Index, "no core free")
+	s.queue = append(s.queue, seg)
+}
+
+// pickMigrationVictim selects which running little-core checker to move:
+// the oldest by default (§4.5), the newest under the footnote-11 ablation.
+func (s *scheduler) pickMigrationVictim() *Segment {
+	var victim *Segment
+	for _, c := range s.littles {
+		seg := s.occ[c.ID]
+		if seg == nil {
+			continue
+		}
+		if victim == nil ||
+			(!s.r.cfg.MigrateNewest && seg.Index < victim.Index) ||
+			(s.r.cfg.MigrateNewest && seg.Index > victim.Index) {
+			victim = seg
+		}
+	}
+	return victim
+}
+
+func (s *scheduler) assign(seg *Segment, c *machine.Core, nowNs float64) {
+	start := nowNs
+	if seg.forkNs > start {
+		start = seg.forkNs
+	}
+	seg.Task = s.r.e.NewTask(seg.Checker, c, start)
+	seg.onBig = c.Kind == machine.Big
+	seg.queued = false
+	s.occ[c.ID] = seg
+}
+
+// migrate moves a running checker to another core (its clock is
+// continuous; the destination cache is cold, so the cost emerges from the
+// cache model rather than being scripted). A big core hosting a checker
+// runs one DVFS point below maximum: the checker only has to keep up with
+// the main, not outrun it, and the paper's energy numbers depend on not
+// burning peak big-core power on verification (§4.5).
+func (s *scheduler) migrate(seg *Segment, to *machine.Core) {
+	if seg.Task == nil {
+		return
+	}
+	from := seg.Task.Core
+	delete(s.occ, from.ID)
+	seg.Task.Core = to
+	seg.onBig = to.Kind == machine.Big
+	to.SetFreqIndex(len(to.Ladder) - 2)
+	s.occ[to.ID] = seg
+	s.r.cfg.Trace.Emit(seg.Task.Clock, trace.Migrate, seg.Index, "core %d (%s) -> core %d (%s)", from.ID, from.Kind, to.ID, to.Kind)
+}
+
+// drop removes a segment from all scheduler structures (rollback teardown).
+func (s *scheduler) drop(seg *Segment) {
+	for id, occ := range s.occ {
+		if occ == seg {
+			delete(s.occ, id)
+		}
+	}
+	for i, q := range s.queue {
+		if q == seg {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+}
+
+// onCheckerDone releases the checker's core and dispatches a queued
+// checker onto it. Idempotent: a second call for the same segment is a
+// no-op (its core has moved on).
+func (s *scheduler) onCheckerDone(seg *Segment) {
+	if seg.Task == nil {
+		return
+	}
+	core := seg.Task.Core
+	if s.occ[core.ID] != seg {
+		return
+	}
+	delete(s.occ, core.ID)
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.assign(next, core, seg.doneNs)
+	}
+}
+
+// kick dispatches queued checkers onto any free cores (recovery paths free
+// cores outside the normal completion flow).
+func (s *scheduler) kick(nowNs float64) {
+	for len(s.queue) > 0 {
+		c := s.freeCore(s.pool())
+		if c == nil {
+			return
+		}
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.assign(next, c, nowNs)
+	}
+}
+
+// onBoundary runs the DVFS pacer (§4.5): pick the lowest little-core
+// operating point whose aggregate throughput still keeps the checkers
+// abreast of the main execution. Standard governors would pin the
+// compute-bound checkers at maximum frequency (footnote 10); the pacer
+// instead uses the known main-vs-checker segment durations.
+func (s *scheduler) onBoundary() {
+	r := s.r
+	s.boundaryCount++
+	if len(r.segments) == 0 {
+		return
+	}
+
+	// Update the EWMAs from the most recently sealed segment, skipping
+	// micro-segments created by file-mmap splits, which would poison the
+	// duration estimate.
+	const alpha = 0.4
+	var latest *Segment
+	for _, seg := range r.segments {
+		if seg.sealed && (latest == nil || seg.Index > latest.Index) {
+			latest = seg
+		}
+	}
+	minSegNs := 0.02 * r.cfg.SlicePeriodCycles / s.littles[0].MaxGHz()
+	if latest != nil && latest.mainEndNs-latest.mainStartNs > minSegNs {
+		mainNs := latest.mainEndNs - latest.mainStartNs
+		if s.ewmaMainNs == 0 {
+			s.ewmaMainNs = mainNs
+		} else {
+			s.ewmaMainNs = alpha*mainNs + (1-alpha)*s.ewmaMainNs
+		}
+	}
+
+	if !r.cfg.EnableDVFS || r.cfg.CheckersOnBig || len(s.littles) == 0 {
+		return
+	}
+
+	// Falling behind, recently migrated, or queueing? Run flat out and
+	// wait for things to settle before scaling down again (hysteresis
+	// prevents the downscale-migrate oscillation).
+	if len(s.queue) > 0 || s.anyOnBig() || s.boundaryCount-s.lastMigration < 8 {
+		s.setLittleFreqIdx(len(s.littles[0].Ladder) - 1)
+		return
+	}
+	if s.ewmaCheckerNorm == 0 || s.ewmaMainNs == 0 {
+		return
+	}
+
+	// Required frequency: checkerNorm * fmax / f <= headroom * nLittle * mainNs.
+	const headroom = 0.8
+	fmax := s.littles[0].MaxGHz()
+	need := fmax * s.ewmaCheckerNorm / (headroom * float64(len(s.littles)) * s.ewmaMainNs)
+	idx := len(s.littles[0].Ladder) - 1
+	for i, pt := range s.littles[0].Ladder {
+		if pt.GHz >= need {
+			idx = i
+			break
+		}
+	}
+	s.setLittleFreqIdx(idx)
+}
+
+// observeCheckerDone feeds the pacer's checker-duration estimate; called
+// when a checker reaches its end point.
+func (s *scheduler) observeCheckerDone(seg *Segment) {
+	if seg.onBig || seg.Task == nil {
+		return
+	}
+	dur := seg.doneNs - seg.startNs
+	if dur <= 0 {
+		return
+	}
+	// Normalise to the little cores' maximum frequency (compute-bound
+	// approximation: time scales inversely with frequency).
+	c := seg.Task.Core
+	norm := dur * c.FreqGHz() / c.MaxGHz()
+	const alpha = 0.4
+	if s.ewmaCheckerNorm == 0 {
+		s.ewmaCheckerNorm = norm
+	} else {
+		s.ewmaCheckerNorm = alpha*norm + (1-alpha)*s.ewmaCheckerNorm
+	}
+}
+
+func (s *scheduler) anyOnBig() bool {
+	for _, c := range s.bigs {
+		if s.occ[c.ID] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scheduler) setLittleFreqIdx(idx int) {
+	if len(s.littles) > 0 && s.littles[0].FreqIndex() != idx {
+		s.r.cfg.Trace.Emit(s.r.mainTask.Clock, trace.DVFS, -1, "little cores -> %.1f GHz", s.littles[0].Ladder[clampIdx(idx, len(s.littles[0].Ladder))].GHz)
+	}
+	for _, c := range s.littles {
+		c.SetFreqIndex(idx)
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// onMainExit migrates still-running checkers to free big cores so the
+// whole-program execution finishes quickly (§4.5), and runs the remaining
+// little-core checkers flat out.
+func (s *scheduler) onMainExit() {
+	if !s.r.cfg.EnableMigration || s.r.cfg.CheckersOnBig {
+		return
+	}
+	for _, lc := range s.littles {
+		seg := s.occ[lc.ID]
+		if seg == nil {
+			continue
+		}
+		big := s.freeCore(s.bigs)
+		if big == nil {
+			break
+		}
+		s.migrate(seg, big)
+		s.r.stats.ExitMigrated++
+	}
+	s.setLittleFreqIdx(len(s.littles[0].Ladder) - 1)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"parallaft/internal/proc"
+	"parallaft/internal/trace"
+)
+
+// TestTraceStreamCoversTheRun: a traced protected run emits the lifecycle
+// events in a causally sensible shape.
+func TestTraceStreamCoversTheRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SlicePeriodCycles = 70_000
+	rec := trace.New(0)
+	cfg.Trace = rec
+
+	e := newTestEngine(7)
+	rt := NewRuntime(e, cfg)
+	stats, err := rt.Run(testProgram(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detected != nil {
+		t.Fatalf("false positive: %v", stats.Detected)
+	}
+
+	starts := rec.Count(trace.SegmentStart)
+	seals := rec.Count(trace.SegmentSeal)
+	compares := rec.Count(trace.Compare)
+	if starts == 0 || seals == 0 || compares == 0 {
+		t.Fatalf("missing lifecycle events: start=%d seal=%d compare=%d", starts, seals, compares)
+	}
+	if seals != starts {
+		t.Errorf("seals %d != starts %d (every segment must seal)", seals, starts)
+	}
+	if compares != seals {
+		t.Errorf("compares %d != seals %d (every sealed segment must compare)", compares, seals)
+	}
+	if got := rec.Count(trace.Syscall); got != int(stats.SyscallsTraced) {
+		t.Errorf("traced syscall events %d != stats %d", got, stats.SyscallsTraced)
+	}
+	if rec.Count(trace.Detect) != 0 {
+		t.Error("clean run emitted a detect event")
+	}
+
+	// timestamps are monotone per segment-start ordering
+	var last float64 = -1
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.SegmentStart {
+			if ev.TimeNs < last {
+				t.Errorf("segment starts out of order: %v < %v", ev.TimeNs, last)
+			}
+			last = ev.TimeNs
+		}
+	}
+}
+
+// TestTraceCapturesDetection: a detection leaves a detect event carrying
+// the segment and kind.
+func TestTraceCapturesDetection(t *testing.T) {
+	cfg := smallSliceConfig()
+	rec := trace.New(0)
+	cfg.Trace = rec
+	stats := runWithHook(t, cfg, loopProgram(120_000),
+		onceInSegment(1, func(c *proc.Process) { c.Regs.X[1] ^= 1 << 9 }))
+	if stats.Detected == nil {
+		t.Fatal("no detection")
+	}
+	if rec.Count(trace.Detect) != 1 {
+		t.Errorf("detect events = %d", rec.Count(trace.Detect))
+	}
+}

@@ -1,0 +1,194 @@
+// Package hashx implements the 64-bit xxHash algorithm (XXH64).
+//
+// Parallaft compares main and checker memory at segment boundaries by
+// hashing the contents of modified pages rather than copying them (§4.4);
+// the paper uses xxHash (the XXH3-64 variant) for speed and its negligible
+// collision rate. This package provides a from-scratch, dependency-free
+// XXH64 with both one-shot and streaming interfaces; it fills the same role
+// in the reproduction.
+package hashx
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	acc ^= round(0, val)
+	return acc*prime1 + prime4
+}
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Sum64 computes the XXH64 hash of b with the given seed.
+func Sum64(seed uint64, b []byte) uint64 {
+	n := len(b)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+
+	return avalanche(h)
+}
+
+// Hasher is a streaming XXH64 state. The zero value is not ready for use;
+// call New or Reset.
+type Hasher struct {
+	v1, v2, v3, v4 uint64
+	total          uint64
+	seed           uint64
+	buf            [32]byte
+	bufLen         int
+}
+
+// New returns a streaming hasher initialised with seed.
+func New(seed uint64) *Hasher {
+	h := &Hasher{}
+	h.Reset(seed)
+	return h
+}
+
+// Reset reinitialises the hasher with a new seed, discarding buffered input.
+func (h *Hasher) Reset(seed uint64) {
+	h.seed = seed
+	h.v1 = seed + prime1 + prime2
+	h.v2 = seed + prime2
+	h.v3 = seed
+	h.v4 = seed - prime1
+	h.total = 0
+	h.bufLen = 0
+}
+
+// Write absorbs b into the hash state. It never fails; the error return
+// satisfies io.Writer.
+func (h *Hasher) Write(b []byte) (int, error) {
+	n := len(b)
+	h.total += uint64(n)
+
+	if h.bufLen > 0 {
+		c := copy(h.buf[h.bufLen:], b)
+		h.bufLen += c
+		b = b[c:]
+		if h.bufLen < 32 {
+			return n, nil
+		}
+		h.consumeBlock(h.buf[:])
+		h.bufLen = 0
+	}
+
+	for len(b) >= 32 {
+		h.consumeBlock(b[:32])
+		b = b[32:]
+	}
+	if len(b) > 0 {
+		h.bufLen = copy(h.buf[:], b)
+	}
+	return n, nil
+}
+
+func (h *Hasher) consumeBlock(b []byte) {
+	h.v1 = round(h.v1, binary.LittleEndian.Uint64(b[0:8]))
+	h.v2 = round(h.v2, binary.LittleEndian.Uint64(b[8:16]))
+	h.v3 = round(h.v3, binary.LittleEndian.Uint64(b[16:24]))
+	h.v4 = round(h.v4, binary.LittleEndian.Uint64(b[24:32]))
+}
+
+// WriteUint64 absorbs a single little-endian 64-bit value.
+func (h *Hasher) WriteUint64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:]) //nolint:errcheck // never fails
+}
+
+// Sum64 returns the hash of everything written so far. It does not modify
+// the state, so more data may be written afterwards.
+func (h *Hasher) Sum64() uint64 {
+	var acc uint64
+	if h.total >= 32 {
+		acc = bits.RotateLeft64(h.v1, 1) + bits.RotateLeft64(h.v2, 7) +
+			bits.RotateLeft64(h.v3, 12) + bits.RotateLeft64(h.v4, 18)
+		acc = mergeRound(acc, h.v1)
+		acc = mergeRound(acc, h.v2)
+		acc = mergeRound(acc, h.v3)
+		acc = mergeRound(acc, h.v4)
+	} else {
+		acc = h.seed + prime5
+	}
+
+	acc += h.total
+
+	b := h.buf[:h.bufLen]
+	for len(b) >= 8 {
+		acc ^= round(0, binary.LittleEndian.Uint64(b[:8]))
+		acc = bits.RotateLeft64(acc, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		acc ^= uint64(binary.LittleEndian.Uint32(b[:4])) * prime1
+		acc = bits.RotateLeft64(acc, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		acc ^= uint64(c) * prime5
+		acc = bits.RotateLeft64(acc, 11) * prime1
+	}
+
+	return avalanche(acc)
+}

@@ -1,0 +1,156 @@
+package hashx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEmptyInputVector checks the canonical XXH64 test vector for empty
+// input with seed 0.
+func TestEmptyInputVector(t *testing.T) {
+	const want = uint64(0xEF46DB3751D8E999)
+	if got := Sum64(0, nil); got != want {
+		t.Errorf("Sum64(0, nil) = %#x, want %#x", got, want)
+	}
+	if got := New(0).Sum64(); got != want {
+		t.Errorf("streaming empty = %#x, want %#x", got, want)
+	}
+}
+
+func TestSeedChangesHash(t *testing.T) {
+	data := []byte("the quick brown fox")
+	if Sum64(0, data) == Sum64(1, data) {
+		t.Error("different seeds produced identical hashes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 100)
+	if Sum64(7, data) != Sum64(7, data) {
+		t.Error("hash is not deterministic")
+	}
+}
+
+// TestStreamingMatchesOneShot is the central property: feeding the input in
+// arbitrary chunkings through the streaming interface must equal the
+// one-shot hash.
+func TestStreamingMatchesOneShot(t *testing.T) {
+	f := func(seed uint64, data []byte, cuts []uint8) bool {
+		want := Sum64(seed, data)
+		h := New(seed)
+		rest := data
+		for _, c := range cuts {
+			if len(rest) == 0 {
+				break
+			}
+			n := int(c) % (len(rest) + 1)
+			h.Write(rest[:n]) //nolint:errcheck
+			rest = rest[n:]
+		}
+		h.Write(rest) //nolint:errcheck
+		return h.Sum64() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllLengthsAgree crosses the 32-byte block boundary and all the tail
+// paths (8/4/1-byte) for both implementations.
+func TestAllLengthsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, 300)
+	rng.Read(buf) //nolint:errcheck
+	for n := 0; n <= len(buf); n++ {
+		want := Sum64(99, buf[:n])
+		h := New(99)
+		// byte-at-a-time is the worst case for the buffer logic
+		for i := 0; i < n; i++ {
+			h.Write(buf[i : i+1]) //nolint:errcheck
+		}
+		if got := h.Sum64(); got != want {
+			t.Fatalf("length %d: streaming %#x != one-shot %#x", n, got, want)
+		}
+	}
+}
+
+func TestSum64NonDestructive(t *testing.T) {
+	h := New(3)
+	h.Write([]byte("part one ")) //nolint:errcheck
+	first := h.Sum64()
+	if h.Sum64() != first {
+		t.Error("Sum64 modified the state")
+	}
+	h.Write([]byte("part two")) //nolint:errcheck
+	if h.Sum64() == first {
+		t.Error("writing more data did not change the hash")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(5)
+	h.Write([]byte("garbage")) //nolint:errcheck
+	h.Reset(5)
+	if h.Sum64() != Sum64(5, nil) {
+		t.Error("Reset did not restore the initial state")
+	}
+	h.Reset(6)
+	if h.Sum64() != Sum64(6, nil) {
+		t.Error("Reset with a new seed mismatches one-shot")
+	}
+}
+
+func TestWriteUint64(t *testing.T) {
+	h1 := New(0)
+	h1.WriteUint64(0x0123456789abcdef)
+	h2 := New(0)
+	h2.Write([]byte{0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01}) //nolint:errcheck
+	if h1.Sum64() != h2.Sum64() {
+		t.Error("WriteUint64 is not little-endian-consistent with Write")
+	}
+}
+
+// TestAvalanche: flipping any single bit of a 64-byte input must change the
+// hash (with overwhelming probability; here deterministically for a fixed
+// input).
+func TestAvalanche(t *testing.T) {
+	base := bytes.Repeat([]byte{0x5a}, 64)
+	want := Sum64(0, base)
+	for byteIdx := 0; byteIdx < len(base); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			mod := append([]byte(nil), base...)
+			mod[byteIdx] ^= 1 << bit
+			if Sum64(0, mod) == want {
+				t.Fatalf("flipping byte %d bit %d did not change the hash", byteIdx, bit)
+			}
+		}
+	}
+}
+
+// TestPageHashingCollisionSmoke hashes many distinct page-sized buffers and
+// requires all hashes to be distinct — the property Parallaft's comparison
+// relies on (§4.4, footnote 13).
+func TestPageHashingCollisionSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	page := make([]byte, 16*1024)
+	seen := make(map[uint64]int, 2000)
+	for i := 0; i < 2000; i++ {
+		rng.Read(page) //nolint:errcheck
+		h := Sum64(0x9a7a11af7, page)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision between random pages %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}
+
+func BenchmarkSum64Page(b *testing.B) {
+	page := make([]byte, 16*1024)
+	rand.New(rand.NewSource(1)).Read(page) //nolint:errcheck
+	b.SetBytes(int64(len(page)))
+	for i := 0; i < b.N; i++ {
+		Sum64(0, page)
+	}
+}

@@ -1,0 +1,77 @@
+package inject
+
+import (
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+)
+
+func testProgram() *asm.Program {
+	b := asm.NewBuilder("inject-smoke")
+	b.Space("buf", 16*1024)
+	b.Label("start")
+	b.MovI(1, 0)
+	b.MovI(2, 0)
+	b.MovI(3, 30_000)
+	b.Addr(4, "buf")
+	b.Label("loop")
+	b.AndI(5, 2, 2047)
+	b.ShlI(5, 5, 3)
+	b.Add(5, 4, 5)
+	b.Ld(6, 5, 0)
+	b.Add(6, 6, 2)
+	b.St(5, 0, 6)
+	b.Add(1, 1, 6)
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.AndI(1, 1, 255)
+	b.MovI(0, int64(oskernel.SysExit))
+	b.Syscall()
+	return b.MustBuild()
+}
+
+func TestCampaignSmoke(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 60_000
+	c := &Campaign{
+		NewEngine: func() *sim.Engine {
+			m := machine.New(machine.AppleM2Like())
+			k := oskernel.NewKernel(m.PageSize, 11)
+			l := oskernel.NewLoader(k, m.PageSize, 11)
+			return sim.New(m, k, l)
+		},
+		Program:          testProgram(),
+		Config:           cfg,
+		TrialsPerSegment: 3,
+		Seed:             99,
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if len(rep.Trials) == 0 {
+		t.Fatal("no trials ran")
+	}
+	if !rep.DetectionComplete() {
+		t.Error("some non-benign fault went undetected")
+	}
+	landed := 0
+	for _, tr := range rep.Trials {
+		if tr.Outcome != OutcomeFailed {
+			landed++
+		}
+	}
+	if landed == 0 {
+		t.Fatal("no injection landed")
+	}
+	if rep.Counts[OutcomeDetected]+rep.Counts[OutcomeException]+rep.Counts[OutcomeTimeout] == 0 {
+		t.Error("every landed fault was benign; expected some detections")
+	}
+	t.Logf("outcomes: detected=%d exception=%d timeout=%d benign=%d failed=%d",
+		rep.Counts[OutcomeDetected], rep.Counts[OutcomeException],
+		rep.Counts[OutcomeTimeout], rep.Counts[OutcomeBenign], rep.Counts[OutcomeFailed])
+}

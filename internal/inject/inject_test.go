@@ -1,0 +1,160 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/proc"
+	"parallaft/internal/sim"
+)
+
+func newEngine() *sim.Engine {
+	m := machine.New(machine.AppleM2Like())
+	k := oskernel.NewKernel(m.PageSize, 11)
+	l := oskernel.NewLoader(k, m.PageSize, 11)
+	return sim.New(m, k, l)
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	names := map[Outcome]string{
+		OutcomeDetected: "detected", OutcomeException: "exception",
+		OutcomeTimeout: "timeout", OutcomeBenign: "benign", OutcomeFailed: "failed",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	cases := map[string]Target{
+		"x3 bit 17":   {Class: proc.GPRClass, Index: 3, Bit: 17},
+		"f5 bit 63":   {Class: proc.FPRClass, Index: 5, Bit: 63},
+		"v2[1] bit 9": {Class: proc.VRClass, Index: 2, Lane: 1, Bit: 9},
+	}
+	for want, tgt := range cases {
+		if tgt.String() != want {
+			t.Errorf("Target.String() = %q, want %q", tgt.String(), want)
+		}
+	}
+}
+
+func TestRandTargetCoversAllClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[proc.RegClass]bool{}
+	for i := 0; i < 200; i++ {
+		tgt := randTarget(rng)
+		seen[tgt.Class] = true
+		switch tgt.Class {
+		case proc.GPRClass:
+			if tgt.Index >= 16 {
+				t.Fatalf("gpr index %d", tgt.Index)
+			}
+		case proc.FPRClass:
+			if tgt.Index >= 8 {
+				t.Fatalf("fpr index %d", tgt.Index)
+			}
+		case proc.VRClass:
+			if tgt.Index >= 4 || tgt.Lane >= 4 {
+				t.Fatalf("vr %d[%d]", tgt.Index, tgt.Lane)
+			}
+		}
+		if tgt.Bit >= 64 {
+			t.Fatalf("bit %d", tgt.Bit)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("classes drawn: %v", seen)
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	rep := &Report{
+		Trials: []Trial{
+			{Outcome: OutcomeDetected}, {Outcome: OutcomeBenign},
+			{Outcome: OutcomeException}, {Outcome: OutcomeFailed},
+		},
+	}
+	rep.Counts[OutcomeDetected] = 1
+	rep.Counts[OutcomeBenign] = 1
+	rep.Counts[OutcomeException] = 1
+	rep.Counts[OutcomeFailed] = 1
+	// rates are over landed trials (3)
+	if got := rep.Rate(OutcomeDetected); got != 1.0/3 {
+		t.Errorf("rate = %v", got)
+	}
+	if !rep.DetectionComplete() {
+		t.Error("report with only detected/benign/exception outcomes marked incomplete")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 150_000
+	mk := func() *Campaign {
+		return &Campaign{
+			NewEngine:        newEngine,
+			Program:          testProgram(),
+			Config:           cfg,
+			TrialsPerSegment: 1,
+			Seed:             42,
+		}
+	}
+	r1, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Trials) != len(r2.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(r1.Trials), len(r2.Trials))
+	}
+	for i := range r1.Trials {
+		a, b := r1.Trials[i], r2.Trials[i]
+		if a.Outcome != b.Outcome || a.Target != b.Target || a.Segment != b.Segment {
+			t.Errorf("trial %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCampaignDetectsEverythingNonBenign(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 150_000
+	c := &Campaign{
+		NewEngine:        newEngine,
+		Program:          testProgram(),
+		Config:           cfg,
+		TrialsPerSegment: 2,
+		Seed:             7,
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DetectionComplete() {
+		for _, tr := range rep.Trials {
+			t.Logf("%+v", tr)
+		}
+		t.Fatal("a non-benign fault escaped — violates the §5.6 guarantee")
+	}
+}
+
+func TestCampaignRejectsPhantomConfig(t *testing.T) {
+	// A config that would flag errors on a clean run must abort the
+	// campaign at the profile stage rather than report garbage.
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 150_000
+	cfg.CheckerHook = func(_ int, c *proc.Process, _ float64) {
+		c.Regs.X[1] ^= 1 // sabotage the profile run itself
+	}
+	camp := &Campaign{NewEngine: newEngine, Program: testProgram(), Config: cfg, Seed: 1}
+	if _, err := camp.Run(); err == nil {
+		t.Error("campaign accepted a profile run with detections")
+	}
+}

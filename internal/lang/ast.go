@@ -1,0 +1,115 @@
+package lang
+
+// AST node types. The language is deliberately small: 64-bit integer
+// scalars and word arrays, structured control flow, and a handful of
+// builtins mapping to syscalls and nondeterministic instructions.
+
+type node interface{ pos() (line, col int) }
+
+type position struct{ line, col int }
+
+func (p position) pos() (int, int) { return p.line, p.col }
+
+// --- expressions ----------------------------------------------------------
+
+type expr interface{ node }
+
+// numberLit is an integer literal.
+type numberLit struct {
+	position
+	value int64
+}
+
+// varRef reads a scalar variable.
+type varRef struct {
+	position
+	name string
+}
+
+// indexExpr reads arr[idx].
+type indexExpr struct {
+	position
+	name  string
+	index expr
+}
+
+// unaryExpr is -x or !x.
+type unaryExpr struct {
+	position
+	op string
+	x  expr
+}
+
+// binaryExpr is x <op> y.
+type binaryExpr struct {
+	position
+	op   string
+	x, y expr
+}
+
+// callExpr is a builtin intrinsic used in expression position:
+// getpid(), gettime(), rdtsc(), random(), coreid().
+type callExpr struct {
+	position
+	name string
+}
+
+// --- statements -------------------------------------------------------------
+
+type stmt interface{ node }
+
+// varDecl declares a scalar (with optional initialiser) or an array.
+type varDecl struct {
+	position
+	name    string
+	isArray bool
+	size    int64 // words, for arrays
+	init    expr  // scalars only; nil means zero
+}
+
+// assignStmt is name = expr or name[idx] = expr.
+type assignStmt struct {
+	position
+	name  string
+	index expr // nil for scalar assignment
+	value expr
+}
+
+// whileStmt loops while the condition is nonzero.
+type whileStmt struct {
+	position
+	cond expr
+	body []stmt
+}
+
+// ifStmt branches on the condition.
+type ifStmt struct {
+	position
+	cond     expr
+	then     []stmt
+	elseBody []stmt // nil when absent
+}
+
+// printStmt writes a string literal to stdout.
+type printStmt struct {
+	position
+	text string
+}
+
+// printNumStmt writes the decimal rendering of an expression plus newline.
+type printNumStmt struct {
+	position
+	value expr
+}
+
+// exitStmt terminates with the expression's low byte... the full value; the
+// kernel truncates per its own convention.
+type exitStmt struct {
+	position
+	value expr
+}
+
+// program is the parsed unit.
+type program struct {
+	stmts []stmt
+}

@@ -1,0 +1,341 @@
+package lang
+
+// Recursive-descent parser with precedence climbing for expressions.
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	t := p.cur()
+	if t.kind == tokPunct && t.text == text {
+		p.i++
+		return nil
+	}
+	return errAt(t.line, t.col, "expected %q, found %s", text, t)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// parse builds the program AST.
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var prog program
+	for p.cur().kind != tokEOF {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.stmts = append(prog.stmts, s)
+	}
+	return &prog, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			t := p.cur()
+			return nil, errAt(t.line, t.col, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.acceptKeyword("var"):
+		return p.varDecl(t)
+	case p.acceptKeyword("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{position{t.line, t.col}, cond, body}, nil
+
+	case p.acceptKeyword("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var elseBody []stmt
+		if p.acceptKeyword("else") {
+			if p.cur().kind == tokKeyword && p.cur().text == "if" {
+				// else-if chains as a single-statement else block
+				s, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				elseBody = []stmt{s}
+			} else {
+				elseBody, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &ifStmt{position{t.line, t.col}, cond, then, elseBody}, nil
+
+	case p.acceptKeyword("print"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := p.cur()
+		if st.kind != tokString {
+			return nil, errAt(st.line, st.col, "print wants a string literal, found %s", st)
+		}
+		p.i++
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &printStmt{position{t.line, t.col}, st.str}, nil
+
+	case p.acceptKeyword("printnum"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v, err := p.expression(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &printNumStmt{position{t.line, t.col}, v}, nil
+
+	case p.acceptKeyword("exit"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v, err := p.expression(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &exitStmt{position{t.line, t.col}, v}, nil
+
+	case t.kind == tokIdent:
+		p.i++
+		var index expr
+		if p.accept("[") {
+			var err error
+			index, err = p.expression(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		value, err := p.expression(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &assignStmt{position{t.line, t.col}, t.text, index, value}, nil
+
+	case t.kind == tokPunct && t.text == "{":
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		// a bare block is an if(1){...} without the branch
+		return &ifStmt{position{t.line, t.col}, &numberLit{position{t.line, t.col}, 1}, body, nil}, nil
+	}
+	return nil, errAt(t.line, t.col, "expected a statement, found %s", t)
+}
+
+func (p *parser) varDecl(t token) (stmt, error) {
+	name := p.cur()
+	if name.kind != tokIdent {
+		return nil, errAt(name.line, name.col, "expected a variable name, found %s", name)
+	}
+	p.i++
+	d := &varDecl{position: position{t.line, t.col}, name: name.text}
+	if p.accept("[") {
+		sz := p.cur()
+		if sz.kind != tokNumber || sz.num <= 0 {
+			return nil, errAt(sz.line, sz.col, "array size must be a positive literal, found %s", sz)
+		}
+		p.i++
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		d.isArray = true
+		d.size = sz.num
+	} else if p.accept("=") {
+		init, err := p.expression(0)
+		if err != nil {
+			return nil, err
+		}
+		d.init = init
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// binary operator precedence (higher binds tighter)
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expression(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.i++
+		rhs, err := p.expression(prec + 1) // left-associative
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{position{t.line, t.col}, t.text, lhs, rhs}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.i++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{position{t.line, t.col}, t.text, x}, nil
+	}
+	return p.primary()
+}
+
+// intrinsics usable in expression position
+var intrinsics = map[string]bool{
+	"getpid": true, "gettime": true, "rdtsc": true, "random": true, "coreid": true,
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.i++
+		return &numberLit{position{t.line, t.col}, t.num}, nil
+	case t.kind == tokIdent:
+		p.i++
+		if p.accept("(") {
+			if !intrinsics[t.text] {
+				return nil, errAt(t.line, t.col, "unknown intrinsic %q", t.text)
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &callExpr{position{t.line, t.col}, t.text}, nil
+		}
+		if p.accept("[") {
+			idx, err := p.expression(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{position{t.line, t.col}, t.text, idx}, nil
+		}
+		return &varRef{position{t.line, t.col}, t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.i++
+		e, err := p.expression(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errAt(t.line, t.col, "expected an expression, found %s", t)
+}

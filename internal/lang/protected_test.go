@@ -1,0 +1,50 @@
+package lang
+
+import (
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+)
+
+// runProtected executes a compiled program under Parallaft and checks that
+// output matches an unprotected run with no detections.
+func runProtected(t *testing.T, prog *asm.Program) {
+	t.Helper()
+
+	newEngine := func() *sim.Engine {
+		m := machine.New(machine.AppleM2Like())
+		k := oskernel.NewKernel(m.PageSize, 9)
+		l := oskernel.NewLoader(k, m.PageSize, 9)
+		e := sim.New(m, k, l)
+		e.MaxInstr = 500_000_000
+		return e
+	}
+
+	be := newEngine()
+	base, err := be.RunBaseline(prog, be.M.BigCores()[0])
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 200_000
+	rt := core.NewRuntime(newEngine(), cfg)
+	stats, err := rt.Run(prog)
+	if err != nil {
+		t.Fatalf("protected: %v", err)
+	}
+	if stats.Detected != nil {
+		t.Fatalf("false positive on compiled code: %v", stats.Detected)
+	}
+	if string(stats.Stdout) != string(base.Stdout) || stats.ExitCode != base.ExitCode {
+		t.Errorf("protected output diverged: %q/%d vs %q/%d",
+			stats.Stdout, stats.ExitCode, base.Stdout, base.ExitCode)
+	}
+	if stats.Slices < 2 {
+		t.Errorf("compiled program spanned only %d slices", stats.Slices)
+	}
+}

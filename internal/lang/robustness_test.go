@@ -1,0 +1,84 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: arbitrary token soup must produce an error or a
+// program, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	pieces := []string{
+		"var", "while", "if", "else", "print", "printnum", "exit",
+		"x", "y", "arr", "42", "-7", `"s"`, "(", ")", "[", "]", "{", "}",
+		"=", "==", "+", "*", "<", "<<", "&&", ";", "%", "!",
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(30)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			Compile("fuzz", src) //nolint:errcheck
+		}()
+	}
+}
+
+// TestLexerNeverPanics: arbitrary bytes must lex to an error, not a panic.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		buf := make([]byte, rng.Intn(60))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", buf, r)
+				}
+			}()
+			lex(string(buf)) //nolint:errcheck
+		}()
+	}
+}
+
+// TestCommentsAndWhitespace exercises the trivia paths.
+func TestCommentsAndWhitespace(t *testing.T) {
+	out, code := run(t, `
+		// leading comment
+		var x = 5; // trailing comment
+
+		// blank lines above and below
+
+		exit(x);
+	`)
+	if code != 5 || out != "" {
+		t.Errorf("out=%q code=%d", out, code)
+	}
+}
+
+// TestDeterministicCompilation: identical source compiles to identical code.
+func TestDeterministicCompilation(t *testing.T) {
+	src := `var a[64]; var i = 0; while (i < 64) { a[i] = i * i; i = i + 1; } exit(a[7]);`
+	p1 := MustCompile("d1", src)
+	p2 := MustCompile("d2", src)
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatal("code length differs")
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,602 @@
+// Package mem implements the simulated paged virtual-memory subsystem.
+//
+// It provides the three mechanisms Parallaft's design is built on:
+//
+//   - Copy-on-write fork: an address space can be forked in O(pages) time,
+//     sharing refcounted physical frames; the first write to a shared page
+//     copies it. Forks are how Parallaft takes checkpoints and spawns
+//     checkers (§3.1), and COW page-copy counts feed the fork-and-COW
+//     overhead component of the evaluation (§5.2.1).
+//
+//   - Soft-dirty tracking: each page-table entry carries a soft-dirty bit,
+//     set on write and cleared in bulk, mirroring Linux's soft-dirty PTE
+//     mechanism Parallaft uses on x86_64 (§4.4).
+//
+//   - Map-count queries: the number of address spaces sharing a frame,
+//     mirroring the PAGEMAP_SCAN-based technique Parallaft uses on AArch64
+//     (§4.4): a page mapped exactly once is new or modified.
+//
+// Page size is configurable because it matters: the paper attributes part of
+// Parallaft's higher overhead on Intel to 4 KiB pages versus Apple's 16 KiB
+// (§5.8).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Prot is a page protection bitmask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtNone Prot = 0
+	ProtRW        = ProtRead | ProtWrite
+)
+
+// FaultKind classifies memory access faults.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultUnmapped FaultKind = iota // no page at the address
+	FaultProt                      // page mapped without required permission
+)
+
+// Fault describes a failed memory access. It is delivered to the guest as a
+// SIGSEGV-equivalent by the OS layer.
+type Fault struct {
+	Addr  uint64
+	Write bool
+	Kind  FaultKind
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	kind := "unmapped address"
+	if f.Kind == FaultProt {
+		kind = "protection violation"
+	}
+	return fmt.Sprintf("mem: %s fault at %#x: %s", op, f.Addr, kind)
+}
+
+// Frame is a refcounted physical page frame. The refcount is the number of
+// page-table entries (across all address spaces) mapping the frame.
+type Frame struct {
+	data []byte
+	ref  int
+}
+
+// MapCount returns the number of address spaces mapping this frame.
+func (f *Frame) MapCount() int { return f.ref }
+
+type pte struct {
+	frame     *Frame
+	prot      Prot
+	softDirty bool
+}
+
+// VMA describes a mapped virtual region (the unit of mmap/munmap).
+type VMA struct {
+	Base   uint64
+	Length uint64 // bytes, page-aligned
+	Prot   Prot
+	Name   string // diagnostic label: "heap", "stack", "mmap", file name...
+}
+
+// End returns the first address past the region.
+func (v VMA) End() uint64 { return v.Base + v.Length }
+
+// Stats aggregates memory-subsystem event counts for one address space.
+// COW counts accumulate in the address space that performed the write.
+type Stats struct {
+	COWCopies  uint64 // pages copied due to copy-on-write
+	COWBytes   uint64 // bytes copied due to copy-on-write
+	PagesAlloc uint64 // fresh frames allocated (zero-fill or explicit map)
+}
+
+// AddressSpace is one guest process's virtual memory.
+type AddressSpace struct {
+	pageSize  uint64
+	pageShift uint
+	pages     map[uint64]*pte // keyed by virtual page number
+	vmas      []VMA           // sorted by Base
+	brk       uint64
+	brkBase   uint64
+	stats     Stats
+
+	// one-entry TLBs; invalidated on any page-table mutation
+	tlbReadVPN  uint64
+	tlbRead     *pte
+	tlbWriteVPN uint64
+	tlbWrite    *pte
+}
+
+// NewAddressSpace creates an empty address space with the given page size,
+// which must be a power of two.
+func NewAddressSpace(pageSize uint64) *AddressSpace {
+	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("mem: page size %d is not a power of two", pageSize))
+	}
+	shift := uint(0)
+	for s := pageSize; s > 1; s >>= 1 {
+		shift++
+	}
+	return &AddressSpace{
+		pageSize:  pageSize,
+		pageShift: shift,
+		pages:     make(map[uint64]*pte),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (as *AddressSpace) PageSize() uint64 { return as.pageSize }
+
+// Stats returns the accumulated event counts.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// ResetStats zeroes the accumulated event counts.
+func (as *AddressSpace) ResetStats() { as.stats = Stats{} }
+
+// VPN returns the virtual page number containing addr.
+func (as *AddressSpace) VPN(addr uint64) uint64 { return addr >> as.pageShift }
+
+// PageBase returns the base address of the page containing addr.
+func (as *AddressSpace) PageBase(addr uint64) uint64 {
+	return addr &^ (as.pageSize - 1)
+}
+
+func (as *AddressSpace) invalidateTLB() {
+	as.tlbRead = nil
+	as.tlbWrite = nil
+}
+
+// Map maps [base, base+length) with the given protection, allocating fresh
+// zero frames. base and length must be page-aligned, the range must not
+// overlap an existing VMA, and length must be nonzero.
+func (as *AddressSpace) Map(base, length uint64, prot Prot, name string) error {
+	if base%as.pageSize != 0 || length%as.pageSize != 0 || length == 0 {
+		return fmt.Errorf("mem: map [%#x,+%#x): not page-aligned or empty", base, length)
+	}
+	if as.overlaps(base, length) {
+		return fmt.Errorf("mem: map [%#x,+%#x): overlaps existing mapping", base, length)
+	}
+	for vpn := base >> as.pageShift; vpn < (base+length)>>as.pageShift; vpn++ {
+		as.pages[vpn] = &pte{
+			frame:     &Frame{data: make([]byte, as.pageSize), ref: 1},
+			prot:      prot,
+			softDirty: true, // a new page is "modified" from nothing
+		}
+		as.stats.PagesAlloc++
+	}
+	as.insertVMA(VMA{Base: base, Length: length, Prot: prot, Name: name})
+	as.invalidateTLB()
+	return nil
+}
+
+// Unmap removes the VMA exactly covering [base, base+length).
+func (as *AddressSpace) Unmap(base, length uint64) error {
+	idx := -1
+	for i, v := range as.vmas {
+		if v.Base == base && v.Length == length {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("mem: unmap [%#x,+%#x): no such mapping", base, length)
+	}
+	for vpn := base >> as.pageShift; vpn < (base+length)>>as.pageShift; vpn++ {
+		if p, ok := as.pages[vpn]; ok {
+			p.frame.ref--
+			delete(as.pages, vpn)
+		}
+	}
+	as.vmas = append(as.vmas[:idx], as.vmas[idx+1:]...)
+	as.invalidateTLB()
+	return nil
+}
+
+// Protect changes the protection of every whole page within [base,
+// base+length), which must lie inside a single VMA.
+func (as *AddressSpace) Protect(base, length uint64, prot Prot) error {
+	if base%as.pageSize != 0 || length%as.pageSize != 0 || length == 0 {
+		return fmt.Errorf("mem: protect [%#x,+%#x): not page-aligned or empty", base, length)
+	}
+	v := as.findVMA(base)
+	if v == nil || base+length > v.End() {
+		return fmt.Errorf("mem: protect [%#x,+%#x): range not inside one mapping", base, length)
+	}
+	for vpn := base >> as.pageShift; vpn < (base+length)>>as.pageShift; vpn++ {
+		if p, ok := as.pages[vpn]; ok {
+			p.prot = prot
+		}
+	}
+	if v.Base == base && v.Length == length {
+		v.Prot = prot
+	}
+	as.invalidateTLB()
+	return nil
+}
+
+// SetBrk initialises the program break region. Must be called once before
+// Brk; base must be page-aligned.
+func (as *AddressSpace) SetBrk(base uint64) {
+	as.brkBase = base
+	as.brk = base
+}
+
+// Brk grows (or queries, with newBrk == 0) the program break, mapping fresh
+// pages as needed, and returns the current break. Shrinking is ignored,
+// matching common kernel behaviour for simplicity.
+func (as *AddressSpace) Brk(newBrk uint64) uint64 {
+	if newBrk <= as.brk {
+		return as.brk
+	}
+	oldEnd := (as.brk + as.pageSize - 1) &^ (as.pageSize - 1)
+	newEnd := (newBrk + as.pageSize - 1) &^ (as.pageSize - 1)
+	if newEnd > oldEnd {
+		if err := as.Map(oldEnd, newEnd-oldEnd, ProtRW, "heap"); err != nil {
+			// growth collided with an existing mapping: refuse, like a
+			// kernel returning the unchanged break
+			return as.brk
+		}
+	}
+	as.brk = newBrk
+	return as.brk
+}
+
+// CurrentBrk returns the current program break.
+func (as *AddressSpace) CurrentBrk() uint64 { return as.brk }
+
+func (as *AddressSpace) overlaps(base, length uint64) bool {
+	end := base + length
+	for _, v := range as.vmas {
+		if base < v.End() && v.Base < end {
+			return true
+		}
+	}
+	return false
+}
+
+func (as *AddressSpace) insertVMA(v VMA) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].Base >= v.Base })
+	as.vmas = append(as.vmas, VMA{})
+	copy(as.vmas[i+1:], as.vmas[i:])
+	as.vmas[i] = v
+}
+
+func (as *AddressSpace) findVMA(addr uint64) *VMA {
+	for i := range as.vmas {
+		if addr >= as.vmas[i].Base && addr < as.vmas[i].End() {
+			return &as.vmas[i]
+		}
+	}
+	return nil
+}
+
+// VMAs returns a copy of the current mapping list, sorted by base address.
+func (as *AddressSpace) VMAs() []VMA {
+	out := make([]VMA, len(as.vmas))
+	copy(out, as.vmas)
+	return out
+}
+
+// FindFree returns the lowest page-aligned base >= hint where a region of
+// the given length would not overlap an existing VMA.
+func (as *AddressSpace) FindFree(hint, length uint64) uint64 {
+	base := (hint + as.pageSize - 1) &^ (as.pageSize - 1)
+	for {
+		if !as.overlaps(base, length) {
+			return base
+		}
+		// jump past the first overlapping VMA
+		end := base + length
+		next := base + as.pageSize
+		for _, v := range as.vmas {
+			if base < v.End() && v.Base < end && v.End() > next {
+				next = v.End()
+			}
+		}
+		base = next
+	}
+}
+
+// Fork creates a copy-on-write clone: the child shares every frame with the
+// parent, and both sides will copy on their next write to a shared page.
+// The child's soft-dirty bits are copied from the parent's (callers that
+// want a clean slate call ClearSoftDirty on the clone).
+func (as *AddressSpace) Fork() *AddressSpace {
+	child := &AddressSpace{
+		pageSize:  as.pageSize,
+		pageShift: as.pageShift,
+		pages:     make(map[uint64]*pte, len(as.pages)),
+		vmas:      make([]VMA, len(as.vmas)),
+		brk:       as.brk,
+		brkBase:   as.brkBase,
+	}
+	copy(child.vmas, as.vmas)
+	for vpn, p := range as.pages {
+		p.frame.ref++
+		child.pages[vpn] = &pte{frame: p.frame, prot: p.prot, softDirty: p.softDirty}
+	}
+	as.invalidateTLB()
+	return child
+}
+
+// Release drops every frame reference held by the address space. After
+// Release the address space must not be used. It exists so that discarded
+// checkpoints and dead checkers stop inflating map counts.
+func (as *AddressSpace) Release() {
+	for vpn, p := range as.pages {
+		p.frame.ref--
+		delete(as.pages, vpn)
+	}
+	as.vmas = nil
+	as.invalidateTLB()
+}
+
+func (as *AddressSpace) lookupRead(addr uint64) (*pte, *Fault) {
+	vpn := addr >> as.pageShift
+	if as.tlbRead != nil && vpn == as.tlbReadVPN {
+		return as.tlbRead, nil
+	}
+	p, ok := as.pages[vpn]
+	if !ok {
+		return nil, &Fault{Addr: addr, Kind: FaultUnmapped}
+	}
+	if p.prot&ProtRead == 0 {
+		return nil, &Fault{Addr: addr, Kind: FaultProt}
+	}
+	as.tlbReadVPN, as.tlbRead = vpn, p
+	return p, nil
+}
+
+// lookupWrite resolves a PTE for writing, performing copy-on-write if the
+// frame is shared. The returned bool reports whether a COW copy happened,
+// so the interpreter can charge the page-copy cost to the faulting process.
+func (as *AddressSpace) lookupWrite(addr uint64) (*pte, bool, *Fault) {
+	vpn := addr >> as.pageShift
+	if as.tlbWrite != nil && vpn == as.tlbWriteVPN {
+		as.tlbWrite.softDirty = true
+		return as.tlbWrite, false, nil
+	}
+	p, ok := as.pages[vpn]
+	if !ok {
+		return nil, false, &Fault{Addr: addr, Write: true, Kind: FaultUnmapped}
+	}
+	if p.prot&ProtWrite == 0 {
+		return nil, false, &Fault{Addr: addr, Write: true, Kind: FaultProt}
+	}
+	cow := false
+	if p.frame.ref > 1 {
+		nf := &Frame{data: make([]byte, as.pageSize), ref: 1}
+		copy(nf.data, p.frame.data)
+		p.frame.ref--
+		p.frame = nf
+		as.stats.COWCopies++
+		as.stats.COWBytes += as.pageSize
+		cow = true
+	}
+	p.softDirty = true
+	as.tlbWriteVPN, as.tlbWrite = vpn, p
+	return p, cow, nil
+}
+
+// LoadU64 reads a little-endian 64-bit word. Unaligned and page-straddling
+// accesses are supported.
+func (as *AddressSpace) LoadU64(addr uint64) (uint64, *Fault) {
+	off := addr & (as.pageSize - 1)
+	if off+8 <= as.pageSize {
+		p, f := as.lookupRead(addr)
+		if f != nil {
+			return 0, f
+		}
+		return binary.LittleEndian.Uint64(p.frame.data[off:]), nil
+	}
+	var b [8]byte
+	if f := as.Read(addr, b[:]); f != nil {
+		return 0, f
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// StoreU64 writes a little-endian 64-bit word, returning whether a COW copy
+// occurred.
+func (as *AddressSpace) StoreU64(addr, val uint64) (bool, *Fault) {
+	off := addr & (as.pageSize - 1)
+	if off+8 <= as.pageSize {
+		p, cow, f := as.lookupWrite(addr)
+		if f != nil {
+			return false, f
+		}
+		binary.LittleEndian.PutUint64(p.frame.data[off:], val)
+		return cow, nil
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	return as.writeSpan(addr, b[:])
+}
+
+// LoadByte reads one byte.
+func (as *AddressSpace) LoadByte(addr uint64) (byte, *Fault) {
+	p, f := as.lookupRead(addr)
+	if f != nil {
+		return 0, f
+	}
+	return p.frame.data[addr&(as.pageSize-1)], nil
+}
+
+// StoreByte writes one byte, returning whether a COW copy occurred.
+func (as *AddressSpace) StoreByte(addr uint64, val byte) (bool, *Fault) {
+	p, cow, f := as.lookupWrite(addr)
+	if f != nil {
+		return false, f
+	}
+	p.frame.data[addr&(as.pageSize-1)] = val
+	return cow, nil
+}
+
+// Read fills dst from guest memory starting at addr.
+func (as *AddressSpace) Read(addr uint64, dst []byte) *Fault {
+	for len(dst) > 0 {
+		p, f := as.lookupRead(addr)
+		if f != nil {
+			return f
+		}
+		off := addr & (as.pageSize - 1)
+		n := copy(dst, p.frame.data[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Write copies src into guest memory starting at addr, with COW handling.
+func (as *AddressSpace) Write(addr uint64, src []byte) *Fault {
+	_, f := as.writeSpan(addr, src)
+	return f
+}
+
+func (as *AddressSpace) writeSpan(addr uint64, src []byte) (bool, *Fault) {
+	anyCow := false
+	for len(src) > 0 {
+		p, cow, f := as.lookupWrite(addr)
+		if f != nil {
+			return anyCow, f
+		}
+		anyCow = anyCow || cow
+		off := addr & (as.pageSize - 1)
+		n := copy(p.frame.data[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+	return anyCow, nil
+}
+
+// ClearSoftDirty clears the soft-dirty bit on every page, mirroring a write
+// to /proc/pid/clear_refs. Parallaft calls this at the start of each
+// segment (§5.2.1 "runtime work").
+func (as *AddressSpace) ClearSoftDirty() {
+	for _, p := range as.pages {
+		p.softDirty = false
+	}
+}
+
+// DirtyMode selects the dirty-page discovery mechanism (§4.4).
+type DirtyMode uint8
+
+// Dirty-page tracking modes.
+const (
+	// DirtySoft uses per-PTE soft-dirty bits (Linux x86_64 mechanism).
+	DirtySoft DirtyMode = iota
+	// DirtyMapCount reports pages whose frame is mapped exactly once
+	// (the PAGEMAP_SCAN ioctl technique used on AArch64): such a page is
+	// private to this address space, hence new or modified since the fork.
+	DirtyMapCount
+)
+
+// DirtyPages returns the sorted virtual page numbers considered modified
+// under the given mode.
+func (as *AddressSpace) DirtyPages(mode DirtyMode) []uint64 {
+	var out []uint64
+	for vpn, p := range as.pages {
+		switch mode {
+		case DirtySoft:
+			if p.softDirty {
+				out = append(out, vpn)
+			}
+		case DirtyMapCount:
+			if p.frame.ref == 1 {
+				out = append(out, vpn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiffFrames returns, sorted, the virtual page numbers whose backing frame
+// differs between two address spaces, including pages mapped in only one of
+// them. For two checkpoints of the same process taken at consecutive
+// segment boundaries this is exactly the set of pages the process modified
+// (COW gave them new frames), created, or unmapped during the segment —
+// the page-level diff Parallaft's AArch64 map-count technique computes.
+func DiffFrames(a, b *AddressSpace) []uint64 {
+	var out []uint64
+	for vpn, pa := range a.pages {
+		pb, ok := b.pages[vpn]
+		if !ok || pb.frame != pa.frame {
+			out = append(out, vpn)
+		}
+	}
+	for vpn := range b.pages {
+		if _, ok := a.pages[vpn]; !ok {
+			out = append(out, vpn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageData returns the frame contents backing the given virtual page number,
+// or nil if unmapped. The returned slice aliases the frame; callers must
+// treat it as read-only.
+func (as *AddressSpace) PageData(vpn uint64) []byte {
+	p, ok := as.pages[vpn]
+	if !ok {
+		return nil
+	}
+	return p.frame.data
+}
+
+// MapCountOf returns the frame map count for the page containing addr, or 0
+// if unmapped.
+func (as *AddressSpace) MapCountOf(addr uint64) int {
+	p, ok := as.pages[addr>>as.pageShift]
+	if !ok {
+		return 0
+	}
+	return p.frame.ref
+}
+
+// PageCount returns the number of mapped pages.
+func (as *AddressSpace) PageCount() int { return len(as.pages) }
+
+// RSSBytes returns the resident set size: every mapped page counted in full.
+func (as *AddressSpace) RSSBytes() uint64 {
+	return uint64(len(as.pages)) * as.pageSize
+}
+
+// PSSBytes returns the proportional set size: each page's size divided by
+// the number of address spaces sharing its frame. The paper samples summed
+// PSS to measure memory overhead because COW sharing makes RSS misleading
+// (§5.4, footnote 12).
+func (as *AddressSpace) PSSBytes() float64 {
+	var pss float64
+	for _, p := range as.pages {
+		pss += float64(as.pageSize) / float64(p.frame.ref)
+	}
+	return pss
+}
+
+// SharedWith reports how many pages this address space currently shares
+// (map count > 1) versus owns privately.
+func (as *AddressSpace) SharedWith() (shared, private int) {
+	for _, p := range as.pages {
+		if p.frame.ref > 1 {
+			shared++
+		} else {
+			private++
+		}
+	}
+	return shared, private
+}

@@ -1,0 +1,354 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const pg = 16 * 1024
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	return NewAddressSpace(pg)
+}
+
+func mustMap(t *testing.T, as *AddressSpace, base, length uint64) {
+	t.Helper()
+	if err := as.Map(base, length, ProtRW, "test"); err != nil {
+		t.Fatalf("map [%#x,+%#x): %v", base, length, err)
+	}
+}
+
+func TestNewAddressSpaceRejectsBadPageSize(t *testing.T) {
+	for _, size := range []uint64{0, 3, 1000, pg + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("page size %d accepted", size)
+				}
+			}()
+			NewAddressSpace(size)
+		}()
+	}
+}
+
+func TestMapUnmapBasics(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x10000, 2*pg)
+
+	if as.PageCount() != 2 {
+		t.Errorf("page count = %d, want 2", as.PageCount())
+	}
+	if _, f := as.LoadU64(0x10000); f != nil {
+		t.Errorf("read of mapped page faulted: %v", f)
+	}
+	if _, f := as.LoadU64(0x10000 + 2*pg); f == nil {
+		t.Error("read past mapping did not fault")
+	}
+
+	// overlap rejected
+	if err := as.Map(0x10000+pg, pg, ProtRW, "x"); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	// unaligned rejected
+	if err := as.Map(0x10000+2*pg+8, pg, ProtRW, "x"); err == nil {
+		t.Error("unaligned map accepted")
+	}
+
+	if err := as.Unmap(0x10000, 2*pg); err != nil {
+		t.Fatalf("unmap: %v", err)
+	}
+	if _, f := as.LoadU64(0x10000); f == nil {
+		t.Error("read after unmap did not fault")
+	}
+	if err := as.Unmap(0x10000, 2*pg); err == nil {
+		t.Error("double unmap accepted")
+	}
+}
+
+func TestProtection(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x10000, pg)
+	if err := as.Protect(0x10000, pg, ProtRead); err != nil {
+		t.Fatalf("protect: %v", err)
+	}
+	if _, f := as.LoadU64(0x10000); f != nil {
+		t.Errorf("read of read-only page faulted: %v", f)
+	}
+	_, f := as.StoreU64(0x10000, 1)
+	if f == nil || f.Kind != FaultProt || !f.Write {
+		t.Errorf("write to read-only page: fault = %+v, want write prot fault", f)
+	}
+	if err := as.Protect(0x10000, pg, ProtNone); err != nil {
+		t.Fatalf("protect none: %v", err)
+	}
+	if _, f := as.LoadU64(0x10000); f == nil {
+		t.Error("read of PROT_NONE page did not fault")
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0, pg)
+
+	if _, f := as.StoreU64(8, 0x1122334455667788); f != nil {
+		t.Fatal(f)
+	}
+	v, f := as.LoadU64(8)
+	if f != nil || v != 0x1122334455667788 {
+		t.Errorf("LoadU64 = %#x, %v", v, f)
+	}
+	b, f := as.LoadByte(8)
+	if f != nil || b != 0x88 {
+		t.Errorf("little-endian low byte = %#x, want 0x88", b)
+	}
+	if _, f := as.StoreByte(15, 0xff); f != nil {
+		t.Fatal(f)
+	}
+	v, _ = as.LoadU64(8)
+	if v != 0xff22334455667788 {
+		t.Errorf("byte store merged wrong: %#x", v)
+	}
+}
+
+func TestUnalignedAndStraddlingAccess(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0, 2*pg)
+	addr := uint64(pg - 4) // straddles the page boundary
+	if _, f := as.StoreU64(addr, 0xdeadbeefcafef00d); f != nil {
+		t.Fatal(f)
+	}
+	v, f := as.LoadU64(addr)
+	if f != nil || v != 0xdeadbeefcafef00d {
+		t.Errorf("straddling access = %#x, %v", v, f)
+	}
+}
+
+func TestForkCOWIsolation(t *testing.T) {
+	parent := newAS(t)
+	mustMap(t, parent, 0, pg)
+	parent.StoreU64(0, 111) //nolint:errcheck
+
+	child := parent.Fork()
+	if got := child.MapCountOf(0); got != 2 {
+		t.Errorf("shared frame map count = %d, want 2", got)
+	}
+
+	// child write must not affect the parent
+	child.StoreU64(0, 222) //nolint:errcheck
+	if v, _ := parent.LoadU64(0); v != 111 {
+		t.Errorf("parent sees child write: %d", v)
+	}
+	if v, _ := child.LoadU64(0); v != 222 {
+		t.Errorf("child lost its write: %d", v)
+	}
+	// after COW both sides own their frame privately
+	if parent.MapCountOf(0) != 1 || child.MapCountOf(0) != 1 {
+		t.Errorf("map counts after COW = %d/%d, want 1/1",
+			parent.MapCountOf(0), child.MapCountOf(0))
+	}
+	st := child.Stats()
+	if st.COWCopies != 1 || st.COWBytes != pg {
+		t.Errorf("child COW stats = %+v", st)
+	}
+	if parent.Stats().COWCopies != 0 {
+		t.Error("parent charged for child's COW")
+	}
+}
+
+func TestForkParentWriteCopies(t *testing.T) {
+	parent := newAS(t)
+	mustMap(t, parent, 0, pg)
+	child := parent.Fork()
+	parent.StoreU64(0, 999) //nolint:errcheck
+	if v, _ := child.LoadU64(0); v != 0 {
+		t.Errorf("child sees parent's post-fork write: %d", v)
+	}
+	if parent.Stats().COWCopies != 1 {
+		t.Error("parent write to shared page did not COW")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	parent := newAS(t)
+	mustMap(t, parent, 0, pg)
+	child := parent.Fork()
+	if parent.MapCountOf(0) != 2 {
+		t.Fatal("expected shared frame")
+	}
+	child.Release()
+	if parent.MapCountOf(0) != 1 {
+		t.Errorf("map count after child release = %d, want 1", parent.MapCountOf(0))
+	}
+}
+
+func TestSoftDirtyLifecycle(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0, 4*pg)
+	// fresh pages are born dirty
+	if got := len(as.DirtyPages(DirtySoft)); got != 4 {
+		t.Errorf("fresh pages dirty = %d, want 4", got)
+	}
+	as.ClearSoftDirty()
+	if got := len(as.DirtyPages(DirtySoft)); got != 0 {
+		t.Errorf("dirty after clear = %d, want 0", got)
+	}
+	as.StoreU64(2*pg+8, 1) //nolint:errcheck
+	dirty := as.DirtyPages(DirtySoft)
+	if len(dirty) != 1 || dirty[0] != 2 {
+		t.Errorf("dirty after one write = %v, want [2]", dirty)
+	}
+}
+
+func TestDirtyMapCountMode(t *testing.T) {
+	parent := newAS(t)
+	mustMap(t, parent, 0, 4*pg)
+	child := parent.Fork()
+	// all shared: nothing "dirty" by map count
+	if got := len(child.DirtyPages(DirtyMapCount)); got != 0 {
+		t.Errorf("shared pages reported dirty = %d", got)
+	}
+	child.StoreU64(3*pg, 5) //nolint:errcheck
+	dirty := child.DirtyPages(DirtyMapCount)
+	if len(dirty) != 1 || dirty[0] != 3 {
+		t.Errorf("map-count dirty = %v, want [3]", dirty)
+	}
+}
+
+func TestDiffFrames(t *testing.T) {
+	base := newAS(t)
+	mustMap(t, base, 0, 4*pg)
+	base.StoreU64(0, 1) //nolint:errcheck
+
+	cp1 := base.Fork()
+	base.StoreU64(pg+8, 2) //nolint:errcheck // modifies page 1
+	if err := base.Map(0x100000, pg, ProtRW, "new"); err != nil {
+		t.Fatal(err)
+	}
+	cp2 := base.Fork()
+
+	diff := DiffFrames(cp1, cp2)
+	want := map[uint64]bool{1: true, 0x100000 / pg: true}
+	if len(diff) != len(want) {
+		t.Fatalf("diff = %v, want pages %v", diff, want)
+	}
+	for _, vpn := range diff {
+		if !want[vpn] {
+			t.Errorf("unexpected diff page %#x", vpn)
+		}
+	}
+}
+
+func TestBrk(t *testing.T) {
+	as := newAS(t)
+	as.SetBrk(0x40000)
+	if got := as.Brk(0); got != 0x40000 {
+		t.Errorf("brk query = %#x", got)
+	}
+	if got := as.Brk(0x40000 + 3*pg + 100); got != 0x40000+3*pg+100 {
+		t.Errorf("brk grow = %#x", got)
+	}
+	// the covering pages must be mapped
+	if _, f := as.StoreU64(0x40000+3*pg+88, 1); f != nil {
+		t.Errorf("write inside brk region faulted: %v", f)
+	}
+	// shrink is ignored
+	if got := as.Brk(0x40000); got != 0x40000+3*pg+100 {
+		t.Errorf("brk shrink changed the break: %#x", got)
+	}
+}
+
+func TestFindFree(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x20000, 2*pg)
+	got := as.FindFree(0x20000, pg)
+	if got < 0x20000+2*pg {
+		t.Errorf("FindFree returned %#x inside an existing mapping", got)
+	}
+	if err := as.Map(got, pg, ProtRW, "x"); err != nil {
+		t.Errorf("FindFree result unusable: %v", err)
+	}
+}
+
+func TestPSSAccounting(t *testing.T) {
+	parent := newAS(t)
+	mustMap(t, parent, 0, 4*pg)
+	if got := parent.PSSBytes(); got != 4*pg {
+		t.Errorf("sole owner PSS = %v, want %v", got, 4*pg)
+	}
+	child := parent.Fork()
+	if got := parent.PSSBytes(); got != 2*pg {
+		t.Errorf("PSS with one sharer = %v, want %v", got, 2*pg)
+	}
+	// parent+child PSS must equal total physical memory
+	total := parent.PSSBytes() + child.PSSBytes()
+	if total != 4*pg {
+		t.Errorf("PSS sum = %v, want %v", total, 4*pg)
+	}
+	child.StoreU64(0, 1) //nolint:errcheck // private copy: +1 frame
+	total = parent.PSSBytes() + child.PSSBytes()
+	if total != 5*pg {
+		t.Errorf("PSS sum after COW = %v, want %v", total, 5*pg)
+	}
+	if parent.RSSBytes() != 4*pg || child.RSSBytes() != 4*pg {
+		t.Error("RSS should count full pages regardless of sharing")
+	}
+}
+
+func TestVMAListAndSharedCounts(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x30000, pg)
+	mustMap(t, as, 0x10000, pg)
+	vmas := as.VMAs()
+	if len(vmas) != 2 || vmas[0].Base != 0x10000 || vmas[1].Base != 0x30000 {
+		t.Errorf("VMAs not sorted: %+v", vmas)
+	}
+	child := as.Fork()
+	shared, private := child.SharedWith()
+	if shared != 2 || private != 0 {
+		t.Errorf("shared/private = %d/%d, want 2/0", shared, private)
+	}
+}
+
+// TestForkIsolationProperty: random interleaved writes to parent and child
+// must never leak across the fork, and PSS must always sum to the real
+// frame count.
+func TestForkIsolationProperty(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parent := NewAddressSpace(pg)
+		if err := parent.Map(0, 8*pg, ProtRW, "arena"); err != nil {
+			return false
+		}
+		// distinct fill so any leak is visible
+		for i := uint64(0); i < 8; i++ {
+			parent.StoreU64(i*pg, i+1000) //nolint:errcheck
+		}
+		child := parent.Fork()
+		model := map[uint64]uint64{} // child's expected view
+		for i := uint64(0); i < 8; i++ {
+			model[i] = i + 1000
+		}
+		for _, op := range ops {
+			page := uint64(op % 8)
+			val := uint64(rng.Int63())
+			if op&0x100 != 0 {
+				child.StoreU64(page*pg, val) //nolint:errcheck
+				model[page] = val
+			} else {
+				parent.StoreU64(page*pg, val) //nolint:errcheck
+			}
+		}
+		for page, want := range model {
+			got, fault := child.LoadU64(page * pg)
+			if fault != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

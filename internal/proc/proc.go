@@ -1,0 +1,729 @@
+// Package proc implements simulated guest processes: the architectural
+// register file, the instruction interpreter, the per-process performance
+// monitoring unit (PMU), breakpoints, signals, and fork.
+//
+// The PMU mirrors the hardware behaviours Parallaft's execution-point
+// record-and-replay depends on (§4.2):
+//
+//   - a retired-branch counter that is exact and deterministic (the
+//     property the paper relies on after excluding far branches);
+//   - counter overflow delivery with *skid*: the stop arrives a small,
+//     nondeterministic number of instructions after the branch that caused
+//     the overflow, forcing the replay algorithm to undershoot and finish
+//     with breakpoints;
+//   - an instruction counter that overcounts nondeterministically (noise
+//     accumulates across supervisor interactions, like interrupt returns on
+//     real hardware), which is why instruction counts can only be used with
+//     a safety scale (the 1.1× timeout of §4.2.2) and never for precise
+//     execution points.
+package proc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"parallaft/internal/cache"
+	"parallaft/internal/isa"
+	"parallaft/internal/machine"
+	"parallaft/internal/mem"
+)
+
+// Signal numbers delivered to guest processes.
+type Signal uint8
+
+// Guest signals (a small, fixed set).
+const (
+	SigNone Signal = iota
+	SIGSEGV
+	SIGFPE
+	SIGILL
+	SIGINT
+	SIGUSR1
+	SIGUSR2
+	SIGKILL
+)
+
+// String names the signal.
+func (s Signal) String() string {
+	switch s {
+	case SigNone:
+		return "none"
+	case SIGSEGV:
+		return "SIGSEGV"
+	case SIGFPE:
+		return "SIGFPE"
+	case SIGILL:
+		return "SIGILL"
+	case SIGINT:
+		return "SIGINT"
+	case SIGUSR1:
+		return "SIGUSR1"
+	case SIGUSR2:
+		return "SIGUSR2"
+	case SIGKILL:
+		return "SIGKILL"
+	}
+	return fmt.Sprintf("sig(%d)", uint8(s))
+}
+
+// Regs is the architectural register file.
+type Regs struct {
+	X [isa.NumGPR]uint64
+	F [isa.NumFPR]float64
+	V [isa.NumVR][isa.VLanes]uint64
+}
+
+// Equal compares register files bit-exactly (NaNs compare by bit pattern,
+// as a hardware comparator would).
+func (r *Regs) Equal(o *Regs) bool {
+	if r.X != o.X || r.V != o.V {
+		return false
+	}
+	for i := range r.F {
+		if math.Float64bits(r.F[i]) != math.Float64bits(o.F[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the registers that differ between two files, for error
+// reports.
+func (r *Regs) Diff(o *Regs) string {
+	var sb strings.Builder
+	for i := range r.X {
+		if r.X[i] != o.X[i] {
+			fmt.Fprintf(&sb, " x%d=%#x/%#x", i, r.X[i], o.X[i])
+		}
+	}
+	for i := range r.F {
+		if math.Float64bits(r.F[i]) != math.Float64bits(o.F[i]) {
+			fmt.Fprintf(&sb, " f%d=%v/%v", i, r.F[i], o.F[i])
+		}
+	}
+	for i := range r.V {
+		if r.V[i] != o.V[i] {
+			fmt.Fprintf(&sb, " v%d", i)
+		}
+	}
+	return sb.String()
+}
+
+// StopReason says why the interpreter returned control to the supervisor.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopBudget     StopReason = iota // instruction budget exhausted
+	StopHalt                         // executed Halt
+	StopSyscall                      // stopped at an unexecuted Syscall
+	StopNondet                       // stopped at an unexecuted Rdtsc/Mrs
+	StopBreakpoint                   // stopped at a code breakpoint
+	StopCounter                      // branch-counter overflow delivered
+	StopSignal                       // fault raised a pending signal
+	StopInstrLimit                   // hard instruction ceiling reached
+)
+
+// String names the stop reason.
+func (s StopReason) String() string {
+	switch s {
+	case StopBudget:
+		return "budget"
+	case StopHalt:
+		return "halt"
+	case StopSyscall:
+		return "syscall"
+	case StopNondet:
+		return "nondet"
+	case StopBreakpoint:
+		return "breakpoint"
+	case StopCounter:
+		return "counter"
+	case StopSignal:
+		return "signal"
+	case StopInstrLimit:
+		return "instr-limit"
+	}
+	return fmt.Sprintf("stop(%d)", uint8(s))
+}
+
+// Stop describes an interpreter exit.
+type Stop struct {
+	Reason StopReason
+	Sig    Signal     // for StopSignal
+	Fault  *mem.Fault // for StopSignal caused by a memory fault
+}
+
+// ExecEnv tells Run where the process is executing.
+type ExecEnv struct {
+	Machine    *machine.Machine
+	Core       *machine.Core
+	Contention float64 // DRAM contention factor, >= 1
+	Fabric     float64 // uniform fabric-interference factor, >= 1
+}
+
+// Process is one simulated guest process.
+type Process struct {
+	PID  int
+	ASID uint64
+	Name string
+
+	Regs Regs
+	PC   uint64
+	Code []isa.Instr // shared, immutable
+	AS   *mem.AddressSpace
+
+	// PMU state.
+	Branches   uint64 // exact retired branch count (free-running)
+	Instrs     uint64 // exact retired instruction count
+	instrNoise uint64 // accumulated overcount visible through ReadInstrCounter
+
+	counterArmed    bool
+	counterTarget   uint64
+	overflowPending bool
+	skidRemaining   uint64
+	maxSkid         uint64
+
+	breakpoints map[uint64]struct{}
+	skipBPOnce  bool // resume past a just-hit breakpoint
+
+	// InstrLimit, when nonzero, kills the run with StopInstrLimit once the
+	// exact instruction count reaches it (the supervisor derives it from
+	// the noisy counter with the 1.1× scale).
+	InstrLimit uint64
+
+	// Timing accumulators (nanoseconds of simulated time).
+	UserNs     float64
+	SysNs      float64
+	UserCycles float64 // user time integrated against core frequency
+
+	// DRAMAccesses counts this process's accesses that reached DRAM, used
+	// by the engine's bandwidth-contention model.
+	DRAMAccesses uint64
+
+	// Signal dispatch: handler PC per signal. On delivery x12 holds the
+	// interrupted PC and control transfers to the handler, which returns
+	// with `jr x12`.
+	Handlers map[Signal]uint64
+
+	Exited   bool
+	ExitCode int64
+	KilledBy Signal
+
+	rng *rand.Rand
+}
+
+// HandlerLinkReg is the GPR that receives the interrupted PC on signal
+// delivery.
+const HandlerLinkReg = 12
+
+// New creates a process executing code with the given address space. The
+// seed drives the process's PMU nondeterminism (skid, overcount noise).
+func New(pid int, asid uint64, name string, code []isa.Instr, as *mem.AddressSpace, seed int64) *Process {
+	return &Process{
+		PID:         pid,
+		ASID:        asid,
+		Name:        name,
+		Code:        code,
+		AS:          as,
+		breakpoints: make(map[uint64]struct{}),
+		Handlers:    make(map[Signal]uint64),
+		maxSkid:     defaultMaxSkid,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// defaultMaxSkid bounds counter-overflow skid in retired instructions.
+const defaultMaxSkid = 24
+
+// SetMaxSkid overrides the PMU's maximum overflow skid (used by the
+// no-skid-buffer ablation and tests).
+func (p *Process) SetMaxSkid(n uint64) { p.maxSkid = n }
+
+// MaxSkid returns the PMU's maximum overflow skid.
+func (p *Process) MaxSkid() uint64 { return p.maxSkid }
+
+// Fork clones the process copy-on-write: registers and PC are copied, the
+// address space forks, PMU counters start fresh, and handlers are inherited.
+func (p *Process) Fork(pid int, asid uint64, name string, seed int64) *Process {
+	child := New(pid, asid, name, p.Code, p.AS.Fork(), seed)
+	child.Regs = p.Regs
+	child.PC = p.PC
+	child.maxSkid = p.maxSkid
+	for sig, h := range p.Handlers {
+		child.Handlers[sig] = h
+	}
+	return child
+}
+
+// --- PMU -----------------------------------------------------------------
+
+// ArmBranchCounter arranges a StopCounter once the free-running branch
+// counter reaches target (plus skid). Arming with target <= current count
+// triggers on the next retired branch.
+func (p *Process) ArmBranchCounter(target uint64) {
+	p.counterArmed = true
+	p.counterTarget = target
+	p.overflowPending = false
+	p.skidRemaining = 0
+}
+
+// DisarmBranchCounter cancels any pending overflow.
+func (p *Process) DisarmBranchCounter() {
+	p.counterArmed = false
+	p.overflowPending = false
+}
+
+// ReadInstrCounter returns the *noisy* instruction count a commodity PMU
+// would report: the exact count plus accumulated overcount (§4.2.1).
+func (p *Process) ReadInstrCounter() uint64 { return p.Instrs + p.instrNoise }
+
+// supervisorStop models the PMU noise added by each trap into the
+// supervisor (interrupt/exception returns overcount instructions-retired on
+// real hardware).
+func (p *Process) supervisorStop() {
+	p.instrNoise += uint64(p.rng.Intn(3))
+}
+
+// --- breakpoints -----------------------------------------------------------
+
+// SetBreakpoint installs a code breakpoint at the instruction index.
+func (p *Process) SetBreakpoint(pc uint64) { p.breakpoints[pc] = struct{}{} }
+
+// ClearBreakpoint removes a code breakpoint.
+func (p *Process) ClearBreakpoint(pc uint64) { delete(p.breakpoints, pc) }
+
+// ClearAllBreakpoints removes every breakpoint.
+func (p *Process) ClearAllBreakpoints() { p.breakpoints = make(map[uint64]struct{}) }
+
+// HasBreakpoint reports whether a breakpoint is set at pc.
+func (p *Process) HasBreakpoint(pc uint64) bool {
+	_, ok := p.breakpoints[pc]
+	return ok
+}
+
+// --- signals ----------------------------------------------------------------
+
+// DeliverSignal delivers sig at the current execution point. If a handler is
+// registered, x12 receives the interrupted PC and control transfers to the
+// handler; otherwise the process is killed. Returns whether the process
+// survived.
+func (p *Process) DeliverSignal(sig Signal) bool {
+	if h, ok := p.Handlers[sig]; ok && sig != SIGKILL {
+		p.Regs.X[HandlerLinkReg] = p.PC
+		p.PC = h
+		return true
+	}
+	p.Exited = true
+	p.KilledBy = sig
+	return false
+}
+
+// --- interpreter ------------------------------------------------------------
+
+// Run interprets instructions until the budget is exhausted or a stop event
+// occurs, accumulating simulated time onto the process and the core.
+//
+// Stop semantics: for StopSyscall and StopNondet the PC rests *on* the
+// unexecuted instruction; the supervisor emulates it and must advance the
+// PC. For StopBreakpoint the PC rests on the breakpointed instruction and
+// the next Run resumes past it. For StopSignal the PC rests on the faulting
+// instruction. For StopCounter the PC rests on the next unexecuted
+// instruction (skid already applied).
+func (p *Process) Run(env ExecEnv, budget uint64) Stop {
+	if p.Exited {
+		return Stop{Reason: StopHalt}
+	}
+	cost := &env.Machine.Cost
+	hier := env.Machine.Caches
+	kind := env.Core.Kind
+	freq := env.Core.FreqGHz()
+	coreID := env.Core.ID
+	contention := env.Contention
+	if contention < 1 {
+		contention = 1
+	}
+	fabric := env.Fabric
+	if fabric < 1 {
+		fabric = 1
+	}
+
+	var ns float64
+	stop := Stop{Reason: StopBudget}
+
+	defer func() {
+		ns *= fabric
+		p.UserNs += ns
+		p.UserCycles += ns * freq
+		env.Core.AccountActive(ns)
+		if stop.Reason != StopBudget && stop.Reason != StopHalt {
+			p.supervisorStop()
+		}
+	}()
+
+	code := p.Code
+	codeLen := uint64(len(code))
+
+	for executed := uint64(0); executed < budget; executed++ {
+		// Deliver a pending counter overflow once the skid has elapsed.
+		if p.overflowPending && p.skidRemaining == 0 {
+			p.overflowPending = false
+			p.counterArmed = false
+			stop = Stop{Reason: StopCounter}
+			return stop
+		}
+		if p.InstrLimit != 0 && p.Instrs >= p.InstrLimit {
+			stop = Stop{Reason: StopInstrLimit}
+			return stop
+		}
+		if p.PC >= codeLen {
+			stop = Stop{Reason: StopSignal, Sig: SIGSEGV}
+			return stop
+		}
+		if len(p.breakpoints) != 0 && !p.skipBPOnce {
+			if _, hit := p.breakpoints[p.PC]; hit {
+				p.skipBPOnce = true
+				stop = Stop{Reason: StopBreakpoint}
+				return stop
+			}
+		}
+		p.skipBPOnce = false
+
+		ins := &code[p.PC]
+		op := ins.Op
+
+		// Trapped instructions stop *before* executing.
+		switch op {
+		case isa.OpSyscall:
+			stop = Stop{Reason: StopSyscall}
+			return stop
+		case isa.OpRdtsc, isa.OpMrs:
+			stop = Stop{Reason: StopNondet}
+			return stop
+		case isa.OpHalt:
+			p.Exited = true
+			p.Instrs++
+			stop = Stop{Reason: StopHalt}
+			return stop
+		}
+
+		// Timing: base class cost, plus the memory hierarchy for accesses.
+		lvl := cache.L1Hit
+		hasMem := false
+		var memAddr uint64
+		if size := op.AccessSize(); size != 0 {
+			hasMem = true
+			memAddr = p.Regs.X[ins.Ra] + uint64(ins.Imm)
+			lvl = hier.AccessRange(coreID, p.ASID, memAddr, size)
+			if lvl == cache.DRAM {
+				env.Machine.CountDRAMAccess()
+				p.DRAMAccesses++
+			}
+		}
+		ns += cost.InstrTimeNs(kind, freq, op.Class(), lvl, hasMem, op.IsStore(), contention)
+
+		nextPC := p.PC + 1
+		r := &p.Regs
+
+		switch op {
+		case isa.OpNop:
+		case isa.OpMov:
+			r.X[ins.Rd] = r.X[ins.Ra]
+		case isa.OpAdd:
+			r.X[ins.Rd] = r.X[ins.Ra] + r.X[ins.Rb]
+		case isa.OpSub:
+			r.X[ins.Rd] = r.X[ins.Ra] - r.X[ins.Rb]
+		case isa.OpMul:
+			r.X[ins.Rd] = r.X[ins.Ra] * r.X[ins.Rb]
+		case isa.OpDiv:
+			if r.X[ins.Rb] == 0 {
+				stop = Stop{Reason: StopSignal, Sig: SIGFPE}
+				return stop
+			}
+			r.X[ins.Rd] = uint64(int64(r.X[ins.Ra]) / int64(r.X[ins.Rb]))
+		case isa.OpRem:
+			if r.X[ins.Rb] == 0 {
+				stop = Stop{Reason: StopSignal, Sig: SIGFPE}
+				return stop
+			}
+			r.X[ins.Rd] = uint64(int64(r.X[ins.Ra]) % int64(r.X[ins.Rb]))
+		case isa.OpAnd:
+			r.X[ins.Rd] = r.X[ins.Ra] & r.X[ins.Rb]
+		case isa.OpOr:
+			r.X[ins.Rd] = r.X[ins.Ra] | r.X[ins.Rb]
+		case isa.OpXor:
+			r.X[ins.Rd] = r.X[ins.Ra] ^ r.X[ins.Rb]
+		case isa.OpShl:
+			r.X[ins.Rd] = r.X[ins.Ra] << (r.X[ins.Rb] & 63)
+		case isa.OpShr:
+			r.X[ins.Rd] = r.X[ins.Ra] >> (r.X[ins.Rb] & 63)
+		case isa.OpSlt:
+			r.X[ins.Rd] = b2u(int64(r.X[ins.Ra]) < int64(r.X[ins.Rb]))
+
+		case isa.OpMovI:
+			r.X[ins.Rd] = uint64(ins.Imm)
+		case isa.OpAddI:
+			r.X[ins.Rd] = r.X[ins.Ra] + uint64(ins.Imm)
+		case isa.OpMulI:
+			r.X[ins.Rd] = r.X[ins.Ra] * uint64(ins.Imm)
+		case isa.OpAndI:
+			r.X[ins.Rd] = r.X[ins.Ra] & uint64(ins.Imm)
+		case isa.OpOrI:
+			r.X[ins.Rd] = r.X[ins.Ra] | uint64(ins.Imm)
+		case isa.OpXorI:
+			r.X[ins.Rd] = r.X[ins.Ra] ^ uint64(ins.Imm)
+		case isa.OpShlI:
+			r.X[ins.Rd] = r.X[ins.Ra] << (uint64(ins.Imm) & 63)
+		case isa.OpShrI:
+			r.X[ins.Rd] = r.X[ins.Ra] >> (uint64(ins.Imm) & 63)
+		case isa.OpSltI:
+			r.X[ins.Rd] = b2u(int64(r.X[ins.Ra]) < ins.Imm)
+
+		case isa.OpFMov:
+			r.F[ins.Rd] = r.F[ins.Ra]
+		case isa.OpFMovI:
+			r.F[ins.Rd] = math.Float64frombits(uint64(ins.Imm))
+		case isa.OpFAdd:
+			r.F[ins.Rd] = r.F[ins.Ra] + r.F[ins.Rb]
+		case isa.OpFSub:
+			r.F[ins.Rd] = r.F[ins.Ra] - r.F[ins.Rb]
+		case isa.OpFMul:
+			r.F[ins.Rd] = r.F[ins.Ra] * r.F[ins.Rb]
+		case isa.OpFDiv:
+			r.F[ins.Rd] = r.F[ins.Ra] / r.F[ins.Rb]
+		case isa.OpFSqrt:
+			r.F[ins.Rd] = math.Sqrt(r.F[ins.Ra])
+		case isa.OpCvtIF:
+			r.F[ins.Rd] = float64(int64(r.X[ins.Ra]))
+		case isa.OpCvtFI:
+			r.X[ins.Rd] = uint64(int64(r.F[ins.Ra]))
+		case isa.OpFCmpLt:
+			r.X[ins.Rd] = b2u(r.F[ins.Ra] < r.F[ins.Rb])
+
+		case isa.OpVAdd:
+			for l := 0; l < isa.VLanes; l++ {
+				r.V[ins.Rd][l] = r.V[ins.Ra][l] + r.V[ins.Rb][l]
+			}
+		case isa.OpVXor:
+			for l := 0; l < isa.VLanes; l++ {
+				r.V[ins.Rd][l] = r.V[ins.Ra][l] ^ r.V[ins.Rb][l]
+			}
+		case isa.OpVMul:
+			for l := 0; l < isa.VLanes; l++ {
+				r.V[ins.Rd][l] = r.V[ins.Ra][l] * r.V[ins.Rb][l]
+			}
+		case isa.OpVSplat:
+			for l := 0; l < isa.VLanes; l++ {
+				r.V[ins.Rd][l] = r.X[ins.Ra]
+			}
+
+		case isa.OpLd:
+			v, f := p.AS.LoadU64(memAddr)
+			if f != nil {
+				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+				return stop
+			}
+			r.X[ins.Rd] = v
+		case isa.OpSt:
+			cow, f := p.AS.StoreU64(memAddr, r.X[ins.Rb])
+			if f != nil {
+				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+				return stop
+			}
+			if cow {
+				p.chargeCOW(env)
+			}
+		case isa.OpLdB:
+			v, f := p.AS.LoadByte(memAddr)
+			if f != nil {
+				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+				return stop
+			}
+			r.X[ins.Rd] = uint64(v)
+		case isa.OpStB:
+			cow, f := p.AS.StoreByte(memAddr, byte(r.X[ins.Rb]))
+			if f != nil {
+				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+				return stop
+			}
+			if cow {
+				p.chargeCOW(env)
+			}
+		case isa.OpFLd:
+			v, f := p.AS.LoadU64(memAddr)
+			if f != nil {
+				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+				return stop
+			}
+			r.F[ins.Rd] = math.Float64frombits(v)
+		case isa.OpFSt:
+			cow, f := p.AS.StoreU64(memAddr, math.Float64bits(r.F[ins.Rb]))
+			if f != nil {
+				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+				return stop
+			}
+			if cow {
+				p.chargeCOW(env)
+			}
+		case isa.OpVLd:
+			for l := 0; l < isa.VLanes; l++ {
+				v, f := p.AS.LoadU64(memAddr + uint64(l*8))
+				if f != nil {
+					stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+					return stop
+				}
+				r.V[ins.Rd][l] = v
+			}
+		case isa.OpVSt:
+			for l := 0; l < isa.VLanes; l++ {
+				cow, f := p.AS.StoreU64(memAddr+uint64(l*8), r.V[ins.Rb][l])
+				if f != nil {
+					stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
+					return stop
+				}
+				if cow {
+					p.chargeCOW(env)
+				}
+			}
+
+		case isa.OpBeq:
+			if r.X[ins.Ra] == r.X[ins.Rb] {
+				nextPC = uint64(ins.Imm)
+			}
+		case isa.OpBne:
+			if r.X[ins.Ra] != r.X[ins.Rb] {
+				nextPC = uint64(ins.Imm)
+			}
+		case isa.OpBlt:
+			if int64(r.X[ins.Ra]) < int64(r.X[ins.Rb]) {
+				nextPC = uint64(ins.Imm)
+			}
+		case isa.OpBge:
+			if int64(r.X[ins.Ra]) >= int64(r.X[ins.Rb]) {
+				nextPC = uint64(ins.Imm)
+			}
+		case isa.OpJmp:
+			nextPC = uint64(ins.Imm)
+		case isa.OpJal:
+			r.X[isa.RegLR] = p.PC + 1
+			nextPC = uint64(ins.Imm)
+		case isa.OpJr:
+			nextPC = r.X[ins.Ra]
+
+		default:
+			stop = Stop{Reason: StopSignal, Sig: SIGILL}
+			return stop
+		}
+
+		p.PC = nextPC
+		p.Instrs++
+
+		if op.IsBranch() {
+			p.Branches++
+			if p.counterArmed && !p.overflowPending && p.Branches >= p.counterTarget {
+				p.overflowPending = true
+				if p.maxSkid > 0 {
+					p.skidRemaining = uint64(p.rng.Intn(int(p.maxSkid + 1)))
+				}
+			}
+		} else if p.overflowPending && p.skidRemaining > 0 {
+			p.skidRemaining--
+		}
+	}
+	return stop
+}
+
+// chargeCOW accounts the kernel-side cost of a copy-on-write page copy:
+// system time on the process (it does not advance the user-cycle count used
+// for slicing, matching the paper's measurement of fork+COW as system CPU
+// time, §5.2.1) and DRAM traffic for the page copy.
+func (p *Process) chargeCOW(env ExecEnv) {
+	pageSize := p.AS.PageSize()
+	lines := float64(pageSize) / float64(env.Machine.Caches.LineSize())
+	// trap + PTE fixup overhead, plus a line-granular copy through DRAM.
+	// Scaled with the simulation's 1:2500 time scale (segments are far
+	// shorter than the silicon's, so per-page costs shrink accordingly).
+	ns := 60.0 + lines*0.1
+	p.SysNs += ns
+	env.Core.AccountActive(ns)
+	// The copy's DRAM energy is represented by a handful of scaled
+	// accesses (the per-access energy constant carries the time scale).
+	for i := 0; i < int(lines)/32; i++ {
+		env.Machine.CountDRAMAccess()
+	}
+}
+
+// ChargeSys adds supervisor/kernel time to the process (used by the OS and
+// the fault-tolerance runtimes for syscall work, fork, tracing overhead).
+func (p *Process) ChargeSys(env ExecEnv, ns float64) {
+	p.SysNs += ns
+	env.Core.AccountActive(ns)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RegClass selects a register file for fault injection.
+type RegClass uint8
+
+// Register classes, mirroring the §5.6 fault model: "a random bit flip in a
+// random register, selected from the general-purpose, floating-point and
+// vector registers".
+const (
+	GPRClass RegClass = iota
+	FPRClass
+	VRClass
+)
+
+// String names the register class.
+func (c RegClass) String() string {
+	switch c {
+	case GPRClass:
+		return "gpr"
+	case FPRClass:
+		return "fpr"
+	case VRClass:
+		return "vr"
+	}
+	return fmt.Sprintf("regclass(%d)", uint8(c))
+}
+
+// FlipRegisterBit flips one bit in the selected register, simulating a
+// single-event upset. Out-of-range selections are ignored.
+func (p *Process) FlipRegisterBit(class RegClass, index, lane int, bit uint) {
+	bit &= 63
+	switch class {
+	case GPRClass:
+		if index >= 0 && index < isa.NumGPR {
+			p.Regs.X[index] ^= 1 << bit
+		}
+	case FPRClass:
+		if index >= 0 && index < isa.NumFPR {
+			bits := math.Float64bits(p.Regs.F[index]) ^ (1 << bit)
+			p.Regs.F[index] = math.Float64frombits(bits)
+		}
+	case VRClass:
+		if index >= 0 && index < isa.NumVR && lane >= 0 && lane < isa.VLanes {
+			p.Regs.V[index][lane] ^= 1 << bit
+		}
+	}
+}
+
+// CurrentInstr returns the instruction at PC, or nil when PC is out of code.
+func (p *Process) CurrentInstr() *isa.Instr {
+	if p.PC >= uint64(len(p.Code)) {
+		return nil
+	}
+	return &p.Code[p.PC]
+}
+
+// String summarises the process for diagnostics.
+func (p *Process) String() string {
+	return fmt.Sprintf("proc %d %q pc=%d instrs=%d branches=%d", p.PID, p.Name, p.PC, p.Instrs, p.Branches)
+}

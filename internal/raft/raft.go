@@ -1,0 +1,31 @@
+// Package raft exposes the RAFT baseline (Zhang et al., CGO 2012) as
+// modelled by the paper's evaluation (§5.1): the same supervision runtime
+// as Parallaft with (1) no periodic checkpoints — a single segment spans
+// the whole program, (2) homogeneous execution — the checker runs on a big
+// core, and (3) no end-of-segment state comparison or dirty-page tracking.
+//
+// Detection is therefore limited to syscall comparison: the checker's
+// syscall stream (numbers, arguments, input data) is checked against the
+// main's record, and effects are replayed so IO happens exactly once. An
+// error that never influences a syscall escapes undetected — the
+// correctness gap table 2 demonstrates and Parallaft closes.
+package raft
+
+import (
+	"parallaft/internal/asm"
+	"parallaft/internal/core"
+	"parallaft/internal/sim"
+)
+
+// Config returns the RAFT model configuration.
+func Config() core.Config { return core.RAFTConfig() }
+
+// New creates a RAFT-configured runtime over an engine.
+func New(e *sim.Engine) *core.Runtime {
+	return core.NewRuntime(e, core.RAFTConfig())
+}
+
+// Run protects one program execution under the RAFT model.
+func Run(e *sim.Engine, prog *asm.Program) (*core.RunStats, error) {
+	return New(e).Run(prog)
+}

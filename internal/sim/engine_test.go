@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/proc"
+)
+
+func spinProg(iters int64) *asm.Program {
+	b := asm.NewBuilder("spin")
+	b.MovI(1, 0)
+	b.MovI(2, iters)
+	b.Label("loop")
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, "loop")
+	b.MovI(0, int64(oskernel.SysExit))
+	b.MovI(1, 0)
+	b.Syscall()
+	return b.MustBuild()
+}
+
+func TestTaskClockAdvances(t *testing.T) {
+	e := newTestEngine(t)
+	p, err := e.L.Exec(spinProg(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := e.NewTask(p, e.M.BigCores()[0], 100)
+	if task.Clock != 100 {
+		t.Errorf("start clock = %v", task.Clock)
+	}
+	e.Run(task, 1000)
+	if task.Clock <= 100 {
+		t.Error("clock did not advance")
+	}
+	delta := task.Clock - 100
+	if delta != p.UserNs+p.SysNs {
+		t.Errorf("clock delta %v != charged time %v", delta, p.UserNs+p.SysNs)
+	}
+}
+
+func TestChargeRuntimeOnlyMovesClock(t *testing.T) {
+	e := newTestEngine(t)
+	p, _ := e.L.Exec(spinProg(10))
+	task := e.NewTask(p, e.M.BigCores()[0], 0)
+	e.ChargeRuntime(task, 500)
+	if task.Clock != 500 {
+		t.Errorf("clock = %v, want 500", task.Clock)
+	}
+	if p.UserNs != 0 || p.SysNs != 0 {
+		t.Error("runtime work leaked into user/sys time")
+	}
+	e.ChargeSys(task, 300)
+	if p.SysNs != 300 || task.Clock != 800 {
+		t.Errorf("sys charge: sys=%v clock=%v", p.SysNs, task.Clock)
+	}
+}
+
+func TestRetireRemovesFromContention(t *testing.T) {
+	e := newTestEngine(t)
+	p1, _ := e.L.Exec(spinProg(10))
+	p2, _ := e.L.Exec(spinProg(10))
+	t1 := e.NewTask(p1, e.M.BigCores()[0], 0)
+	t2 := e.NewTask(p2, e.M.BigCores()[1], 0)
+	if len(e.tasks) != 2 {
+		t.Fatalf("tasks = %d", len(e.tasks))
+	}
+	e.Retire(t2)
+	e.Retire(t2) // idempotent
+	if len(e.tasks) != 1 || e.tasks[0] != t1 {
+		t.Errorf("retire failed: %d tasks", len(e.tasks))
+	}
+}
+
+func TestContentionGrowsWithDRAMTraffic(t *testing.T) {
+	e := newTestEngine(t)
+	p1, _ := e.L.Exec(spinProg(100))
+	t1 := e.NewTask(p1, e.M.BigCores()[0], 0)
+	if c := e.Contention(t1); c != 1 {
+		t.Errorf("solo contention = %v, want 1", c)
+	}
+	// a second task with a synthetic DRAM rate raises t1's factor
+	p2, _ := e.L.Exec(spinProg(100))
+	t2 := e.NewTask(p2, e.M.BigCores()[1], 0)
+	t2.dramRate = refDRAMRate / 2
+	c := e.Contention(t1)
+	if c <= 1 {
+		t.Errorf("contention with a DRAM-heavy peer = %v, want > 1", c)
+	}
+	// ...but its own rate does not count against itself
+	t1.dramRate = refDRAMRate
+	if got := e.Contention(t1); got != c {
+		t.Errorf("own rate changed own contention: %v -> %v", c, got)
+	}
+}
+
+func TestEmulateNondetPerCore(t *testing.T) {
+	e := newTestEngine(t)
+	code := []struct {
+		build func(b *asm.Builder)
+		check func(t *testing.T, big, little uint64)
+	}{
+		{
+			func(b *asm.Builder) { b.Mrs(1, 0) }, // MIDR
+			func(t *testing.T, big, little uint64) {
+				if big == little {
+					t.Error("MIDR identical on big and little cores")
+				}
+			},
+		},
+	}
+	for _, c := range code {
+		b := asm.NewBuilder("nd")
+		c.build(b)
+		b.Halt()
+		prog := b.MustBuild()
+		p1, _ := e.L.Exec(prog)
+		p2, _ := e.L.Exec(prog)
+		big := EmulateNondet(p1, e.M.BigCores()[0], 1000)
+		little := EmulateNondet(p2, e.M.LittleCores()[0], 1000)
+		c.check(t, big, little)
+	}
+	// rdtsc advances with time
+	b := asm.NewBuilder("ts")
+	b.Rdtsc(1)
+	b.Halt()
+	prog := b.MustBuild()
+	p, _ := e.L.Exec(prog)
+	early := EmulateNondet(p, e.M.BigCores()[0], 100)
+	late := EmulateNondet(p, e.M.BigCores()[0], 100000)
+	if late <= early {
+		t.Errorf("timestamp did not advance: %d vs %d", early, late)
+	}
+	// FinishNondet commits the value
+	FinishNondet(p, 777)
+	if p.Regs.X[1] != 777 || p.PC != 1 {
+		t.Errorf("FinishNondet: x1=%d pc=%d", p.Regs.X[1], p.PC)
+	}
+}
+
+func TestExecSyscallChargesClock(t *testing.T) {
+	e := newTestEngine(t)
+	p, _ := e.L.Exec(spinProg(10))
+	task := e.NewTask(p, e.M.BigCores()[0], 0)
+	before := task.Clock
+	r := e.ExecSyscall(task, oskernel.Info{Nr: oskernel.SysGetPID})
+	if r.Ret != int64(p.PID) {
+		t.Errorf("getpid via engine = %d", r.Ret)
+	}
+	if task.Clock <= before {
+		t.Error("syscall charged no kernel time")
+	}
+}
+
+func TestBaselineInstrCap(t *testing.T) {
+	e := newTestEngine(t)
+	e.MaxInstr = 1000
+	if _, err := e.RunBaseline(spinProg(1_000_000), e.M.BigCores()[0]); err == nil {
+		t.Error("runaway guest not capped")
+	}
+}
+
+func TestBaselineSignalKill(t *testing.T) {
+	b := asm.NewBuilder("crash")
+	b.MovI(1, 0x6000_0000)
+	b.Ld(2, 1, 0)
+	b.Halt()
+	e := newTestEngine(t)
+	res, err := e.RunBaseline(b.MustBuild(), e.M.BigCores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KilledBy != proc.SIGSEGV {
+		t.Errorf("killed by %v, want SIGSEGV", res.KilledBy)
+	}
+}
+
+func TestBaselineSelfSignalHandler(t *testing.T) {
+	b := asm.NewBuilder("selfsig")
+	b.Jmp("setup")
+	b.Label("handler")
+	b.AddI(9, 9, 1)
+	b.Jr(proc.HandlerLinkReg)
+	b.Label("setup")
+	b.MovI(9, 0)
+	b.MovI(0, int64(oskernel.SysSigaction))
+	b.MovI(1, int64(proc.SIGUSR1))
+	b.LabelAddr(2, "handler")
+	b.Syscall()
+	b.MovI(0, int64(oskernel.SysKill))
+	b.MovI(1, 0)
+	b.MovI(2, int64(proc.SIGUSR1))
+	b.Syscall()
+	b.Mov(1, 9)
+	b.MovI(0, int64(oskernel.SysExit))
+	b.Syscall()
+	e := newTestEngine(t)
+	res, err := e.RunBaseline(b.MustBuild(), e.M.BigCores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 1 {
+		t.Errorf("handler ran %d times, want 1", res.ExitCode)
+	}
+}
+
+func TestFabricFactorSlowsCoRunners(t *testing.T) {
+	run := func(peers int) float64 {
+		e := newTestEngine(t)
+		p, _ := e.L.Exec(spinProg(20_000))
+		task := e.NewTask(p, e.M.BigCores()[0], 0)
+		for i := 0; i < peers; i++ {
+			pp, _ := e.L.Exec(spinProg(10))
+			e.NewTask(pp, e.M.LittleCores()[i], 0)
+		}
+		for {
+			if s := e.Run(task, 4096); s.Reason == proc.StopSyscall || s.Reason == proc.StopHalt {
+				break
+			}
+		}
+		return p.UserNs
+	}
+	solo := run(0)
+	crowded := run(3)
+	if crowded <= solo {
+		t.Errorf("fabric interference missing: %v vs %v", crowded, solo)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"testing"
+
+	"parallaft/internal/workload"
+)
+
+func TestCompareSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload comparison is slow")
+	}
+	r := NewRunner()
+	r.Scale = 1.0
+
+	for _, name := range []string{"444.namd", "429.mcf", "403.gcc", "470.lbm", "458.sjeng"} {
+		w := workload.Get(name)
+		if w == nil {
+			t.Fatalf("workload %s missing", name)
+		}
+		c, err := r.Compare(w, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Parallaft.Detected != nil {
+			t.Errorf("%s: parallaft false positive: %v", name, c.Parallaft.Detected)
+		}
+		if c.RAFT.Detected != nil {
+			t.Errorf("%s: raft false positive: %v", name, c.RAFT.Detected)
+		}
+		if string(c.Parallaft.Stdout) != string(c.Baseline.Stdout) {
+			t.Errorf("%s: parallaft stdout differs from baseline", name)
+		}
+		fc, ct, lc, rw := c.Breakdown()
+		t.Logf("%-12s base=%.2fms  par +%.1f%% (fork %.1f, cont %.1f, sync %.1f, rt %.1f)  raft +%.1f%% | energy par +%.1f%% raft +%.1f%% | bigwork %.0f%% slices %d",
+			name, c.Baseline.WallNs/1e6,
+			c.PerfOverhead(ModeParallaft), fc, ct, lc, rw,
+			c.PerfOverhead(ModeRAFT),
+			c.EnergyOverhead(ModeParallaft), c.EnergyOverhead(ModeRAFT),
+			c.Parallaft.BigWorkFraction()*100, c.Parallaft.Slices)
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"testing"
+
+	"parallaft/internal/core"
+	"parallaft/internal/workload"
+)
+
+// TestTable2Guarantees verifies the table-2 claims: Parallaft detects the
+// silent post-syscall error that RAFT provably misses, and both detect
+// corruption that reaches syscall data.
+func TestTable2Guarantees(t *testing.T) {
+	r := NewRunner()
+	res, err := r.RunTable2()
+	if err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	if !res.ParallaftDetectsSilent {
+		t.Error("Parallaft missed the silent post-syscall error (paper: guaranteed detection)")
+	}
+	if res.RAFTDetectsSilent {
+		t.Error("RAFT detected the silent error, but its design cannot (footnote 3)")
+	}
+	if !res.ParallaftDetectsSyscall {
+		t.Error("Parallaft missed the syscall-visible error")
+	}
+	if !res.RAFTDetectsSyscall {
+		t.Error("RAFT missed the syscall-visible error")
+	}
+	if res.ParallaftSilentSegment < 0 {
+		t.Error("no detection segment recorded")
+	}
+	t.Log(FormatTable2(res))
+}
+
+// TestInProcessInterceptionReducesSyscallCost checks the §5.7 future-work
+// optimisation: switching from ptrace-style stops to in-process
+// interception cuts the getpid-loop slowdown by roughly an order of
+// magnitude.
+func TestInProcessInterceptionReducesSyscallCost(t *testing.T) {
+	r := NewRunner()
+	w := workload.Get("stress.getpid")
+	base, err := r.RunWorkload(w, ModeBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptraced, err := r.RunWorkload(w, ModeParallaft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewRunner()
+	fast.ConfigTweak = func(c *core.Config) { c.InProcessInterception = true }
+	inproc, err := fast.RunWorkload(w, ModeParallaft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := ptraced.WallNs / base.WallNs
+	quick := inproc.WallNs / base.WallNs
+	if quick >= slow/4 {
+		t.Errorf("in-process interception: %.1fx vs ptrace %.1fx — expected a big cut", quick, slow)
+	}
+	t.Logf("getpid slowdown: ptrace %.1fx, in-process %.1fx", slow, quick)
+}
+
+func TestStressSlowdowns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress comparison is slow")
+	}
+	r := NewRunner()
+	rows, err := r.RunStress()
+	if err != nil {
+		t.Fatalf("stress: %v", err)
+	}
+	for _, row := range rows {
+		if row.ParallaftX < 2 {
+			t.Errorf("%s: parallaft slowdown %.1fx implausibly low", row.Name, row.ParallaftX)
+		}
+		// RAFT shares the syscall-handling logic, so its slowdown should
+		// be in the same ballpark (§5.7).
+		if row.RAFTX < row.ParallaftX/4 {
+			t.Errorf("%s: raft slowdown %.1fx far below parallaft %.1fx", row.Name, row.RAFTX, row.ParallaftX)
+		}
+	}
+	t.Log("\n" + FormatStress(rows))
+}

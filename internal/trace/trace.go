@@ -1,0 +1,121 @@
+// Package trace records the runtime's decisions as a structured event
+// stream — segments, record/replay events, comparisons, scheduling moves,
+// detections and recoveries — for debugging supervised runs and for
+// understanding why an overhead number looks the way it does.
+//
+// Events are collected in memory and can be rendered as JSON Lines; the
+// recorder is deliberately allocation-light so tracing a full benchmark run
+// is practical.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies events.
+type Kind string
+
+// Event kinds emitted by the runtime.
+const (
+	SegmentStart Kind = "segment-start"
+	SegmentSeal  Kind = "segment-seal"
+	Syscall      Kind = "syscall"
+	Nondet       Kind = "nondet"
+	Signal       Kind = "signal"
+	CheckerDone  Kind = "checker-done"
+	Compare      Kind = "compare"
+	Migrate      Kind = "migrate"
+	DVFS         Kind = "dvfs"
+	Queue        Kind = "queue"
+	Detect       Kind = "detect"
+	Arbitrate    Kind = "arbitrate"
+	Recover      Kind = "recover"
+	Rollback     Kind = "rollback"
+	Barrier      Kind = "barrier"
+	Stall        Kind = "stall"
+)
+
+// Event is one runtime decision.
+type Event struct {
+	TimeNs  float64 `json:"t"`
+	Kind    Kind    `json:"kind"`
+	Segment int     `json:"segment,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder drops everything, so call sites never need nil checks beyond
+// the method receiver.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// New returns a recorder bounded to limit events (0 = unbounded).
+func New(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Emit appends an event; on a nil recorder it is a no-op.
+func (r *Recorder) Emit(timeNs float64, kind Kind, segment int, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	r.events = append(r.events, Event{TimeNs: timeNs, Kind: kind, Segment: segment, Detail: detail})
+}
+
+// Events returns a copy of the recorded stream.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count returns how many events matched the kind ("" = all).
+func (r *Recorder) Count(kind Kind) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kind == "" {
+		return len(r.events)
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL renders the stream as JSON Lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	for _, e := range r.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

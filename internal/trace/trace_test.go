@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, Detect, 0, "x")
+	if r.Events() != nil || r.Count("") != 0 {
+		t.Error("nil recorder leaked state")
+	}
+	if err := r.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil recorder write: %v", err)
+	}
+}
+
+func TestEmitAndCount(t *testing.T) {
+	r := New(0)
+	r.Emit(10, SegmentStart, 0, "begin")
+	r.Emit(20, Syscall, 0, "write")
+	r.Emit(30, Syscall, 1, "read %d bytes", 64)
+	if r.Count("") != 3 {
+		t.Errorf("count = %d", r.Count(""))
+	}
+	if r.Count(Syscall) != 2 {
+		t.Errorf("syscall count = %d", r.Count(Syscall))
+	}
+	evs := r.Events()
+	if evs[2].Detail != "read 64 bytes" || evs[2].Segment != 1 || evs[2].TimeNs != 30 {
+		t.Errorf("event = %+v", evs[2])
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(float64(i), Compare, i, "x")
+	}
+	if r.Count("") != 2 {
+		t.Errorf("bounded recorder kept %d events", r.Count(""))
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := New(0)
+	r.Emit(1.5, Migrate, 3, "core 4 -> 1")
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var ev Event
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("bad JSONL %q: %v", line, err)
+	}
+	if ev.Kind != Migrate || ev.Segment != 3 || ev.TimeNs != 1.5 {
+		t.Errorf("round trip = %+v", ev)
+	}
+}
+
+func TestEventsAreCopies(t *testing.T) {
+	r := New(0)
+	r.Emit(1, Detect, 0, "a")
+	evs := r.Events()
+	evs[0].Detail = "mutated"
+	if r.Events()[0].Detail != "a" {
+		t.Error("Events returned aliased storage")
+	}
+}

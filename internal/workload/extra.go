@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/lang"
+)
+
+// Workloads authored in paftlang rather than assembly. They are not part of
+// the paper's suite (ClassExtra) but exercise the full compile-and-protect
+// path and serve as readable starting points for new workloads.
+func init() {
+	register(&Workload{
+		Name: "extra.collatz", Class: ClassExtra,
+		Note: "Collatz trajectory lengths, written in paftlang: branchy integer compute",
+		Gen: func(s float64) []*asm.Program {
+			limit := scaleIters(12_000, s)
+			src := fmt.Sprintf(`
+				var best = 0;
+				var arg = 0;
+				var n = 2;
+				while (n < %d) {
+					var steps = 0;
+					var x = n;
+					while (x != 1) {
+						if (x %% 2 == 0) { x = x / 2; }
+						else { x = 3 * x + 1; }
+						steps = steps + 1;
+					}
+					if (steps > best) { best = steps; arg = n; }
+					n = n + 1;
+				}
+				print("longest trajectory from ");
+				printnum(arg);
+				printnum(best);
+				exit(best & 255);
+			`, limit)
+			return []*asm.Program{lang.MustCompile("extra.collatz", src)}
+		},
+	})
+
+	register(&Workload{
+		Name: "extra.matmul", Class: ClassExtra,
+		Note: "blocked integer matrix multiply in paftlang: regular memory sweeps",
+		Gen: func(s float64) []*asm.Program {
+			dim := int64(48)
+			reps := scaleIters(6, s)
+			src := fmt.Sprintf(`
+				var a[%[1]d];
+				var b[%[1]d];
+				var c[%[1]d];
+				var i = 0;
+				while (i < %[1]d) {
+					a[i] = i * 7 + 3;
+					b[i] = i * 13 + 1;
+					i = i + 1;
+				}
+				var rep = 0;
+				var check = 0;
+				while (rep < %[3]d) {
+					var r = 0;
+					while (r < %[2]d) {
+						var col = 0;
+						while (col < %[2]d) {
+							var acc = 0;
+							var k = 0;
+							while (k < %[2]d) {
+								acc = acc + a[r * %[2]d + k] * b[k * %[2]d + col];
+								k = k + 1;
+							}
+							c[r * %[2]d + col] = acc;
+							col = col + 1;
+						}
+						r = r + 1;
+					}
+					check = check + c[(rep * 37) %% %[1]d];
+					rep = rep + 1;
+				}
+				printnum(check);
+				exit(check & 255);
+			`, dim*dim, dim, reps)
+			return []*asm.Program{lang.MustCompile("extra.matmul", src)}
+		},
+	})
+}

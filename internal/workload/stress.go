@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"parallaft/internal/asm"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/proc"
+)
+
+// The §5.7 stress microbenchmarks: syscall- and signal-dominated loops
+// where Parallaft's (and RAFT's) tracing overhead is maximal.
+func init() {
+	register(&Workload{
+		Name: "stress.getpid", Class: ClassStress,
+		Note: "repeated getpid: the §5.7 ptrace-dominated extreme (paper: 124.5x slowdown)",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("stress.getpid")
+			prologue(b, 151)
+			b.MovI(rIdx, 0)
+			b.MovI(rLim, scaleIters(4_000, s))
+			b.Label("loop")
+			b.MovI(0, int64(oskernel.SysGetPID))
+			b.Syscall()
+			b.Add(rAcc, rAcc, 0)
+			b.AddI(rIdx, rIdx, 1)
+			b.Blt(rIdx, rLim, "loop")
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "stress.devzero", Class: ClassStress,
+		Note: "1 MiB reads from /dev/zero: record-bandwidth-dominated (paper: 18.5x slowdown)",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("stress.devzero")
+			b.Ascii("path", "/dev/zero")
+			b.Space("buf", mib)
+			prologue(b, 157)
+			b.MovI(0, int64(oskernel.SysOpen))
+			b.Addr(1, "path")
+			b.MovI(2, 0)
+			b.Syscall()
+			b.Mov(rPtr, 0)
+			// Loop state lives in x9/x11/x13: x1..x5 are syscall argument
+			// registers and are rewritten every iteration.
+			b.MovI(9, 0)                  // i
+			b.MovI(11, scaleIters(12, s)) // limit
+			b.MovI(13, 0)                 // acc
+			b.Label("loop")
+			b.MovI(0, int64(oskernel.SysRead))
+			b.Mov(1, rPtr)
+			b.Addr(2, "buf")
+			b.MovI(3, mib)
+			b.Syscall()
+			b.Add(13, 13, 0)
+			b.AddI(9, 9, 1)
+			b.Blt(9, 11, "loop")
+			b.Mov(rAcc, 13)
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "stress.sigusr1", Class: ClassStress,
+		Note: "raising SIGUSR1 with an empty handler: signal-path stress (paper: 39.8x slowdown)",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("stress.sigusr1")
+			prologue(b, 163)
+			b.Jmp("setup")
+			b.Label("handler")
+			b.Jr(proc.HandlerLinkReg) // empty handler: return immediately
+			b.Label("setup")
+			b.MovI(0, int64(oskernel.SysSigaction))
+			b.MovI(1, int64(proc.SIGUSR1))
+			b.LabelAddr(2, "handler")
+			b.Syscall()
+			// Loop state in x9/x11: x1/x2 are syscall arguments.
+			b.MovI(9, 0)
+			b.MovI(11, scaleIters(2_500, s))
+			b.Label("loop")
+			b.MovI(0, int64(oskernel.SysKill))
+			b.MovI(1, 0) // self
+			b.MovI(2, int64(proc.SIGUSR1))
+			b.Syscall()
+			b.AddI(9, 9, 1)
+			b.Blt(9, 11, "loop")
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+}

@@ -1,0 +1,600 @@
+package workload
+
+import (
+	"parallaft/internal/asm"
+	"parallaft/internal/isa"
+	"parallaft/internal/oskernel"
+)
+
+// Files returns the input files a workload expects in the kernel's
+// file system. Harnesses must install these before running.
+func Files() map[string][]byte {
+	files := map[string][]byte{}
+	files["/input/perl.txt"] = inputText(4096, 101)
+	files["/input/gcc.c"] = inputText(2048, 202)
+	files["/input/xalan.xml"] = inputText(8192, 303)
+	files["/input/sjeng.book"] = inputText(32768, 404)
+	return files
+}
+
+func inputText(n int, seed int64) []byte {
+	out := make([]byte, n)
+	s := uint64(seed)
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = byte('a' + (s>>33)%26)
+	}
+	return out
+}
+
+// emitOpenRead emits open(path)/read(fd, buf, n)/close(fd), exercising the
+// globally-effectful record/replay path with real payloads.
+func emitOpenRead(b *asm.Builder, pathSym, bufSym string, n int64) {
+	b.MovI(0, int64(oskernel.SysOpen))
+	b.Addr(1, pathSym)
+	b.MovI(2, 0)
+	b.Syscall()
+	b.Mov(rPtr, 0) // fd
+	b.MovI(0, int64(oskernel.SysRead))
+	b.Mov(1, rPtr)
+	b.Addr(2, bufSym)
+	b.MovI(3, n)
+	b.Syscall()
+	b.MovI(0, int64(oskernel.SysClose))
+	b.Mov(1, rPtr)
+	b.Syscall()
+}
+
+// streamKernel emits a read-modify-write sweep: each iteration loads a
+// word, mixes the index in, stores it back, and folds it into the checksum.
+// footprint must be a power of two.
+func streamKernel(b *asm.Builder, label, arr string, footprint uint64, iters int64, stride int64, writeBack bool) {
+	b.MovI(rIdx, 0)
+	b.MovI(rLim, iters)
+	b.Addr(rBase, arr)
+	b.Label(label)
+	b.MulI(rOff, rIdx, stride)
+	b.AndI(rOff, rOff, int64(footprint-1)&^7)
+	b.Add(rOff, rBase, rOff)
+	b.Ld(rVal, rOff, 0)
+	b.Add(rVal, rVal, rIdx)
+	if writeBack {
+		b.St(rOff, 0, rVal)
+	}
+	b.Add(rAcc, rAcc, rVal)
+	b.AddI(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, label)
+}
+
+// chaseKernel emits a pointer chase: ptr = base + *(ptr), bumping each
+// record's payload — the classic mcf-style dependent-load pattern.
+func chaseKernel(b *asm.Builder, label, arr string, iters int64, writeBack bool) {
+	b.MovI(rIdx, 0)
+	b.MovI(rLim, iters)
+	b.Addr(rBase, arr)
+	b.Mov(rPtr, rBase)
+	b.Label(label)
+	b.Ld(rOff, rPtr, 0) // next offset
+	b.Ld(rVal, rPtr, 8) // payload
+	b.Add(rVal, rVal, rIdx)
+	if writeBack {
+		b.St(rPtr, 8, rVal)
+	}
+	b.Add(rAcc, rAcc, rVal)
+	b.Add(rPtr, rBase, rOff)
+	b.AddI(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, label)
+}
+
+// branchyKernel emits a PRNG-driven soup of data-dependent branches over a
+// table — gobmk/sjeng-style control-heavy code.
+func branchyKernel(b *asm.Builder, label, arr string, footprint uint64, iters int64) {
+	b.MovI(rIdx, 0)
+	b.MovI(rLim, iters)
+	b.Addr(rBase, arr)
+	b.Label(label)
+	emitPRNG(b)
+	b.AndI(rOff, rState, int64(footprint-1)&^7)
+	b.Add(rOff, rBase, rOff)
+	b.Ld(rVal, rOff, 0)
+	b.AndI(rTmp, rVal, 3)
+	b.MovI(rTmp2, 1)
+	b.Beq(rTmp, rTmp2, label+"_c1")
+	b.MovI(rTmp2, 2)
+	b.Beq(rTmp, rTmp2, label+"_c2")
+	b.AddI(rAcc, rAcc, 3)
+	b.Jmp(label + "_j")
+	b.Label(label + "_c1")
+	b.Add(rAcc, rAcc, rVal)
+	b.Jmp(label + "_j")
+	b.Label(label + "_c2")
+	b.Xor(rAcc, rAcc, rVal)
+	b.Label(label + "_j")
+	b.ShrI(rTmp, rVal, 13)
+	b.Xor(rVal, rVal, rTmp)
+	b.St(rOff, 0, rVal)
+	b.AddI(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, label)
+}
+
+// fpKernel emits a dense floating-point chain (namd/povray-style), with an
+// optional memory stream mixed in. heavyDiv adds fdiv/fsqrt pressure.
+func fpKernel(b *asm.Builder, label, arr string, footprint uint64, iters int64, heavyDiv bool) {
+	fpKernelStride(b, label, arr, footprint, iters, 8, heavyDiv)
+}
+
+// fpKernelStride is fpKernel with an explicit access stride: a line-sized
+// stride makes every access a miss (streaming, milc-style); an 8-byte
+// stride mostly hits.
+func fpKernelStride(b *asm.Builder, label, arr string, footprint uint64, iters int64, stride int64, heavyDiv bool) {
+	b.FMovI(0, 1.000000119)
+	b.FMovI(1, 0.999999881)
+	b.FMovI(2, 1.5)
+	b.MovI(rIdx, 0)
+	b.MovI(rLim, iters)
+	if arr != "" {
+		b.Addr(rBase, arr)
+	}
+	b.Label(label)
+	b.FMul(3, 2, 0)
+	b.FAdd(2, 3, 1)
+	b.FMul(3, 3, 1)
+	b.FSub(2, 2, 3)
+	if heavyDiv {
+		b.FDiv(4, 2, 0)
+		b.FSqrt(4, 4)
+		b.FAdd(2, 2, 4)
+	}
+	if arr != "" {
+		b.MulI(rOff, rIdx, stride)
+		b.AndI(rOff, rOff, int64(footprint-1)&^7)
+		b.Add(rOff, rBase, rOff)
+		b.FLd(5, rOff, 0)
+		b.FAdd(5, 5, 2)
+		b.FSt(rOff, 0, 5)
+	}
+	b.AddI(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, label)
+	b.CvtFI(rVal, 2)
+	b.Add(rAcc, rAcc, rVal)
+}
+
+// vecKernel emits a SIMD sweep (libquantum/h264-style): 32-byte vector
+// loads, lane-wise ops, stores.
+func vecKernel(b *asm.Builder, label, arr string, footprint uint64, iters int64) {
+	b.MovI(rIdx, 0)
+	b.MovI(rLim, iters)
+	b.Addr(rBase, arr)
+	b.MovI(rTmp, 0x5bd1e995)
+	b.VSplat(1, rTmp)
+	b.Label(label)
+	b.MulI(rOff, rIdx, 32)
+	b.AndI(rOff, rOff, int64(footprint-1)&^31)
+	b.Add(rOff, rBase, rOff)
+	b.VLd(0, rOff, 0)
+	b.VXor(0, 0, 1)
+	b.VAdd(2, 0, 1)
+	b.VSt(rOff, 0, 2)
+	b.AddI(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, label)
+}
+
+// sweepCopyKernel emits an lbm-style streaming update: load from one half
+// of the array, store to the corresponding site in the other half. With a
+// line-sized stride every load *and* every store misses, producing the
+// write-drain traffic that makes lbm the worst case for little-core
+// checkers (§5.3).
+func sweepCopyKernel(b *asm.Builder, label, arr string, footprint uint64, iters int64) {
+	half := int64(footprint / 2)
+	b.MovI(rIdx, 0)
+	b.MovI(rLim, iters)
+	b.Addr(rBase, arr)
+	b.Label(label)
+	b.MulI(rOff, rIdx, 64)
+	b.AndI(rOff, rOff, half-8)
+	b.Add(rOff, rBase, rOff)
+	b.Ld(rVal, rOff, 0)
+	b.Add(rVal, rVal, rIdx)
+	b.St(rOff, half, rVal)
+	b.Add(rAcc, rAcc, rVal)
+	b.AddI(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, label)
+}
+
+// byteKernel emits byte-granular processing (bzip2-style).
+func byteKernel(b *asm.Builder, label, arr string, footprint uint64, iters int64) {
+	b.MovI(rIdx, 0)
+	b.MovI(rLim, iters)
+	b.Addr(rBase, arr)
+	b.Label(label)
+	emitPRNG(b)
+	b.AndI(rOff, rState, int64(footprint-1))
+	b.Add(rOff, rBase, rOff)
+	b.LdB(rVal, rOff, 0)
+	b.Add(rVal, rVal, rIdx)
+	b.AndI(rVal, rVal, 255)
+	b.StB(rOff, 0, rVal)
+	b.Add(rAcc, rAcc, rVal)
+	b.AddI(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, label)
+}
+
+// prologue seeds the PRNG and zeroes the checksum.
+func prologue(b *asm.Builder, seed int64) {
+	b.MovI(rAcc, 0)
+	b.MovI(rState, seed)
+}
+
+const (
+	kib = 1024
+	mib = 1024 * 1024
+)
+
+func init() {
+	// ------------------------------------------------ integer suite
+	register(&Workload{
+		Name: "400.perlbench", Class: ClassInt,
+		Note: "branchy interpreter loop with a hash-table-sized working set and input-file IO",
+		Gen: func(s float64) []*asm.Program {
+			var progs []*asm.Program
+			for in := 0; in < 3; in++ {
+				b := asm.NewBuilder(progName("400.perlbench", in, 3))
+				b.Ascii("path", "/input/perl.txt")
+				b.Space("inbuf", 4*kib)
+				b.Space("table", 128*kib)
+				prologue(b, 17+int64(in))
+				emitOpenRead(b, "path", "inbuf", 4*kib)
+				branchyKernel(b, "main", "table", 128*kib, scaleIters(130_000, s))
+				emitChecksumExit(b)
+				progs = append(progs, b.MustBuild())
+			}
+			return progs
+		},
+	})
+
+	register(&Workload{
+		Name: "401.bzip2", Class: ClassInt,
+		Note: "byte-granular compression-style processing, three inputs",
+		Gen: func(s float64) []*asm.Program {
+			var progs []*asm.Program
+			for in := 0; in < 3; in++ {
+				b := asm.NewBuilder(progName("401.bzip2", in, 3))
+				b.Space("buf", 256*kib)
+				prologue(b, 29+int64(in))
+				byteKernel(b, "main", "buf", 256*kib, scaleIters(280_000, s))
+				emitChecksumExit(b)
+				progs = append(progs, b.MustBuild())
+			}
+			return progs
+		},
+	})
+
+	register(&Workload{
+		Name: "403.gcc", Class: ClassInt,
+		Note: "nine short compiler-style inputs; last-checker sync dominates (§5.5)",
+		Gen: func(s float64) []*asm.Program {
+			var progs []*asm.Program
+			for in := 0; in < 9; in++ {
+				b := asm.NewBuilder(progName("403.gcc", in, 9))
+				b.Ascii("path", "/input/gcc.c")
+				b.Space("inbuf", 2*kib)
+				b.Space("ir", 64*kib)
+				prologue(b, 41+int64(in))
+				emitOpenRead(b, "path", "inbuf", 2*kib)
+				branchyKernel(b, "parse", "ir", 64*kib, scaleIters(55_000, s))
+				streamKernel(b, "emit", "ir", 64*kib, scaleIters(35_000, s), 8, true)
+				emitChecksumExit(b)
+				progs = append(progs, b.MustBuild())
+			}
+			return progs
+		},
+	})
+
+	register(&Workload{
+		Name: "429.mcf", Class: ClassInt,
+		Note: "pointer-chasing network simplex over a multi-MiB arena; DRAM-bound, heavy COW",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("429.mcf")
+			// 4 MiB: double the big cluster's L2, so the chase is
+			// DRAM-bound everywhere; little cores' weaker memory-level
+			// parallelism then gives the >4x slowdown and constant
+			// checker migration the paper reports.
+			b.Words("arena", permutationBytes(128*1024, 32, 53)...)
+			prologue(b, 53)
+			chaseKernel(b, "chase", "arena", scaleIters(420_000, s), true)
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "445.gobmk", Class: ClassInt,
+		Note: "game-tree evaluation: dense data-dependent branches over board tables",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("445.gobmk")
+			b.Space("board", 128*kib)
+			prologue(b, 61)
+			b.Mrs(rTmp2, isa.SysRegCNTVCT) // nondeterministic read, virtualised
+			branchyKernel(b, "eval", "board", 128*kib, scaleIters(330_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "456.hmmer", Class: ClassInt,
+		Note: "profile-HMM dynamic programming: multiply-heavy regular sweeps",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("456.hmmer")
+			b.Words("dp", randWords(4*1024, 67)...) // 32 KiB
+			prologue(b, 67)
+			b.MovI(rIdx, 0)
+			b.MovI(rLim, scaleIters(400_000, s))
+			b.Addr(rBase, "dp")
+			b.Label("dp")
+			b.MulI(rOff, rIdx, 8)
+			b.AndI(rOff, rOff, 32*kib-8)
+			b.Add(rOff, rBase, rOff)
+			b.Ld(rVal, rOff, 0)
+			b.Mul(rTmp, rVal, rIdx)
+			b.ShrI(rTmp2, rTmp, 7)
+			b.Add(rVal, rTmp, rTmp2)
+			b.St(rOff, 0, rVal)
+			b.Add(rAcc, rAcc, rVal)
+			b.AddI(rIdx, rIdx, 1)
+			b.Blt(rIdx, rLim, "dp")
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "458.sjeng", Class: ClassInt,
+		Note: "chess search: moderate working set (~2x little-core slowdown), file-backed mmap of the opening book",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("458.sjeng")
+			b.Ascii("path", "/input/sjeng.book")
+			b.Space("tt", 128*kib)
+			prologue(b, 71)
+			// open + file-backed private mmap: exercises the §4.3.2
+			// segment-split path.
+			b.MovI(0, int64(oskernel.SysOpen))
+			b.Addr(1, "path")
+			b.MovI(2, 0)
+			b.Syscall()
+			b.Mov(rPtr, 0)
+			b.MovI(0, int64(oskernel.SysMmap))
+			b.MovI(1, 0)
+			b.MovI(2, 32*kib)
+			b.MovI(3, 3) // rw
+			b.MovI(4, 0) // file-backed
+			b.Mov(5, rPtr)
+			b.Syscall()
+			b.Mov(rPtr, 0) // book base
+			// fold a little of the book into the checksum
+			b.Ld(rVal, rPtr, 0)
+			b.Add(rAcc, rAcc, rVal)
+			branchyKernel(b, "search", "tt", 128*kib, scaleIters(360_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "462.libquantum", Class: ClassInt,
+		Note: "quantum gate simulation: SIMD streaming over a half-MiB state vector",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("462.libquantum")
+			b.Space("state", 4*mib) // streams: exceeds every cache
+			prologue(b, 73)
+			vecKernel(b, "gates", "state", 4*mib, scaleIters(260_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "464.h264ref", Class: ClassInt,
+		Note: "video encoding: block copies over an mmapped frame buffer plus compute",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("464.h264ref")
+			b.Space("frames", 512*kib)
+			prologue(b, 79)
+			// anonymous mmap workspace: exercises ASLR record/replay.
+			b.MovI(0, int64(oskernel.SysMmap))
+			b.MovI(1, 0)
+			b.MovI(2, 128*kib)
+			b.MovI(3, 3)
+			b.MovI(4, int64(oskernel.MapAnonymous))
+			b.Syscall()
+			b.Mov(rPtr, 0)
+			b.St(rPtr, 0, rAcc) // touch the mapping
+			vecKernel(b, "mc", "frames", 512*kib, scaleIters(170_000, s))
+			branchyKernel(b, "cavlc", "frames", 64*kib, scaleIters(90_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "471.omnetpp", Class: ClassInt,
+		Note: "discrete-event simulation: heap growth via brk and scattered pointer writes",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("471.omnetpp")
+			prologue(b, 83)
+			// grow the heap to 1 MiB in 4 brk steps, touching as we go
+			b.MovI(0, int64(oskernel.SysBrk))
+			b.MovI(1, 0)
+			b.Syscall()
+			b.Mov(rPtr, 0) // current brk = heap base
+			for step := 1; step <= 4; step++ {
+				b.MovI(0, int64(oskernel.SysBrk))
+				b.Mov(1, rPtr)
+				b.AddI(1, 1, int64(step)*128*kib)
+				b.Syscall()
+			}
+			b.MovI(rIdx, 0)
+			b.MovI(rLim, scaleIters(230_000, s))
+			b.Label("events")
+			emitPRNG(b)
+			b.AndI(rOff, rState, 512*kib-8)
+			b.Add(rOff, rPtr, rOff)
+			b.Ld(rVal, rOff, 0)
+			b.Add(rVal, rVal, rIdx)
+			b.St(rOff, 0, rVal)
+			b.Add(rAcc, rAcc, rVal)
+			b.AddI(rIdx, rIdx, 1)
+			b.Blt(rIdx, rLim, "events")
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "473.astar", Class: ClassInt,
+		Note: "path-finding: pointer chase over a half-MiB graph with branchy heuristics",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("473.astar")
+			b.Words("graph", permutationBytes(16*1024, 32, 89)...) // 512 KiB
+			b.Space("open", 32*kib)
+			prologue(b, 89)
+			chaseKernel(b, "expand", "graph", scaleIters(210_000, s), true)
+			branchyKernel(b, "heur", "open", 32*kib, scaleIters(120_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "483.xalancbmk", Class: ClassInt,
+		Note: "XML transformation: byte scanning with branches over a medium buffer",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("483.xalancbmk")
+			b.Ascii("path", "/input/xalan.xml")
+			b.Space("inbuf", 8*kib)
+			b.Space("dom", 512*kib)
+			prologue(b, 97)
+			emitOpenRead(b, "path", "inbuf", 8*kib)
+			byteKernel(b, "scan", "dom", 512*kib, scaleIters(240_000, s))
+			branchyKernel(b, "xform", "dom", 128*kib, scaleIters(110_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	// ------------------------------------------------ floating-point suite
+	register(&Workload{
+		Name: "410.bwaves", Class: ClassFP,
+		Note: "blast-wave solver: FP streaming over a 1 MiB grid",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("410.bwaves")
+			b.Floats("grid", randFloats(2048, 107)...)
+			b.Space("grid2", mib)
+			prologue(b, 107)
+			fpKernel(b, "solve", "grid2", mib, scaleIters(280_000, s), false)
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "433.milc", Class: ClassFP,
+		Note: "lattice QCD: FP read-modify-write streaming over 2 MiB; DRAM-bound",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("433.milc")
+			b.Space("lattice", 4*mib)
+			prologue(b, 109)
+			// line-stride: every access misses, like real milc's streaming
+			// sweeps over a lattice far larger than any cache
+			fpKernelStride(b, "su3", "lattice", 4*mib, scaleIters(280_000, s), 64, false)
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "444.namd", Class: ClassFP,
+		Note: "molecular dynamics: dense FP arithmetic, tiny working set",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("444.namd")
+			b.Space("atoms", 8*kib)
+			prologue(b, 113)
+			fpKernel(b, "forces", "atoms", 8*kib, scaleIters(520_000, s), false)
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "447.dealII", Class: ClassFP,
+		Note: "finite elements: FP sweeps over a quarter-MiB of assembled matrices",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("447.dealII")
+			b.Space("mat", 256*kib)
+			prologue(b, 127)
+			fpKernel(b, "assemble", "mat", 256*kib, scaleIters(300_000, s), false)
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "450.soplex", Class: ClassFP,
+		Note: "LP simplex: two short inputs mixing FP and integer pivoting",
+		Gen: func(s float64) []*asm.Program {
+			var progs []*asm.Program
+			for in := 0; in < 2; in++ {
+				b := asm.NewBuilder(progName("450.soplex", in, 2))
+				b.Space("basis", 512*kib)
+				prologue(b, 131+int64(in))
+				fpKernel(b, "pivot", "basis", 512*kib, scaleIters(130_000, s), false)
+				streamKernel(b, "price", "basis", 512*kib, scaleIters(80_000, s), 64, true)
+				emitChecksumExit(b)
+				progs = append(progs, b.MustBuild())
+			}
+			return progs
+		},
+	})
+
+	register(&Workload{
+		Name: "453.povray", Class: ClassFP,
+		Note: "ray tracing: divide/sqrt-heavy FP with a tiny working set",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("453.povray")
+			b.Space("scene", 8*kib)
+			prologue(b, 137)
+			b.Rdtsc(rTmp2) // timestamp read, virtualised by the runtime
+			fpKernel(b, "trace", "scene", 8*kib, scaleIters(260_000, s), true)
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "470.lbm", Class: ClassFP,
+		Note: "lattice Boltzmann: write-heavy FP streaming over 2 MiB; the paper's worst case for Parallaft energy",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("470.lbm")
+			b.Space("cells", 4*mib)
+			prologue(b, 139)
+			fpKernel(b, "collide", "cells", 2*mib, scaleIters(100_000, s), false)
+			sweepCopyKernel(b, "streamstep", "cells", 4*mib, scaleIters(180_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+
+	register(&Workload{
+		Name: "482.sphinx3", Class: ClassFP,
+		Note: "speech recognition: FP scoring over a medium working set with branchy pruning",
+		Gen: func(s float64) []*asm.Program {
+			b := asm.NewBuilder("482.sphinx3")
+			b.Space("gauden", 512*kib)
+			prologue(b, 149)
+			fpKernel(b, "score", "gauden", 512*kib, scaleIters(200_000, s), false)
+			branchyKernel(b, "prune", "gauden", 64*kib, scaleIters(110_000, s))
+			emitChecksumExit(b)
+			return []*asm.Program{b.MustBuild()}
+		},
+	})
+}

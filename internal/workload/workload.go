@@ -1,0 +1,211 @@
+// Package workload defines the synthetic benchmark suite standing in for
+// SPEC CPU2006 (which the paper uses but cannot be redistributed), plus the
+// §5.7 stress microbenchmarks.
+//
+// Each workload is a guest program (or a sequence of programs, for
+// benchmarks that SPEC splits into multiple inputs) generated with the asm
+// Builder. The suite reproduces the axes the paper's per-benchmark effects
+// ride on:
+//
+//   - memory intensity: mcf/milc/lbm analogues have multi-MiB footprints
+//     that blow out the little cores' caches, producing the 4-8x little-core
+//     slowdown, checker migration to big cores, and high fork/COW cost;
+//   - short multi-process runs: the gcc analogue runs nine short inputs, so
+//     last-checker sync dominates (§5.5);
+//   - moderate compute: the sjeng analogue fits big caches but not little
+//     L1, giving the ~2x little-core slowdown the paper quotes.
+//
+// Every program prints a checksum and exits with its low byte, so harnesses
+// can verify output correctness under protection.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/oskernel"
+)
+
+// Class groups workloads the way the paper's figures do.
+type Class string
+
+// Workload classes.
+const (
+	ClassInt    Class = "int"
+	ClassFP     Class = "fp"
+	ClassStress Class = "stress"
+	// ClassExtra workloads are not part of the paper's suite (they do not
+	// enter geomeans) but are available by name — e.g. the
+	// paftlang-authored kernels.
+	ClassExtra Class = "extra"
+)
+
+// Workload is one benchmark definition.
+type Workload struct {
+	// Name is the analogue's identifier, e.g. "429.mcf".
+	Name string
+	// Class is int, fp, or stress.
+	Class Class
+	// Gen builds the program sequence at a given scale (1.0 = the default
+	// evaluation length). Multi-input benchmarks return several programs,
+	// run back to back like SPEC's multiple ref inputs (§5.1).
+	Gen func(scale float64) []*asm.Program
+	// Note describes the behaviour the analogue models.
+	Note string
+}
+
+var registry []*Workload
+var byName = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := byName[w.Name]; dup {
+		panic("workload: duplicate " + w.Name)
+	}
+	registry = append(registry, w)
+	byName[w.Name] = w
+}
+
+// All returns the full suite (int + fp), in figure order.
+func All() []*Workload {
+	var out []*Workload
+	for _, w := range registry {
+		if w.Class == ClassInt || w.Class == ClassFP {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Stress returns the §5.7 stress microbenchmarks.
+func Stress() []*Workload {
+	var out []*Workload
+	for _, w := range registry {
+		if w.Class == ClassStress {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Get looks a workload up by name; nil if absent.
+func Get(name string) *Workload { return byName[name] }
+
+// Names lists every registered workload.
+func Names() []string {
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- shared emission helpers -------------------------------------------
+
+// Registers conventionally used by the generators.
+const (
+	rAcc   = 1 // running checksum
+	rIdx   = 2 // loop counter
+	rLim   = 3 // loop bound
+	rBase  = 4 // data base pointer
+	rOff   = 5 // scratch offset
+	rVal   = 6 // scratch value
+	rTmp   = 7 // scratch
+	rState = 8 // PRNG state
+	rTmp2  = 9
+	rPtr   = 10
+)
+
+// itersFactor stretches every workload so that a run spans tens of
+// segments at the default slicing period, amortising per-segment cold-cache
+// effects the way the paper's 1.43 s segments do.
+const itersFactor = 4
+
+func scaleIters(base int64, scale float64) int64 {
+	n := int64(float64(base*itersFactor) * scale)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// emitPRNG advances an in-register xorshift-style PRNG: cheap, branch-free,
+// deterministic.
+func emitPRNG(b *asm.Builder) {
+	b.MulI(rState, rState, 6364136223846793005)
+	b.AddI(rState, rState, 1442695040888963407)
+	b.ShrI(rTmp, rState, 33)
+	b.Xor(rState, rState, rTmp)
+}
+
+// emitChecksumExit writes the checksum to stdout as 8 raw bytes and exits
+// with its low byte.
+func emitChecksumExit(b *asm.Builder) {
+	b.Words("chk_out", 0)
+	b.Addr(rTmp, "chk_out")
+	b.St(rTmp, 0, rAcc)
+	b.MovI(0, int64(oskernel.SysWrite))
+	b.MovI(1, 1)
+	b.Addr(2, "chk_out")
+	b.MovI(3, 8)
+	b.Syscall()
+	b.Addr(rTmp, "chk_out")
+	b.Ld(1, rTmp, 0)
+	b.AndI(1, 1, 255)
+	b.MovI(0, int64(oskernel.SysExit))
+	b.Syscall()
+}
+
+// permutationBytes builds a single-cycle pointer-chase array: entry i holds
+// the byte offset of the next entry, each entry strideBytes wide.
+func permutationBytes(entries int, strideBytes int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(entries)
+	// Build a single cycle: follow the shuffled order.
+	next := make([]uint64, entries)
+	for i := 0; i < entries; i++ {
+		from := perm[i]
+		to := perm[(i+1)%entries]
+		next[from] = uint64(to * strideBytes)
+	}
+	// Interleave into stride-sized records: only slot 0 of each record is
+	// the next pointer; the rest is payload.
+	words := strideBytes / 8
+	out := make([]uint64, entries*words)
+	for i := 0; i < entries; i++ {
+		out[i*words] = next[i]
+		for w := 1; w < words; w++ {
+			out[i*words+w] = uint64(rng.Int63())
+		}
+	}
+	return out
+}
+
+// randWords returns n pseudo-random 64-bit words.
+func randWords(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(rng.Int63())
+	}
+	return out
+}
+
+// randFloats returns n pseudo-random float64s in (0, 1].
+func randFloats(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() + 1e-9
+	}
+	return out
+}
+
+func progName(base string, input, total int) string {
+	if total == 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.in%d", base, input)
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+)
+
+func newEngine(seed int64) *sim.Engine {
+	m := machine.New(machine.AppleM2Like())
+	k := oskernel.NewKernel(m.PageSize, seed)
+	for name, data := range Files() {
+		k.AddFile(name, data)
+	}
+	l := oskernel.NewLoader(k, m.PageSize, seed)
+	e := sim.New(m, k, l)
+	e.MaxInstr = 500_000_000
+	return e
+}
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) < 18 {
+		t.Errorf("suite has %d workloads, want >= 18", len(all))
+	}
+	stress := Stress()
+	if len(stress) != 3 {
+		t.Errorf("stress set has %d entries, want 3 (§5.7)", len(stress))
+	}
+	ints, fps := 0, 0
+	for _, w := range all {
+		switch w.Class {
+		case ClassInt:
+			ints++
+		case ClassFP:
+			fps++
+		default:
+			t.Errorf("%s has class %q in the main suite", w.Name, w.Class)
+		}
+		if w.Note == "" {
+			t.Errorf("%s has no behaviour note", w.Name)
+		}
+	}
+	if ints < 10 || fps < 6 {
+		t.Errorf("suite balance: %d int + %d fp", ints, fps)
+	}
+	for _, name := range Names() {
+		if Get(name) == nil {
+			t.Errorf("Names lists %q but Get fails", name)
+		}
+	}
+	if Get("no.such") != nil {
+		t.Error("Get returned a workload for a bogus name")
+	}
+}
+
+func TestPaperBenchmarksPresent(t *testing.T) {
+	// the benchmarks the paper's analysis singles out
+	for _, name := range []string{"429.mcf", "433.milc", "470.lbm", "403.gcc", "458.sjeng",
+		"462.libquantum", "401.bzip2", "450.soplex"} {
+		if Get(name) == nil {
+			t.Errorf("missing analogue %s", name)
+		}
+	}
+}
+
+func TestAllProgramsValidate(t *testing.T) {
+	for _, w := range append(All(), Stress()...) {
+		progs := w.Gen(0.05)
+		if len(progs) == 0 {
+			t.Errorf("%s generated no programs", w.Name)
+		}
+		for _, p := range progs {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", w.Name, p.Name, err)
+			}
+		}
+	}
+}
+
+func TestMultiInputBenchmarks(t *testing.T) {
+	cases := map[string]int{"403.gcc": 9, "401.bzip2": 3, "450.soplex": 2, "400.perlbench": 3}
+	for name, want := range cases {
+		if got := len(Get(name).Gen(0.05)); got != want {
+			t.Errorf("%s: %d inputs, want %d", name, got, want)
+		}
+	}
+}
+
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload")
+	}
+	for _, w := range append(All(), Stress()...) {
+		for _, prog := range w.Gen(0.05) {
+			e := newEngine(3)
+			res, err := e.RunBaseline(prog, e.M.BigCores()[0])
+			if err != nil {
+				t.Errorf("%s/%s: %v", w.Name, prog.Name, err)
+				continue
+			}
+			if res.KilledBy != 0 {
+				t.Errorf("%s/%s killed by %v", w.Name, prog.Name, res.KilledBy)
+			}
+			if res.Instrs == 0 {
+				t.Errorf("%s/%s executed nothing", w.Name, prog.Name)
+			}
+		}
+	}
+}
+
+func TestChecksumsDeterministic(t *testing.T) {
+	for _, name := range []string{"429.mcf", "444.namd", "462.libquantum"} {
+		prog := Get(name).Gen(0.05)[0]
+		run := func() []byte {
+			e := newEngine(3)
+			res, err := e.RunBaseline(prog, e.M.BigCores()[0])
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return res.Stdout
+		}
+		a, b := run(), run()
+		if string(a) != string(b) {
+			t.Errorf("%s: nondeterministic checksum", name)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s: no checksum emitted", name)
+		}
+	}
+}
+
+func TestScaleChangesLength(t *testing.T) {
+	prog1 := Get("444.namd").Gen(0.05)[0]
+	prog2 := Get("444.namd").Gen(0.1)[0]
+	e1, e2 := newEngine(3), newEngine(3)
+	r1, err := e1.RunBaseline(prog1, e1.M.BigCores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.RunBaseline(prog2, e2.M.BigCores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Instrs <= r1.Instrs {
+		t.Errorf("doubling scale did not lengthen the run: %d vs %d", r1.Instrs, r2.Instrs)
+	}
+}
+
+func TestMemoryIntensityAxis(t *testing.T) {
+	// The suite's central design property: the mcf analogue must be far
+	// more DRAM-bound than the namd analogue.
+	missRate := func(name string) float64 {
+		prog := Get(name).Gen(0.05)[0]
+		e := newEngine(3)
+		res, err := e.RunBaseline(prog, e.M.BigCores()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(e.M.DRAMAccesses()) / float64(res.Instrs)
+	}
+	mcf := missRate("429.mcf")
+	namd := missRate("444.namd")
+	if mcf < 10*namd {
+		t.Errorf("mcf DRAM rate %.4f not >> namd %.4f", mcf, namd)
+	}
+}
+
+func TestInputFilesPresent(t *testing.T) {
+	files := Files()
+	for _, path := range []string{"/input/perl.txt", "/input/gcc.c", "/input/xalan.xml", "/input/sjeng.book"} {
+		if len(files[path]) == 0 {
+			t.Errorf("input file %s missing or empty", path)
+		}
+	}
+	// deterministic generation
+	again := Files()
+	for path, data := range files {
+		if string(again[path]) != string(data) {
+			t.Errorf("input %s not deterministic", path)
+		}
+	}
+}
+
+func TestLittleCoreSlowdownAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs workloads twice")
+	}
+	slowdown := func(name string) float64 {
+		prog := Get(name).Gen(0.05)[0]
+		eb := newEngine(3)
+		big, err := eb.RunBaseline(prog, eb.M.BigCores()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		el := newEngine(3)
+		little, err := el.RunBaseline(prog, el.M.LittleCores()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return little.WallNs / big.WallNs
+	}
+	sjeng := slowdown("458.sjeng")
+	mcf := slowdown("429.mcf")
+	if sjeng < 1.5 || sjeng > 3.2 {
+		t.Errorf("sjeng little-core slowdown %.2fx, want ~2x (§5.5)", sjeng)
+	}
+	if mcf < 4 {
+		t.Errorf("mcf little-core slowdown %.2fx, want > 4x (§5.5)", mcf)
+	}
+	if mcf <= sjeng {
+		t.Error("memory-intensive workload must slow down more on little cores")
+	}
+}
+
+func TestProgNameHelper(t *testing.T) {
+	if progName("x", 0, 1) != "x" {
+		t.Error("single-input name decorated")
+	}
+	if progName("x", 2, 3) != "x.in2" {
+		t.Errorf("multi-input name = %q", progName("x", 2, 3))
+	}
+}
+
+func TestPermutationBytesIsSingleCycle(t *testing.T) {
+	const entries, stride = 64, 32
+	words := permutationBytes(entries, stride, 9)
+	if len(words) != entries*stride/8 {
+		t.Fatalf("length = %d", len(words))
+	}
+	// follow the chase: must visit every entry exactly once and return
+	seen := make(map[uint64]bool, entries)
+	off := uint64(0)
+	for i := 0; i < entries; i++ {
+		if off%stride != 0 || off >= entries*stride {
+			t.Fatalf("offset %d invalid at step %d", off, i)
+		}
+		if seen[off] {
+			t.Fatalf("cycle shorter than %d entries (revisited %d at step %d)", entries, off, i)
+		}
+		seen[off] = true
+		off = words[off/8]
+	}
+	if off != 0 {
+		t.Errorf("chase did not return to the start: %d", off)
+	}
+}
+
+var _ = asm.DataBase // keep the asm import for the helpers above
