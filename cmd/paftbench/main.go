@@ -5,18 +5,27 @@
 // Usage:
 //
 //	paftbench -experiment fig5            # figures: fig5 fig6 fig7 fig8 fig9a fig9b fig9c fig10
+//	paftbench -experiment fig9            # alias: all three fig9 panels at once
 //	paftbench -experiment table1          # tables: table1 table2
 //	paftbench -experiment stress          # §5.7 syscall/signal stress
 //	paftbench -experiment intel           # §5.8 Intel platform
 //	paftbench -experiment all             # everything
 //	paftbench -workloads 429.mcf,470.lbm  # restrict the suite
 //	paftbench -scale 0.25                 # shrink workloads for a quick pass
+//	paftbench -parallel 8                 # campaign worker count (1 = serial)
+//	paftbench -progress                   # progress/ETA lines on stderr
+//
+// Independent simulation runs (suite sessions, sweep points, injection
+// trials) fan out over -parallel workers; results are collected in input
+// order and every run derives its own seed from (seed, run identity), so
+// the emitted tables are byte-identical for any -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"parallaft/internal/stats"
@@ -24,11 +33,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9a fig9b fig9c fig10 table1 table2 stress intel all")
+		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 stress intel all")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
 		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
 		seed       = flag.Int64("seed", 12345, "simulation seed")
 		trials     = flag.Int("trials", 5, "fault-injection trials per segment (fig10)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "campaign worker count (1 = serial; output is identical for any value)")
+		progress   = flag.Bool("progress", false, "print progress/ETA lines to stderr")
 	)
 	flag.Parse()
 
@@ -40,6 +51,10 @@ func main() {
 	runner := stats.NewRunner()
 	runner.Scale = *scale
 	runner.Seed = *seed
+	runner.Parallel = *parallel
+	if *progress {
+		runner.Progress = os.Stderr
+	}
 
 	if err := run(runner, *experiment, names, *trials, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "paftbench:", err)
@@ -47,7 +62,23 @@ func main() {
 	}
 }
 
+var knownExperiments = []string{
+	"fig5", "fig6", "fig7", "fig8", "fig9", "fig9a", "fig9b", "fig9c",
+	"fig10", "table1", "table2", "stress", "intel", "all",
+}
+
 func run(runner *stats.Runner, experiment string, names []string, trials int, scale float64) error {
+	known := false
+	for _, e := range knownExperiments {
+		if experiment == e {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (choose one of: %s)", experiment, strings.Join(knownExperiments, " "))
+	}
+
 	needsSuite := map[string]bool{
 		"fig5": true, "fig6": true, "fig7": true, "fig8": true,
 		"table1": true, "all": true,
@@ -123,6 +154,8 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		intel := stats.NewIntelRunner()
 		intel.Scale = runner.Scale
 		intel.Seed = runner.Seed
+		intel.Parallel = runner.Parallel
+		intel.Progress = runner.Progress
 		sr, err := intel.RunSuite(names, true)
 		if err != nil {
 			return err

@@ -27,13 +27,14 @@ import (
 func main() {
 	var (
 		mode      = flag.String("mode", "parallaft", "execution mode: parallaft, raft, or baseline")
-		machName  = flag.String("machine", "apple", "machine preset: apple or intel")
+		machName  = flag.String("machine", "apple", "machine preset: apple, intel, or big (big cores only)")
 		wlName    = flag.String("workload", "", "run a built-in workload instead of an assembly file")
 		period    = flag.Float64("period", 0, "slicing period in sim cycles (0 = default)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		scale     = flag.Float64("scale", 1.0, "workload scale (built-in workloads only)")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 		traceFile = flag.String("trace", "", "write a JSONL trace of runtime decisions to this file")
+		traceCap  = flag.Int("trace-limit", 0, "keep at most N trace events (0 = unbounded); a truncation marker records the overflow")
 	)
 	flag.Parse()
 
@@ -57,13 +58,15 @@ func main() {
 		mcfg = machine.AppleM2Like()
 	case "intel":
 		mcfg = machine.IntelLike()
+	case "big":
+		mcfg = machine.BigOnly()
 	default:
 		fmt.Fprintf(os.Stderr, "parallaft: unknown machine %q\n", *machName)
 		os.Exit(2)
 	}
 
 	for _, prog := range progs {
-		if err := runOne(prog, mcfg, *mode, *period, *seed, *traceFile); err != nil {
+		if err := runOne(prog, mcfg, *mode, *period, *seed, *traceFile, *traceCap); err != nil {
 			fmt.Fprintln(os.Stderr, "parallaft:", err)
 			os.Exit(1)
 		}
@@ -92,7 +95,7 @@ func loadPrograms(wlName string, scale float64, args []string) ([]*asm.Program, 
 	return []*asm.Program{prog}, nil
 }
 
-func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64, seed int64, traceFile string) error {
+func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64, seed int64, traceFile string, traceCap int) error {
 	m := machine.New(mcfg)
 	k := oskernel.NewKernel(m.PageSize, seed)
 	for name, data := range workload.Files() {
@@ -136,7 +139,7 @@ func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64,
 		}
 		var rec *trace.Recorder
 		if traceFile != "" {
-			rec = trace.New(0)
+			rec = trace.New(traceCap)
 			cfg.Trace = rec
 		}
 		rt := core.NewRuntime(e, cfg)
@@ -154,6 +157,9 @@ func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64,
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", rec.Count(""), traceFile)
+			if d := rec.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "trace: %d events dropped by -trace-limit %d\n", d, traceCap)
+			}
 		}
 		fmt.Printf("== %s (%s on %s) ==\n", prog.Name, mode, m)
 		fmt.Printf("timing.all_wall_time:            %.3f ms\n", st.AllWallNs/1e6)

@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
 	"parallaft/internal/core"
 	"parallaft/internal/inject"
@@ -22,6 +24,8 @@ func main() {
 	trials := flag.Int("trials", 3, "injection trials per segment")
 	scale := flag.Float64("scale", 0.25, "workload scale")
 	seed := flag.Int64("seed", 2024, "campaign seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "trial worker count (1 = serial; the report is identical for any value)")
+	progress := flag.Bool("progress", false, "print per-trial progress/ETA lines to stderr")
 	flag.Parse()
 
 	w := workload.Get(*bench)
@@ -43,6 +47,10 @@ func main() {
 		Config:           core.DefaultConfig(),
 		TrialsPerSegment: *trials,
 		Seed:             *seed,
+		Parallel:         *parallel,
+	}
+	if *progress {
+		campaign.Progress = os.Stderr
 	}
 
 	rep, err := campaign.Run()

@@ -1,0 +1,48 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports campaign completion and an ETA as plain lines, one per
+// finished job, so long fan-outs (a full fig. 10 injection campaign runs
+// hundreds of simulations) are observable. A nil *Progress is silent, so
+// call sites never need nil checks.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+	start time.Time
+}
+
+// NewProgress returns a reporter writing to w (nil w = silent reporter).
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	if w == nil {
+		return nil
+	}
+	return &Progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+// Step records n finished jobs and emits a progress line with an ETA
+// extrapolated from the mean per-job wall time so far.
+func (p *Progress) Step(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done += n
+	elapsed := time.Since(p.start)
+	eta := "?"
+	if p.done > 0 && p.done <= p.total {
+		rem := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = rem.Round(time.Second).String()
+	}
+	fmt.Fprintf(p.w, "%s: %d/%d done, elapsed %s, eta %s\n",
+		p.label, p.done, p.total, elapsed.Round(time.Second), eta)
+}

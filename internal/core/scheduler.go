@@ -61,6 +61,15 @@ func (s *scheduler) place(seg *Segment, nowNs float64) {
 		s.assign(seg, c, nowNs)
 		return
 	}
+	if len(s.pool()) == 0 {
+		// A machine with no little cores degenerates to big-core placement:
+		// with an empty pool there is never a migration victim, so without
+		// this fallback every checker would queue forever.
+		if big := s.freeCore(s.bigs); big != nil {
+			s.assign(seg, big, nowNs)
+			return
+		}
+	}
 	if s.r.cfg.EnableMigration && !s.r.cfg.CheckersOnBig {
 		if big := s.freeCore(s.bigs); big != nil {
 			victim := s.pickMigrationVictim()
@@ -69,7 +78,7 @@ func (s *scheduler) place(seg *Segment, nowNs float64) {
 				s.r.stats.Migrations++
 				s.lastMigration = s.boundaryCount
 				// Checkers are falling behind: run the pool flat out.
-				s.setLittleFreqIdx(len(s.littles[0].Ladder) - 1)
+				s.setLittleFreqMax()
 				if c := s.freeCore(s.littles); c != nil {
 					s.assign(seg, c, nowNs)
 					return
@@ -201,7 +210,7 @@ func (s *scheduler) onBoundary() {
 			latest = seg
 		}
 	}
-	minSegNs := 0.02 * r.cfg.SlicePeriodCycles / s.littles[0].MaxGHz()
+	minSegNs := 0.02 * r.cfg.SlicePeriodCycles / s.refMaxGHz()
 	if latest != nil && latest.mainEndNs-latest.mainStartNs > minSegNs {
 		mainNs := latest.mainEndNs - latest.mainStartNs
 		if s.ewmaMainNs == 0 {
@@ -219,7 +228,7 @@ func (s *scheduler) onBoundary() {
 	// wait for things to settle before scaling down again (hysteresis
 	// prevents the downscale-migrate oscillation).
 	if len(s.queue) > 0 || s.anyOnBig() || s.boundaryCount-s.lastMigration < 8 {
-		s.setLittleFreqIdx(len(s.littles[0].Ladder) - 1)
+		s.setLittleFreqMax()
 		return
 	}
 	if s.ewmaCheckerNorm == 0 || s.ewmaMainNs == 0 {
@@ -271,6 +280,25 @@ func (s *scheduler) anyOnBig() bool {
 	return false
 }
 
+// refMaxGHz is the reference frequency for normalising segment durations:
+// the little cores' fmax, or the main core's on a machine without a little
+// pool (the pacer is inert there, but the EWMA filter still needs a scale).
+func (s *scheduler) refMaxGHz() float64 {
+	if len(s.littles) > 0 {
+		return s.littles[0].MaxGHz()
+	}
+	return s.r.mainCore.MaxGHz()
+}
+
+// setLittleFreqMax runs the little pool flat out; a no-op on machines
+// without little cores.
+func (s *scheduler) setLittleFreqMax() {
+	if len(s.littles) == 0 {
+		return
+	}
+	s.setLittleFreqIdx(len(s.littles[0].Ladder) - 1)
+}
+
 func (s *scheduler) setLittleFreqIdx(idx int) {
 	if len(s.littles) > 0 && s.littles[0].FreqIndex() != idx {
 		s.r.cfg.Trace.Emit(s.r.mainTask.Clock, trace.DVFS, -1, "little cores -> %.1f GHz", s.littles[0].Ladder[clampIdx(idx, len(s.littles[0].Ladder))].GHz)
@@ -309,5 +337,5 @@ func (s *scheduler) onMainExit() {
 		s.migrate(seg, big)
 		s.r.stats.ExitMigrated++
 	}
-	s.setLittleFreqIdx(len(s.littles[0].Ladder) - 1)
+	s.setLittleFreqMax()
 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/sim"
+)
+
+// bigOnlyConfig is machine.BigOnly() — the Apple preset without its little
+// cluster; the shape of a server part, or a VM pinned to performance cores.
+// The checker scheduler used to panic at the first segment boundary
+// (onBoundary read littles[0] before its emptiness guard) and again at main
+// exit, and its placement path queued checkers forever because an empty pool
+// never has a migration victim.
+func bigOnlyConfig() machine.Config {
+	return machine.BigOnly()
+}
+
+func newBigOnlyEngine(seed int64) *sim.Engine {
+	m := machine.New(bigOnlyConfig())
+	k := oskernel.NewKernel(m.PageSize, seed)
+	l := oskernel.NewLoader(k, m.PageSize, seed)
+	return sim.New(m, k, l)
+}
+
+func TestBigOnlyMachineRunsDefaultConfig(t *testing.T) {
+	// The default Parallaft config has EnableMigration and EnableDVFS set —
+	// exactly the paths that dereferenced littles[0].
+	cfg := DefaultConfig()
+	cfg.SlicePeriodCycles = 40_000 // force multiple segment boundaries
+	e := newBigOnlyEngine(7)
+	r := NewRuntime(e, cfg)
+	stats, err := r.Run(testProgram(40_000))
+	if err != nil {
+		t.Fatalf("big-cores-only run failed: %v", err)
+	}
+	if stats.Detected != nil {
+		t.Fatalf("false positive on big-only machine: %v", stats.Detected)
+	}
+	if stats.Slices == 0 {
+		t.Fatal("no boundaries taken; the regression paths were not exercised")
+	}
+	if stats.CheckerLittleNs != 0 {
+		t.Errorf("checker time on nonexistent little cores: %v ns", stats.CheckerLittleNs)
+	}
+	if stats.CheckerBigNs <= 0 {
+		t.Error("checkers did no big-core work; they must have been placed somewhere")
+	}
+	// Matches the baseline output (testProgram writes "hello\n").
+	if string(stats.Stdout) != "hello\n" {
+		t.Errorf("stdout = %q", stats.Stdout)
+	}
+}
+
+func TestBigOnlyMachineNoMigration(t *testing.T) {
+	// With migration disabled the empty-pool fallback in place() is the only
+	// thing standing between the checkers and an eternal queue.
+	cfg := DefaultConfig()
+	cfg.SlicePeriodCycles = 40_000
+	cfg.EnableMigration = false
+	e := newBigOnlyEngine(7)
+	r := NewRuntime(e, cfg)
+	stats, err := r.Run(testProgram(40_000))
+	if err != nil {
+		t.Fatalf("big-cores-only run without migration failed: %v", err)
+	}
+	if stats.Detected != nil {
+		t.Fatalf("false positive: %v", stats.Detected)
+	}
+}
+
+func TestBigOnlyMachineRAFT(t *testing.T) {
+	cfg := RAFTConfig() // CheckersOnBig: pool() is already the big set
+	e := newBigOnlyEngine(7)
+	r := NewRuntime(e, cfg)
+	stats, err := r.Run(testProgram(40_000))
+	if err != nil {
+		t.Fatalf("big-cores-only RAFT run failed: %v", err)
+	}
+	if stats.Detected != nil {
+		t.Fatalf("false positive: %v", stats.Detected)
+	}
+}

@@ -7,9 +7,11 @@ package inject
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"parallaft/internal/asm"
+	"parallaft/internal/campaign"
 	"parallaft/internal/core"
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
@@ -128,6 +130,12 @@ type Campaign struct {
 	// MaxRedraws bounds retries when an injection fails to land.
 	MaxRedraws int
 	Seed       int64
+	// Parallel fans the trials out over this many workers (<= 0 = one per
+	// CPU, 1 = serial). Every trial derives its own rng seed from (Seed,
+	// segment, trial), so the report is identical for any worker count.
+	Parallel int
+	// Progress, when set, receives per-trial progress/ETA lines.
+	Progress io.Writer
 }
 
 func (c *Campaign) trials() int {
@@ -155,10 +163,14 @@ func randTarget(rng *rand.Rand) Target {
 	}
 }
 
-// Run executes the campaign: one clean profiling run, then trials.
+// Run executes the campaign: one clean profiling run, then trials. The
+// trials — the hottest loop of the §5.6 campaign, every one a full
+// simulation — are independent, so they fan out across workers. Each trial
+// seeds its own rng from its (segment, trial) coordinates rather than
+// drawing from a shared stream, which makes the report independent of both
+// scheduling and the Parallel setting; trials are collected in (segment,
+// trial) order so the report is also byte-stable.
 func (c *Campaign) Run() (*Report, error) {
-	rng := rand.New(rand.NewSource(c.Seed))
-
 	// Profile run: per-segment checker durations, reference output.
 	profEngine := c.NewEngine()
 	profRT := core.NewRuntime(profEngine, c.Config)
@@ -170,24 +182,48 @@ func (c *Campaign) Run() (*Report, error) {
 		return nil, fmt.Errorf("inject: profile run detected a phantom error: %v", prof.Detected)
 	}
 
-	rep := &Report{Benchmark: c.Program.Name}
+	type slot struct {
+		segment int
+		trial   int
+		cleanNs float64 // the segment's clean checker duration t
+	}
+	var slots []slot
 	for _, segStat := range prof.Segments {
-		t := segStat.CheckerNs
-		if t <= 0 {
+		if segStat.CheckerNs <= 0 {
 			continue
 		}
 		for trial := 0; trial < c.trials(); trial++ {
-			var tr Trial
-			for attempt := 0; attempt < c.redraws(); attempt++ {
-				at := rng.Float64() * 1.1 * t
-				tr = c.runOne(segStat.Index, at, randTarget(rng), prof)
-				if tr.Outcome != OutcomeFailed {
-					break
-				}
-			}
-			rep.Trials = append(rep.Trials, tr)
-			rep.Counts[tr.Outcome]++
+			slots = append(slots, slot{segStat.Index, trial, segStat.CheckerNs})
 		}
+	}
+
+	pr := campaign.NewProgress(c.Progress, "inject "+c.Program.Name, len(slots))
+	results := campaign.RunProgress(c.Parallel, len(slots), pr, func(i int) (Trial, error) {
+		s := slots[i]
+		seed := campaign.DeriveSeed(c.Seed, "inject", c.Program.Name,
+			fmt.Sprintf("seg%d", s.segment), fmt.Sprintf("trial%d", s.trial))
+		rng := rand.New(rand.NewSource(seed))
+		var tr Trial
+		for attempt := 0; attempt < c.redraws(); attempt++ {
+			at := rng.Float64() * 1.1 * s.cleanNs
+			tr = c.runOne(s.segment, at, randTarget(rng), prof)
+			if tr.Outcome != OutcomeFailed {
+				break
+			}
+		}
+		return tr, nil
+	})
+
+	rep := &Report{Benchmark: c.Program.Name}
+	for i, res := range results {
+		tr := res.Value
+		if res.Err != nil {
+			// A panicking simulation surfaces as a failed trial row rather
+			// than killing the campaign.
+			tr = Trial{Segment: slots[i].segment, Outcome: OutcomeFailed, Detail: res.Err.Error()}
+		}
+		rep.Trials = append(rep.Trials, tr)
+		rep.Counts[tr.Outcome]++
 	}
 	return rep, nil
 }

@@ -145,6 +145,42 @@ func TestCampaignDetectsEverythingNonBenign(t *testing.T) {
 	}
 }
 
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	// The golden determinism guarantee: per-trial seed derivation makes the
+	// report identical for every worker count, trial for trial.
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 150_000
+	run := func(parallel int) *Report {
+		c := &Campaign{
+			NewEngine:        newEngine,
+			Program:          testProgram(),
+			Config:           cfg,
+			TrialsPerSegment: 2,
+			Seed:             42,
+			Parallel:         parallel,
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial.Trials) != len(parallel.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(serial.Trials), len(parallel.Trials))
+	}
+	for i := range serial.Trials {
+		if serial.Trials[i] != parallel.Trials[i] {
+			t.Errorf("trial %d differs:\n serial   %+v\n parallel %+v",
+				i, serial.Trials[i], parallel.Trials[i])
+		}
+	}
+	if serial.Counts != parallel.Counts {
+		t.Errorf("outcome counts differ: %v vs %v", serial.Counts, parallel.Counts)
+	}
+}
+
 func TestCampaignRejectsPhantomConfig(t *testing.T) {
 	// A config that would flag errors on a clean run must abort the
 	// campaign at the profile stage rather than report garbage.

@@ -378,6 +378,23 @@ func AppleM2Like() Config {
 	}
 }
 
+// BigOnly returns the Apple preset with the little cluster removed: a
+// homogeneous big-core machine. Parallaft degenerates gracefully — checkers
+// are placed directly on spare big cores, there is no migration target and
+// no little DVFS domain to pace.
+func BigOnly() Config {
+	cfg := AppleM2Like()
+	var bigs []Core
+	for _, c := range cfg.Cores {
+		if c.Kind == Big {
+			bigs = append(bigs, c)
+		}
+	}
+	cfg.Cores = bigs
+	cfg.Name = "apple-big-only"
+	return cfg
+}
+
 // IntelLike returns the scaled Intel-Core-i7-14700-style configuration for
 // the §5.8 experiment: E-cores share the package voltage domain (little
 // power savings), a large uncore static term, 4 KiB pages, and slicing by

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"parallaft/internal/campaign"
 	"parallaft/internal/core"
 	"parallaft/internal/inject"
 	"parallaft/internal/machine"
@@ -18,31 +19,48 @@ type SuiteResult struct {
 	Comparisons []*Comparison
 }
 
-// RunSuite runs baseline/Parallaft(/RAFT) sessions for the named workloads
-// (nil = the full suite).
-func (r *Runner) RunSuite(names []string, withRAFT bool) (*SuiteResult, error) {
-	var ws []*workload.Workload
+// resolveWorkloads maps workload names to definitions (nil = full suite).
+func resolveWorkloads(names []string) ([]*workload.Workload, error) {
 	if names == nil {
-		ws = workload.All()
-	} else {
-		for _, n := range names {
-			w := workload.Get(n)
-			if w == nil {
-				return nil, fmt.Errorf("stats: unknown workload %q", n)
-			}
-			ws = append(ws, w)
-		}
+		return workload.All(), nil
 	}
-	sr := &SuiteResult{}
-	for _, w := range ws {
-		c, err := r.Compare(w, withRAFT)
+	var ws []*workload.Workload
+	for _, n := range names {
+		w := workload.Get(n)
+		if w == nil {
+			return nil, fmt.Errorf("stats: unknown workload %q", n)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// RunSuite runs baseline/Parallaft(/RAFT) sessions for the named workloads
+// (nil = the full suite). Workloads are independent simulations, so they
+// fan out over Runner.Parallel workers; comparisons come back in input
+// order, making the rendered figures identical to a serial run.
+func (r *Runner) RunSuite(names []string, withRAFT bool) (*SuiteResult, error) {
+	ws, err := resolveWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	pr := campaign.NewProgress(r.Progress, "suite", len(ws))
+	results := campaign.RunProgress(r.Parallel, len(ws), pr, func(i int) (*Comparison, error) {
+		c, err := r.Compare(ws[i], withRAFT)
 		if err != nil {
 			return nil, err
 		}
 		if c.Parallaft.Detected != nil {
-			return nil, fmt.Errorf("stats: %s: parallaft flagged a phantom error: %v", w.Name, c.Parallaft.Detected)
+			return nil, fmt.Errorf("stats: %s: parallaft flagged a phantom error: %v", ws[i].Name, c.Parallaft.Detected)
 		}
-		sr.Comparisons = append(sr.Comparisons, c)
+		return c, nil
+	})
+	sr := &SuiteResult{}
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		sr.Comparisons = append(sr.Comparisons, res.Value)
 	}
 	return sr, nil
 }
@@ -154,7 +172,10 @@ var Fig9Periods = []float64{400_000, 800_000, 2_000_000, 4_000_000, 8_000_000}
 // Fig9Benchmarks are the paper's sweep subjects.
 var Fig9Benchmarks = []string{"403.gcc", "429.mcf", "458.sjeng"}
 
-// RunFig9 sweeps the slicing period for the figure-9 benchmarks.
+// RunFig9 sweeps the slicing period for the figure-9 benchmarks. The sweep
+// is a grid of independent runs: per-benchmark baselines fan out first,
+// then every (benchmark, period) Parallaft run; points come back in the
+// serial nesting order (benchmark-major, period-minor).
 func (r *Runner) RunFig9(benchmarks []string, periods []float64) ([]SweepPoint, error) {
 	if benchmarks == nil {
 		benchmarks = Fig9Benchmarks
@@ -162,39 +183,62 @@ func (r *Runner) RunFig9(benchmarks []string, periods []float64) ([]SweepPoint, 
 	if periods == nil {
 		periods = Fig9Periods
 	}
-	var out []SweepPoint
-	for _, name := range benchmarks {
-		w := workload.Get(name)
-		if w == nil {
+	ws := make([]*workload.Workload, len(benchmarks))
+	for i, name := range benchmarks {
+		if ws[i] = workload.Get(name); ws[i] == nil {
 			return nil, fmt.Errorf("stats: unknown workload %q", name)
 		}
-		base, err := r.RunWorkload(w, ModeBaseline)
+	}
+
+	basePr := campaign.NewProgress(r.Progress, "fig9 baselines", len(ws))
+	bases := campaign.RunProgress(r.Parallel, len(ws), basePr, func(i int) (*SessionResult, error) {
+		return r.RunWorkload(ws[i], ModeBaseline)
+	})
+	if err := campaign.FirstErr(bases); err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		bench  int
+		period float64
+	}
+	var cells []cell
+	for b := range ws {
+		for _, p := range periods {
+			cells = append(cells, cell{b, p})
+		}
+	}
+	pr := campaign.NewProgress(r.Progress, "fig9 sweep", len(cells))
+	points := campaign.RunProgress(r.Parallel, len(cells), pr, func(i int) (SweepPoint, error) {
+		w, period := ws[cells[i].bench], cells[i].period
+		sweep := *r
+		sweep.ConfigTweak = func(c *core.Config) {
+			c.SlicePeriodCycles = period
+			c.SlicePeriodInstrs = uint64(period)
+			if r.ConfigTweak != nil {
+				r.ConfigTweak(c)
+			}
+		}
+		par, err := sweep.RunWorkload(w, ModeParallaft)
 		if err != nil {
-			return nil, err
+			return SweepPoint{}, err
 		}
-		for _, period := range periods {
-			sweep := *r
-			sweep.ConfigTweak = func(c *core.Config) {
-				c.SlicePeriodCycles = period
-				c.SlicePeriodInstrs = uint64(period)
-				if r.ConfigTweak != nil {
-					r.ConfigTweak(c)
-				}
-			}
-			par, err := sweep.RunWorkload(w, ModeParallaft)
-			if err != nil {
-				return nil, err
-			}
-			c := &Comparison{Name: name, Baseline: base, Parallaft: par}
-			f, _, lc, _ := c.Breakdown()
-			out = append(out, SweepPoint{
-				Benchmark:    name,
-				PeriodCycles: period,
-				ForkCOW:      f,
-				LastChecker:  lc,
-				Combined:     c.PerfOverhead(ModeParallaft),
-			})
+		c := &Comparison{Name: w.Name, Baseline: bases[cells[i].bench].Value, Parallaft: par}
+		f, _, lc, _ := c.Breakdown()
+		return SweepPoint{
+			Benchmark:    w.Name,
+			PeriodCycles: period,
+			ForkCOW:      f,
+			LastChecker:  lc,
+			Combined:     c.PerfOverhead(ModeParallaft),
+		}, nil
+	})
+	out := make([]SweepPoint, 0, len(points))
+	for _, res := range points {
+		if res.Err != nil {
+			return nil, res.Err
 		}
+		out = append(out, res.Value)
 	}
 	return out, nil
 }
@@ -261,25 +305,20 @@ type InjectionRow struct {
 }
 
 // RunFig10 runs the §5.6 fault-injection campaign over the named workloads
-// (nil = full suite); trials is per segment (paper: 5).
+// (nil = full suite); trials is per segment (paper: 5). Workloads run in
+// sequence, but each workload's trials — the hottest loop of the whole
+// evaluation, one full simulation per trial — fan out over Runner.Parallel
+// workers inside inject.Campaign.
 func (r *Runner) RunFig10(names []string, trials int, scale float64) ([]InjectionRow, error) {
-	var ws []*workload.Workload
-	if names == nil {
-		ws = workload.All()
-	} else {
-		for _, n := range names {
-			w := workload.Get(n)
-			if w == nil {
-				return nil, fmt.Errorf("stats: unknown workload %q", n)
-			}
-			ws = append(ws, w)
-		}
+	ws, err := resolveWorkloads(names)
+	if err != nil {
+		return nil, err
 	}
 	var rows []InjectionRow
 	for _, w := range ws {
 		progs := w.Gen(scale)
 		// Inject into the first input program of multi-input benchmarks.
-		campaign := &inject.Campaign{
+		camp := &inject.Campaign{
 			NewEngine: func() *sim.Engine {
 				m := machine.New(r.MachineCfg())
 				k := oskernel.NewKernel(m.PageSize, r.Seed)
@@ -293,8 +332,10 @@ func (r *Runner) RunFig10(names []string, trials int, scale float64) ([]Injectio
 			Config:           r.injectionConfig(),
 			TrialsPerSegment: trials,
 			Seed:             r.Seed * 7919,
+			Parallel:         r.Parallel,
+			Progress:         r.Progress,
 		}
-		rep, err := campaign.Run()
+		rep, err := camp.Run()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -356,33 +397,43 @@ type StressRow struct {
 	PaperParallaX float64
 }
 
-// RunStress measures the §5.7 syscall/signal stress slowdowns.
+// RunStress measures the §5.7 syscall/signal stress slowdowns, fanning the
+// microbenchmarks out over Runner.Parallel workers.
 func (r *Runner) RunStress() ([]StressRow, error) {
 	paper := map[string]float64{
 		"stress.getpid":  124.5,
 		"stress.devzero": 18.5,
 		"stress.sigusr1": 39.8,
 	}
-	var rows []StressRow
-	for _, w := range workload.Stress() {
+	sws := workload.Stress()
+	pr := campaign.NewProgress(r.Progress, "stress", len(sws))
+	results := campaign.RunProgress(r.Parallel, len(sws), pr, func(i int) (StressRow, error) {
+		w := sws[i]
 		base, err := r.RunWorkload(w, ModeBaseline)
 		if err != nil {
-			return nil, err
+			return StressRow{}, err
 		}
 		par, err := r.RunWorkload(w, ModeParallaft)
 		if err != nil {
-			return nil, err
+			return StressRow{}, err
 		}
 		raft, err := r.RunWorkload(w, ModeRAFT)
 		if err != nil {
-			return nil, err
+			return StressRow{}, err
 		}
-		rows = append(rows, StressRow{
+		return StressRow{
 			Name:          w.Name,
 			ParallaftX:    par.WallNs / base.WallNs,
 			RAFTX:         raft.WallNs / base.WallNs,
 			PaperParallaX: paper[w.Name],
-		})
+		}, nil
+	})
+	var rows []StressRow
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		rows = append(rows, res.Value)
 	}
 	return rows, nil
 }

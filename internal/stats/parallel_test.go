@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The parallel campaign engine's contract: for a fixed seed, every rendered
+// table is byte-identical whether the runs fan out or execute serially.
+
+func suiteOutput(t *testing.T, parallel int) string {
+	t.Helper()
+	r := NewRunner()
+	r.Scale = 0.1
+	r.Parallel = parallel
+	sr, err := r.RunSuite([]string{"444.namd", "403.gcc", "458.sjeng"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr.FormatFig5() + sr.FormatFig6() + sr.FormatFig7() + sr.FormatFig8() + sr.FormatTable1()
+}
+
+func TestSuiteParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs workloads")
+	}
+	serial := suiteOutput(t, 1)
+	parallel := suiteOutput(t, 4)
+	if serial != parallel {
+		t.Errorf("suite output differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestFig10ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an injection campaign")
+	}
+	run := func(parallel int) string {
+		r := NewRunner()
+		r.Parallel = parallel
+		rows, err := r.RunFig10([]string{"456.hmmer"}, 2, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFig10(rows)
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Errorf("fig10 output differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestFig9ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the slicing-period sweep")
+	}
+	run := func(parallel int) string {
+		r := NewRunner()
+		r.Scale = 0.25
+		r.Parallel = parallel
+		points, err := r.RunFig9([]string{"429.mcf", "458.sjeng"}, []float64{400_000, 2_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFig9(points)
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Errorf("fig9 output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestTable2ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the table-2 scenarios")
+	}
+	run := func(parallel int) string {
+		r := NewRunner()
+		r.Parallel = parallel
+		res, err := r.RunTable2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTable2(res)
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Errorf("table2 output differs:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestSuiteProgressReporting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs workloads")
+	}
+	var buf bytes.Buffer
+	r := NewRunner()
+	r.Scale = 0.1
+	r.Parallel = 2
+	r.Progress = &buf
+	if _, err := r.RunSuite([]string{"444.namd", "403.gcc"}, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "suite: 2/2 done") || !strings.Contains(out, "eta") {
+		t.Errorf("progress stream missing completion/ETA lines:\n%s", out)
+	}
+}

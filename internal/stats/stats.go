@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"strings"
 
@@ -101,8 +102,17 @@ type Runner struct {
 	// Seed drives all simulated nondeterminism (ASLR, PMU skid, ...).
 	Seed int64
 	// ConfigTweak, when set, adjusts the runtime config (slice-period
-	// sweeps, ablations).
+	// sweeps, ablations). It may be called from several workers at once,
+	// so it must not mutate shared state.
 	ConfigTweak func(*core.Config)
+	// Parallel is the worker count for fanning independent simulations out
+	// across cores (<= 0 = one per CPU, 1 = serial). Every experiment
+	// collects results in input order and derives per-run seeds from run
+	// identity, so the rendered tables are byte-identical for any value.
+	Parallel int
+	// Progress, when set, receives coarse progress/ETA lines (one per
+	// finished run) — typically os.Stderr, so tables on stdout stay clean.
+	Progress io.Writer
 }
 
 // NewRunner returns a runner on the Apple-M2-like preset at scale 1.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parallaft/internal/asm"
+	"parallaft/internal/campaign"
 	"parallaft/internal/core"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/proc"
@@ -75,7 +76,9 @@ func table2Program() *asm.Program {
 	return b.MustBuild()
 }
 
-// RunTable2 executes the two scenarios under both runtimes.
+// RunTable2 executes the two scenarios under both runtimes; the four
+// (scenario, runtime) cells are independent simulations and fan out over
+// Runner.Parallel workers.
 func (r *Runner) RunTable2() (*Table2Result, error) {
 	prog := table2Program()
 	postwrite := prog.Labels["postwrite"]
@@ -114,16 +117,19 @@ func (r *Runner) RunTable2() (*Table2Result, error) {
 	type scenario struct {
 		hook     func() func(int, *proc.Process, float64)
 		raftMode bool
-		detected *bool
-		segOut   *int
 	}
 	scenarios := []scenario{
-		{silentHook, false, &res.ParallaftDetectsSilent, &res.ParallaftSilentSegment},
-		{silentHook, true, &res.RAFTDetectsSilent, nil},
-		{syscallHook, false, &res.ParallaftDetectsSyscall, nil},
-		{syscallHook, true, &res.RAFTDetectsSyscall, nil},
+		{silentHook, false},
+		{silentHook, true},
+		{syscallHook, false},
+		{syscallHook, true},
 	}
-	for _, sc := range scenarios {
+	type verdict struct {
+		detected bool
+		segment  int
+	}
+	results := campaign.Run(r.Parallel, len(scenarios), func(i int) (verdict, error) {
+		sc := scenarios[i]
 		var cfg core.Config
 		if sc.raftMode {
 			cfg = core.RAFTConfig()
@@ -138,13 +144,24 @@ func (r *Runner) RunTable2() (*Table2Result, error) {
 		rt := core.NewRuntime(e, cfg)
 		stats, err := rt.Run(prog)
 		if err != nil {
-			return nil, err
+			return verdict{}, err
 		}
-		*sc.detected = stats.Detected != nil
-		if sc.segOut != nil && stats.Detected != nil {
-			*sc.segOut = stats.Detected.Segment
+		v := verdict{detected: stats.Detected != nil, segment: -1}
+		if stats.Detected != nil {
+			v.segment = stats.Detected.Segment
 		}
+		return v, nil
+	})
+	if err := campaign.FirstErr(results); err != nil {
+		return nil, err
 	}
+	res.ParallaftDetectsSilent = results[0].Value.detected
+	if results[0].Value.detected {
+		res.ParallaftSilentSegment = results[0].Value.segment
+	}
+	res.RAFTDetectsSilent = results[1].Value.detected
+	res.ParallaftDetectsSyscall = results[2].Value.detected
+	res.RAFTDetectsSyscall = results[3].Value.detected
 	return res, nil
 }
 

@@ -36,6 +36,10 @@ const (
 	Rollback     Kind = "rollback"
 	Barrier      Kind = "barrier"
 	Stall        Kind = "stall"
+	// Truncated is a synthetic trailer appended when rendering a recorder
+	// that hit its event limit, so a cut-off trace is never mistaken for a
+	// complete one.
+	Truncated Kind = "truncated"
 )
 
 // Event is one runtime decision.
@@ -50,9 +54,10 @@ type Event struct {
 // *Recorder drops everything, so call sites never need nil checks beyond
 // the method receiver.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped uint64
 }
 
 // New returns a recorder bounded to limit events (0 = unbounded).
@@ -66,6 +71,7 @@ func (r *Recorder) Emit(timeNs float64, kind Kind, segment int, format string, a
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
 	detail := format
@@ -73,6 +79,18 @@ func (r *Recorder) Emit(timeNs float64, kind Kind, segment int, format string, a
 		detail = fmt.Sprintf(format, args...)
 	}
 	r.events = append(r.events, Event{TimeNs: timeNs, Kind: kind, Segment: segment, Detail: detail})
+}
+
+// Dropped returns how many events were discarded after the limit was
+// reached. A nonzero value means the recorded stream is a prefix of the
+// run, not the whole run.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns a copy of the recorded stream.
@@ -106,9 +124,23 @@ func (r *Recorder) Count(kind Kind) int {
 	return n
 }
 
-// WriteJSONL renders the stream as JSON Lines.
+// WriteJSONL renders the stream as JSON Lines. A recorder that dropped
+// events gets a trailing Truncated record noting how many, so downstream
+// tooling can distinguish a short run from a capped trace.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
-	for _, e := range r.Events() {
+	events := r.Events()
+	if d := r.Dropped(); d > 0 {
+		last := 0.0
+		if len(events) > 0 {
+			last = events[len(events)-1].TimeNs
+		}
+		events = append(events, Event{
+			TimeNs: last,
+			Kind:   Truncated,
+			Detail: fmt.Sprintf("%d events dropped after the %d-event limit", d, r.limit),
+		})
+	}
+	for _, e := range events {
 		b, err := json.Marshal(e)
 		if err != nil {
 			return err

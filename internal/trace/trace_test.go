@@ -43,6 +43,56 @@ func TestLimit(t *testing.T) {
 	if r.Count("") != 2 {
 		t.Errorf("bounded recorder kept %d events", r.Count(""))
 	}
+	if r.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", r.Dropped())
+	}
+}
+
+func TestDroppedZeroWhenUnbounded(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 100; i++ {
+		r.Emit(float64(i), Compare, i, "x")
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("unbounded recorder dropped %d", r.Dropped())
+	}
+	var nilR *Recorder
+	if nilR.Dropped() != 0 {
+		t.Error("nil recorder reported drops")
+	}
+}
+
+func TestWriteJSONLNotesTruncation(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(float64(i), Compare, i, "x")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // 2 events + truncation trailer
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	var trailer Event
+	if err := json.Unmarshal([]byte(lines[2]), &trailer); err != nil {
+		t.Fatalf("trailer not JSON: %v", err)
+	}
+	if trailer.Kind != Truncated || !strings.Contains(trailer.Detail, "3 events dropped") {
+		t.Errorf("trailer = %+v", trailer)
+	}
+
+	// A complete trace must NOT grow a trailer.
+	c := New(10)
+	c.Emit(1, Compare, 0, "x")
+	buf.Reset()
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), string(Truncated)) {
+		t.Error("complete trace tagged as truncated")
+	}
 }
 
 func TestWriteJSONL(t *testing.T) {
