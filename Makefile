@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench
+.PHONY: check build vet test race race-short bench bench-compare golden
 
-check: vet race
+check: vet golden race
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,17 @@ race-short:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/campaign ./internal/inject
 
+# Golden byte-identical-output tests: the simulated comparison accounting
+# (dirty pages, hashed bytes, experiment tables) is pinned byte for byte;
+# host-side comparison optimisations must not move it. Regenerate with
+# `go test <pkg> -run Golden -update` after an intentional model change.
+golden:
+	$(GO) test ./internal/core ./internal/stats -run 'Golden'
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Comparison-subsystem microbenchmark (ns/op, B/op, allocs/op of the
+# segment-compare path under dirty tracking and the full-memory ablation).
+bench-compare:
+	$(GO) test -run '^$$' -bench BenchmarkCompareSegment -benchmem -benchtime 2x .

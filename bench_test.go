@@ -299,6 +299,58 @@ func BenchmarkAblationFullCompare(b *testing.B) {
 	}
 }
 
+// BenchmarkCompareSegment measures the segment-end state-comparison hot
+// path on a compare-heavy workload: an 8 MiB read-mostly table with a small
+// per-segment write window, sliced short so boundaries (and therefore
+// comparisons) are frequent. "dirty" uses the paper's dirty-page tracking;
+// "fullmem" is the exhaustive ablation, where nearly every hashed page is
+// COW-shared between the checker and the end checkpoint and a frame-aware
+// comparison can skip host-side hashing entirely. The simulated outputs
+// (DirtyPagesHashed, BytesHashed, wall times) are identical no matter how
+// the host executes the comparison — see the golden tests.
+func BenchmarkCompareSegment(b *testing.B) {
+	prog := lang.MustCompile("comparevictim", `
+		var table[1048576];  // 8 MiB, written once
+		var out[512];        // the per-segment dirty set
+		var i = 0;
+		while (i < 1048576) { table[i] = i * 2654435761; i = i + 1; }
+		var acc = 0;
+		i = 0;
+		while (i < 400000) {
+			acc = acc + table[(i * 40503) & 1048575];
+			out[i & 511] = acc;
+			i = i + 1;
+		}
+		exit(acc & 255);
+	`)
+	cases := []struct {
+		name  string
+		tweak func(*core.Config)
+	}{
+		{"dirty", func(c *core.Config) {}},
+		{"fullmem", func(c *core.Config) { c.CompareFullMemory = true }},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := newBenchEngine()
+				cfg := core.DefaultConfig()
+				cfg.SlicePeriodCycles = 100_000
+				bc.tweak(&cfg)
+				rt := core.NewRuntime(e, cfg)
+				st, err := rt.Run(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Detected != nil {
+					b.Fatalf("false positive: %v", st.Detected)
+				}
+				b.ReportMetric(float64(st.DirtyPagesHashed)/float64(st.Slices+1), "pages/boundary")
+			}
+		})
+	}
+}
+
 // newBenchEngine builds a fresh engine for direct runtime benches.
 func newBenchEngine() *sim.Engine {
 	m := machine.New(machine.AppleM2Like())

@@ -173,6 +173,8 @@ func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64,
 		fmt.Printf("counter.syscalls_traced:         %d\n", st.SyscallsTraced)
 		fmt.Printf("counter.cow_copies:              %d\n", st.COWCopies)
 		fmt.Printf("counter.dirty_pages_hashed:      %d\n", st.DirtyPagesHashed)
+		fmt.Printf("counter.identity_skips:          %d\n", st.IdentitySkips)
+		fmt.Printf("counter.hash_cache_hits:         %d\n", st.HashCacheHits)
 		fmt.Printf("checker.big_work_fraction:       %.1f%%\n", st.BigWorkFraction()*100)
 		fmt.Printf("exit_code:                       %d\n", st.ExitCode)
 		if st.Detected != nil {

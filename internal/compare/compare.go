@@ -1,0 +1,345 @@
+// Package compare implements the frame-aware state-comparison subsystem:
+// dirty-set discovery, the frame-identity fast path, memoized page hashing,
+// and a deterministic concurrent host-side hashing pipeline.
+//
+// The package separates two kinds of cost. The *simulated* cost — how many
+// dirty pages the injected hashers of §4.4 process and how many bytes they
+// hash — follows the paper's model exactly: every dirty page mapped on both
+// sides is charged 2× its size (one hasher per process), no matter how the
+// host computes the verdict. The *host* cost is whatever this package
+// actually spends, and that is where the frame-aware shortcuts apply:
+//
+//   - identity fast path: two page-table entries holding the same
+//     *mem.Frame are content-equal by the COW invariant (a write would
+//     have redirected one side to a private copy), so no bytes are read;
+//   - memoized hashes: a frame's content hash is cached on the frame and
+//     invalidated by its write generation, so a frame shared across
+//     checkpoints or hashed again during recovery arbitration is hashed
+//     at most once per generation;
+//   - concurrent hashing: pages that do need host hashing are fanned out
+//     over a bounded worker pool, with the mismatch chosen by minimal
+//     dirty-set index so the reported page is independent of scheduling.
+//
+// Callers receive both books: Result.HashedBytes feeds the simulated
+// timing/energy accounting (byte-identical with the pre-refactor path),
+// while HostHashedBytes, IdentitySkips and CacheHits describe what the
+// host really did.
+package compare
+
+import (
+	"runtime"
+	"sync"
+
+	"parallaft/internal/mem"
+)
+
+// Discovery selects how the reference side's dirty pages are found.
+type Discovery int
+
+const (
+	// FrameDiff diffs the segment-start and segment-end checkpoints'
+	// page tables (AArch64-style map-count tracking, §4.3).
+	FrameDiff Discovery = iota
+	// SoftDirty reads the kernel's soft-dirty bits inherited by the end
+	// checkpoint (x86-style tracking).
+	SoftDirty
+	// FullMemory compares every mapped page — the paper's ablation. The
+	// candidate set is the union of BOTH sides' mappings, so a page the
+	// checker mapped but the reference never had is still examined
+	// (and reported as a structural mismatch) instead of escaping.
+	FullMemory
+)
+
+// Request describes one state comparison.
+type Request struct {
+	// Base is the segment-start snapshot; only FrameDiff discovery uses it.
+	Base *mem.AddressSpace
+	// Ref is the segment-end checkpoint: the reference state.
+	Ref *mem.AddressSpace
+	// Chk is the process under test (checker, or arbitration referee).
+	Chk *mem.AddressSpace
+
+	Discovery Discovery
+	// CheckerMode is the dirty query mode for the checker side, whose
+	// modified pages are unioned into the candidate set so stray checker
+	// writes are caught (§4.4).
+	CheckerMode mem.DirtyMode
+
+	// Seed seeds the page hashes; it must be identical on both sides.
+	Seed uint64
+	// Workers bounds the host hashing pool; 0 picks a default capped by
+	// GOMAXPROCS. The result is identical for any value.
+	Workers int
+}
+
+// MismatchKind classifies a memory mismatch.
+type MismatchKind int
+
+const (
+	// MismatchStructural: the page is mapped on only one side.
+	MismatchStructural MismatchKind = iota
+	// MismatchContent: both sides map the page but the hashes differ.
+	MismatchContent
+)
+
+// Mismatch reports the first differing page in dirty-set order.
+type Mismatch struct {
+	Kind MismatchKind
+	VPN  uint64
+}
+
+// Result carries the outcome and both cost books of one comparison.
+type Result struct {
+	// DirtyPages is the size of the candidate set (simulated model).
+	DirtyPages uint64
+	// HashedBytes is the simulated hashing volume: 2× page size for every
+	// candidate page mapped on both sides, regardless of host shortcuts.
+	HashedBytes uint64
+
+	// IdentitySkips counts pages proven equal by frame identity alone.
+	IdentitySkips uint64
+	// CacheHits counts per-side hashes served from a frame's memo.
+	CacheHits uint64
+	// HostHashedPages/HostHashedBytes count the hashing the host really
+	// performed (per side: one both-mapped page is up to two host hashes).
+	HostHashedPages uint64
+	HostHashedBytes uint64
+
+	// Mismatch is the first differing page in dirty-set order, nil when
+	// the memories agree.
+	Mismatch *Mismatch
+}
+
+// hashJob is one page that needs host-side hashing.
+type hashJob struct {
+	idx      int // position in the dirty set, for deterministic reporting
+	vpn      uint64
+	ref, chk *mem.Frame
+}
+
+// concurrencyThreshold is the minimum number of hash jobs per extra
+// worker; below it the spawn overhead outweighs the parallelism.
+const concurrencyThreshold = 32
+
+// Run performs one state comparison.
+func Run(req Request) Result {
+	var res Result
+	dirty := DirtyVPNs(req)
+	res.DirtyPages = uint64(len(dirty))
+
+	// Resolve each candidate page: structural verdicts and identity skips
+	// inline; pages that need host hashing are either hashed on the spot
+	// (sequential mode, the common case — no job list is ever allocated)
+	// or collected for the worker pool. The loop keeps going after a
+	// mismatch so the simulated accounting — which models hashers that
+	// process the whole dirty set — is unaffected by where the first
+	// difference sits.
+	inline := workerCount(req.Workers, len(dirty)) <= 1
+	var jobs []hashJob
+	structuralIdx := -1
+	var structuralVPN uint64
+	contentIdx, contentVPN := -1, uint64(0)
+	for i, vpn := range dirty {
+		rf := req.Ref.FrameAt(vpn)
+		cf := req.Chk.FrameAt(vpn)
+		switch {
+		case rf == nil && cf == nil:
+			// e.g. both sides unmapped the page during the segment
+		case rf == nil || cf == nil:
+			if structuralIdx < 0 {
+				structuralIdx, structuralVPN = i, vpn
+			}
+		default:
+			res.HashedBytes += uint64(len(rf.Data())) * 2
+			if rf == cf {
+				// COW invariant: a shared frame cannot have diverged.
+				res.IdentitySkips++
+				continue
+			}
+			if inline {
+				if hashPair(req.Seed, rf, cf, &res) && contentIdx < 0 {
+					contentIdx, contentVPN = i, vpn
+				}
+			} else {
+				jobs = append(jobs, hashJob{idx: i, vpn: vpn, ref: rf, chk: cf})
+			}
+		}
+	}
+	if !inline {
+		contentIdx, contentVPN = hashJobs(req.Seed, jobs, workerCount(req.Workers, len(jobs)), &res)
+	}
+
+	// The reported mismatch is the first in dirty-set order across both
+	// kinds, exactly as a sequential scan would have found it.
+	switch {
+	case structuralIdx >= 0 && (contentIdx < 0 || structuralIdx < contentIdx):
+		res.Mismatch = &Mismatch{Kind: MismatchStructural, VPN: structuralVPN}
+	case contentIdx >= 0:
+		res.Mismatch = &Mismatch{Kind: MismatchContent, VPN: contentVPN}
+	}
+	return res
+}
+
+// DirtyVPNs returns the candidate page set for a request: the reference
+// side's modified pages per the discovery mode, unioned with the checker
+// side's modified pages, preserving first-appearance order. One size-hinted
+// set accumulates everything, so discovery allocates no intermediate lists.
+func DirtyVPNs(req Request) []uint64 {
+	chkDirty := req.Chk.DirtyPages(req.CheckerMode)
+	var set vpnSet
+	switch req.Discovery {
+	case FrameDiff:
+		main := mem.DiffFrames(req.Base, req.Ref)
+		set.grow(len(main) + len(chkDirty))
+		set.addList(main)
+	case SoftDirty:
+		main := req.Ref.DirtyPages(mem.DirtySoft)
+		set.grow(len(main) + len(chkDirty))
+		set.addList(main)
+	case FullMemory:
+		// The two sides' mappings almost always coincide, so the
+		// reference's page count is the right size hint for the union.
+		set.grow(req.Ref.PageCount() + len(chkDirty))
+		set.addAllMapped(req.Ref)
+		set.addAllMapped(req.Chk)
+	}
+	set.addList(chkDirty)
+	return set.out
+}
+
+// vpnSet is an insertion-ordered page-number set.
+type vpnSet struct {
+	seen map[uint64]struct{}
+	out  []uint64
+}
+
+func (s *vpnSet) grow(capacity int) {
+	s.seen = make(map[uint64]struct{}, capacity)
+	s.out = make([]uint64, 0, capacity)
+}
+
+func (s *vpnSet) add(vpn uint64) {
+	if _, ok := s.seen[vpn]; !ok {
+		s.seen[vpn] = struct{}{}
+		s.out = append(s.out, vpn)
+	}
+}
+
+func (s *vpnSet) addList(l []uint64) {
+	for _, v := range l {
+		s.add(v)
+	}
+}
+
+// addAllMapped adds every mapped page of an address space in VMA order.
+func (s *vpnSet) addAllMapped(as *mem.AddressSpace) {
+	for _, v := range as.VMAs() {
+		for vpn := v.Base / as.PageSize(); vpn < v.End()/as.PageSize(); vpn++ {
+			s.add(vpn)
+		}
+	}
+}
+
+// hashJobs hashes every job and returns the minimal dirty-set index (and
+// its vpn) among content mismatches, or -1. Counters accumulate into res.
+func hashJobs(seed uint64, jobs []hashJob, workers int, res *Result) (int, uint64) {
+	if len(jobs) == 0 {
+		return -1, 0
+	}
+	if workers <= 1 {
+		return hashChunk(seed, jobs, res)
+	}
+
+	// Contiguous chunks keep per-worker results independent of scheduling;
+	// merging by minimal index makes the reported mismatch deterministic.
+	type chunkResult struct {
+		idx int
+		vpn uint64
+		sub Result
+	}
+	chunkLen := (len(jobs) + workers - 1) / workers
+	results := make([]chunkResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunkLen
+		hi := lo + chunkLen
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		if lo >= hi {
+			results[w].idx = -1
+			continue
+		}
+		wg.Add(1)
+		go func(w int, chunk []hashJob) {
+			defer wg.Done()
+			results[w].idx, results[w].vpn = hashChunk(seed, chunk, &results[w].sub)
+		}(w, jobs[lo:hi])
+	}
+	wg.Wait()
+
+	minIdx, minVPN := -1, uint64(0)
+	for _, cr := range results {
+		res.CacheHits += cr.sub.CacheHits
+		res.HostHashedPages += cr.sub.HostHashedPages
+		res.HostHashedBytes += cr.sub.HostHashedBytes
+		if cr.idx >= 0 && (minIdx < 0 || cr.idx < minIdx) {
+			minIdx, minVPN = cr.idx, cr.vpn
+		}
+	}
+	return minIdx, minVPN
+}
+
+// hashChunk hashes a slice of jobs sequentially, returning the first
+// content mismatch's dirty-set index (or -1) and accumulating host
+// counters into res. It never stops early: later frames still get their
+// memos warmed, which keeps CacheHits independent of mismatch position.
+func hashChunk(seed uint64, jobs []hashJob, res *Result) (int, uint64) {
+	minIdx, minVPN := -1, uint64(0)
+	for _, j := range jobs {
+		if hashPair(seed, j.ref, j.chk, res) && minIdx < 0 {
+			minIdx, minVPN = j.idx, j.vpn
+		}
+	}
+	return minIdx, minVPN
+}
+
+// hashPair hashes one both-mapped page on both sides, accumulating host
+// counters into res; it reports whether the hashes differ.
+func hashPair(seed uint64, ref, chk *mem.Frame, res *Result) bool {
+	refSum, refCached := ref.ContentHash(seed)
+	chkSum, chkCached := chk.ContentHash(seed)
+	if refCached {
+		res.CacheHits++
+	} else {
+		res.HostHashedPages++
+		res.HostHashedBytes += uint64(len(ref.Data()))
+	}
+	if chkCached {
+		res.CacheHits++
+	} else {
+		res.HostHashedPages++
+		res.HostHashedBytes += uint64(len(chk.Data()))
+	}
+	return refSum != chkSum
+}
+
+// workerCount resolves the pool size: bounded by the request, GOMAXPROCS,
+// and the number of jobs that make a worker worthwhile.
+func workerCount(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = 4
+	}
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	if byLoad := jobs / concurrencyThreshold; w > byLoad {
+		w = byLoad
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+

@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"parallaft/internal/hashx"
-	"parallaft/internal/mem"
+	"parallaft/internal/compare"
 	"parallaft/internal/proc"
 	"parallaft/internal/trace"
 )
@@ -19,11 +18,13 @@ const hashSeed = 0x9a7a11af7
 // during the segment on either side. On mismatch the application is
 // terminated with a DetectedError.
 //
-// The dirty set is the union of the main-side modified pages (frame diff
-// between consecutive checkpoints, or inherited soft-dirty bits, depending
-// on Config.Tracking) and the checker-side modified pages, so a checker
-// that erroneously wrote pages the main never touched is still caught.
+// The memory comparison itself — dirty-set discovery, frame-identity
+// shortcuts, memoized hashing — lives in internal/compare; this side owns
+// the simulated accounting: the injected hashers' time and energy are
+// charged from compare's HashedBytes book, which is independent of any
+// host-side shortcut the subsystem took.
 func (r *Runtime) compareSegment(seg *Segment) {
+	var dirtyPages uint64
 	defer func() {
 		if r.detected != nil && r.cfg.EnableRecovery && r.detected.Segment == seg.Index {
 			// Leave the segment live: recovery needs its checkpoints and
@@ -39,6 +40,7 @@ func (r *Runtime) compareSegment(seg *Segment) {
 			BigNs:        seg.bigNs,
 			LittleNs:     seg.littleNs,
 			Events:       len(seg.Log.Events),
+			DirtyPages:   int(dirtyPages),
 		})
 		r.stats.CheckerBigNs += seg.bigNs
 		r.stats.CheckerLittleNs += seg.littleNs
@@ -71,6 +73,7 @@ func (r *Runtime) compareSegment(seg *Segment) {
 	}
 
 	result := r.compareAgainstEndCP(seg, seg.Checker)
+	dirtyPages = result.dirtyPages
 	if result.err != nil {
 		r.fail(seg.Index, result.err.Kind, "%s", result.err.Detail)
 	}
@@ -78,9 +81,13 @@ func (r *Runtime) compareSegment(seg *Segment) {
 	if result.err != nil {
 		verdict = result.err.Kind.String()
 	}
-	r.cfg.Trace.Emit(seg.doneNs, trace.Compare, seg.Index, "%d dirty pages, %s", result.dirtyPages, verdict)
+	r.cfg.Trace.Emit(seg.doneNs, trace.Compare, seg.Index,
+		"%d dirty pages (%d identity-skipped, %d hash-cache hits), %s",
+		result.dirtyPages, result.identitySkips, result.cacheHits, verdict)
 	r.stats.DirtyPagesHashed += result.dirtyPages
 	r.stats.BytesHashed += result.hashedBytes
+	r.stats.IdentitySkips += result.identitySkips
+	r.stats.HashCacheHits += result.cacheHits
 	hashedBytes := result.hashedBytes
 
 	// The comparison can only start once both the checker has finished and
@@ -102,15 +109,40 @@ func (r *Runtime) compareSegment(seg *Segment) {
 
 // compareResult carries the outcome of one state comparison.
 type compareResult struct {
-	err         *DetectedError
-	dirtyPages  uint64
-	hashedBytes uint64
+	err           *DetectedError
+	dirtyPages    uint64
+	hashedBytes   uint64
+	identitySkips uint64
+	cacheHits     uint64
+}
+
+// compareRequest maps the runtime configuration onto a comparison request
+// for the given reference/checker pair.
+func (r *Runtime) compareRequest(seg *Segment, chk *proc.Process) compare.Request {
+	req := compare.Request{
+		Ref:         seg.EndCP.p.AS,
+		Chk:         chk.AS,
+		CheckerMode: r.cfg.checkerDirtyMode(),
+		Seed:        hashSeed,
+		Workers:     r.cfg.CompareWorkers,
+	}
+	switch {
+	case r.cfg.CompareFullMemory:
+		req.Discovery = compare.FullMemory
+	case r.cfg.Tracking == TrackSoftDirty:
+		req.Discovery = compare.SoftDirty
+	default:
+		req.Discovery = compare.FrameDiff
+		req.Base = seg.StartCP.p.AS
+	}
+	return req
 }
 
 // compareAgainstEndCP compares an arbitrary process (the segment's checker,
 // or an arbitration referee during recovery) against the segment's end
 // checkpoint: registers, PC, and the hashes of every page modified on
-// either side (§4.4).
+// either side (§4.4). Registers are checked first, so a register mismatch
+// wins over any memory mismatch, as before the comparison subsystem split.
 func (r *Runtime) compareAgainstEndCP(seg *Segment, chk *proc.Process) compareResult {
 	ref := seg.EndCP.p
 	var res compareResult
@@ -130,72 +162,65 @@ func (r *Runtime) compareAgainstEndCP(seg *Segment, chk *proc.Process) compareRe
 		mismatch(ErrRegMismatch, "pc %d differs from checkpoint pc %d", chk.PC, ref.PC)
 	}
 
-	// Dirty-page discovery.
-	var mainDirty []uint64
-	if r.cfg.CompareFullMemory {
-		mainDirty = allVPNs(ref.AS)
-	} else {
-		switch r.cfg.Tracking {
-		case TrackFrameDiff:
-			mainDirty = mem.DiffFrames(seg.StartCP.p.AS, ref.AS)
-		case TrackSoftDirty:
-			mainDirty = ref.AS.DirtyPages(mem.DirtySoft)
-		}
-	}
-	chkDirty := chk.AS.DirtyPages(r.cfg.checkerDirtyMode())
-	dirty := unionVPNs(mainDirty, chkDirty)
-	res.dirtyPages = uint64(len(dirty))
-
-	// Hash and compare page contents. The hashing is modelled as injected
-	// code running in the two target processes (§4.4), so its cost lands
-	// on the comparison path, not the main's.
-	for _, vpn := range dirty {
-		refPage := ref.AS.PageData(vpn)
-		chkPage := chk.AS.PageData(vpn)
-		switch {
-		case refPage == nil && chkPage == nil:
-			// e.g. both sides unmapped the page during the segment
-		case refPage == nil || chkPage == nil:
-			mismatch(ErrStructuralMismatch, "page %#x mapped on only one side", vpn)
-		default:
-			res.hashedBytes += uint64(len(refPage)) * 2
-			if hashx.Sum64(hashSeed, refPage) != hashx.Sum64(hashSeed, chkPage) {
-				mismatch(ErrMemMismatch, "page %#x content hash differs", vpn)
-			}
+	cres := compare.Run(r.compareRequest(seg, chk))
+	res.dirtyPages = cres.DirtyPages
+	res.hashedBytes = cres.HashedBytes
+	res.identitySkips = cres.IdentitySkips
+	res.cacheHits = cres.CacheHits
+	if m := cres.Mismatch; m != nil {
+		switch m.Kind {
+		case compare.MismatchStructural:
+			mismatch(ErrStructuralMismatch, "page %#x mapped on only one side", m.VPN)
+		case compare.MismatchContent:
+			mismatch(ErrMemMismatch, "page %#x content hash differs", m.VPN)
 		}
 	}
 	return res
 }
 
-// retireSegment releases the segment's resources once compared: checker
-// process, checkpoint references, and its entry in the live list.
+// retireSegment releases a compared segment's resources: checker process
+// (including its cache footprint), checkpoint references, and its entry in
+// the live list.
 func (r *Runtime) retireSegment(seg *Segment) {
+	r.releaseSegment(seg, true)
+}
+
+// releaseSegment is the shared retire/release path used by normal
+// retirement and rollback teardown. flushASID controls whether the
+// checker's cache footprint is flushed: retirement models the runtime
+// cleaning up after a completed checker, while a rollback discards the
+// machine state wholesale and charges no per-checker flush.
+func (r *Runtime) releaseSegment(seg *Segment, flushASID bool) {
 	if seg.Task != nil {
 		r.e.Retire(seg.Task)
 	}
-	if seg.Checker != nil {
+	if seg.Checker != nil && seg.Checker != r.main {
 		r.e.L.Reap(seg.Checker)
-		r.e.M.Caches.FlushASID(seg.Checker.ASID)
+		if flushASID {
+			r.e.M.Caches.FlushASID(seg.Checker.ASID)
+		}
 	}
 	r.releaseCP(seg.StartCP)
-	r.releaseCP(seg.EndCP)
-	for i, s := range r.segments {
-		if s == seg {
-			r.segments = append(r.segments[:i], r.segments[i+1:]...)
-			break
-		}
+	if seg.EndCP != nil {
+		r.releaseCP(seg.EndCP)
 	}
+	r.removeSegment(seg)
 }
 
-// allVPNs lists every mapped page (the full-memory-comparison ablation).
-func allVPNs(as *mem.AddressSpace) []uint64 {
-	var out []uint64
-	for _, v := range as.VMAs() {
-		for vpn := v.Base / as.PageSize(); vpn < v.End()/as.PageSize(); vpn++ {
-			out = append(out, vpn)
-		}
+// removeSegment unlinks seg from the live list in O(tail) without a
+// search, keeping list order and every segment's position index intact.
+func (r *Runtime) removeSegment(seg *Segment) {
+	i := seg.pos
+	if i < 0 || i >= len(r.segments) || r.segments[i] != seg {
+		return // not on the live list (e.g. an arbitration shadow)
 	}
-	return out
+	copy(r.segments[i:], r.segments[i+1:])
+	r.segments[len(r.segments)-1] = nil
+	r.segments = r.segments[:len(r.segments)-1]
+	for j := i; j < len(r.segments); j++ {
+		r.segments[j].pos = j
+	}
+	seg.pos = -1
 }
 
 // finish drains remaining segments, computes wall times and energy, and

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"parallaft/internal/asm"
+	"parallaft/internal/mem"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/proc"
 )
@@ -369,5 +370,61 @@ func TestFullMemoryCompareAblation(t *testing.T) {
 	if stats.DirtyPagesHashed <= stats2.DirtyPagesHashed {
 		t.Errorf("full compare hashed %d pages <= dirty tracking's %d",
 			stats.DirtyPagesHashed, stats2.DirtyPagesHashed)
+	}
+}
+
+func TestPostForkCorruptionCaughtThroughHashCache(t *testing.T) {
+	// Full-memory comparison maximises reuse inside the comparison
+	// subsystem: untouched pages are identity-skipped and re-compared
+	// frames serve memoized hashes. A post-fork corruption of a page that
+	// earlier comparisons already hashed must still be caught — the write
+	// invalidates the frame's memo, so the cache can never mask it.
+	prog := loopProgram(120_000)
+	bufAddr := prog.Symbols["buf"]
+	cfg := smallSliceConfig()
+	cfg.CompareFullMemory = true
+	stats := runWithHook(t, cfg, prog,
+		onceInSegment(2, func(c *proc.Process) {
+			v, _ := c.AS.LoadU64(bufAddr + 512)
+			c.AS.StoreU64(bufAddr+512, v^8) //nolint:errcheck
+		}))
+	if stats.Detected == nil {
+		t.Fatal("post-fork corruption undetected with memoized hashing")
+	}
+	switch stats.Detected.Kind {
+	case ErrMemMismatch, ErrRegMismatch:
+		// The flipped word also feeds the checksum register, so either
+		// comparison may fire first.
+	default:
+		t.Errorf("unexpected detection kind %v", stats.Detected.Kind)
+	}
+	if stats.IdentitySkips == 0 {
+		t.Error("identity fast path never taken; the cache machinery was not exercised")
+	}
+}
+
+func TestCheckerOnlyMappingDetectedStructurally(t *testing.T) {
+	// A corrupted checker maps a region the main never had. Both the
+	// default dirty-union path and the full-memory ablation (whose
+	// candidate set enumerates BOTH sides' mappings) must flag it as a
+	// structural mismatch.
+	for _, full := range []bool{false, true} {
+		cfg := smallSliceConfig()
+		cfg.CompareFullMemory = full
+		prog := loopProgram(120_000)
+		stats := runWithHook(t, cfg, prog,
+			onceInSegment(1, func(c *proc.Process) {
+				base := c.AS.FindFree(0x4000_0000, c.AS.PageSize())
+				if err := c.AS.Map(base, c.AS.PageSize(), mem.ProtRW, "rogue"); err != nil {
+					t.Errorf("rogue map: %v", err)
+				}
+			}))
+		if stats.Detected == nil {
+			t.Errorf("fullmem=%v: checker-only mapping undetected", full)
+			continue
+		}
+		if stats.Detected.Kind != ErrStructuralMismatch {
+			t.Errorf("fullmem=%v: kind = %v, want structural mismatch", full, stats.Detected.Kind)
+		}
 	}
 }

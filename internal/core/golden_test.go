@@ -1,0 +1,83 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenCompare checks got against testdata/<name>, rewriting the file under
+// -update. The goldens pin the simulated comparison accounting: the
+// frame-aware comparison subsystem must not change a single byte of it,
+// because the paper's injected hashers hash every dirty page regardless of
+// how the host-side comparison is implemented.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run go test -run Golden -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// dumpRun renders the simulated comparison accounting of one protected run:
+// the per-segment table plus the totals the evaluation depends on.
+func dumpRun(st *RunStats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchmark=%s slices=%d checkpoints=%d\n", st.Benchmark, st.Slices, st.Checkpoints)
+	fmt.Fprintf(&sb, "dirty_pages_hashed=%d bytes_hashed=%d cow_copies=%d\n",
+		st.DirtyPagesHashed, st.BytesHashed, st.COWCopies)
+	fmt.Fprintf(&sb, "all_wall_ns=%.3f main_wall_ns=%.3f runtime_ns=%.3f\n",
+		st.AllWallNs, st.MainWallNs, st.RuntimeNs)
+	for _, s := range st.Segments {
+		fmt.Fprintf(&sb, "seg %d: main_ns=%.3f events=%d dirty_pages=%d\n",
+			s.Index, s.MainNs, s.Events, s.DirtyPages)
+	}
+	if st.Detected != nil {
+		fmt.Fprintf(&sb, "detected: %v\n", st.Detected)
+	}
+	fmt.Fprintf(&sb, "exit=%d\n", st.ExitCode)
+	return sb.String()
+}
+
+// TestGoldenSegmentAccounting pins DirtyPagesHashed/BytesHashed per segment
+// for both dirty-tracking mechanisms and the full-memory ablation. Any
+// refactor of the comparison path must keep these byte-identical.
+func TestGoldenSegmentAccounting(t *testing.T) {
+	cases := []struct {
+		name  string
+		tweak func(*Config)
+	}{
+		{"golden_segments_framediff.txt", func(c *Config) {}},
+		{"golden_segments_softdirty.txt", func(c *Config) { c.Tracking = TrackSoftDirty }},
+		{"golden_segments_fullmem.txt", func(c *Config) { c.CompareFullMemory = true }},
+	}
+	for _, tc := range cases {
+		cfg := smallSliceConfig()
+		tc.tweak(&cfg)
+		e := newTestEngine(13)
+		rt := NewRuntime(e, cfg)
+		st, err := rt.Run(loopProgram(120_000))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		goldenCompare(t, tc.name, dumpRun(st))
+	}
+}

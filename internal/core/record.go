@@ -220,6 +220,7 @@ func (r *Runtime) startSegmentWith(cp *checkpoint) {
 	// Performance-counter setup for execution-point recording (§4.2.1).
 	r.chargeRuntimeMain(r.cfg.CounterSetupNs)
 
+	seg.pos = len(r.segments)
 	r.segments = append(r.segments, seg)
 	r.current = seg
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.SegmentStart, seg.Index, "%d pages mapped", r.main.AS.PageCount())

@@ -128,6 +128,7 @@ func (r *Runtime) arbitrate(seg *Segment) arbVerdict {
 		MainInstrs: seg.MainInstrs,
 		sealed:     true,
 		arb:        true,
+		pos:        -1, // never on the live list
 	}
 	// Run on a big core at the current wall position; arbitration is rare
 	// and latency matters more than energy here.
@@ -197,19 +198,11 @@ func (r *Runtime) rollback() {
 		}
 	}
 
-	// Tear down every live segment.
+	// Tear down every live segment. Rollback discards the machine state
+	// wholesale, so no per-checker ASID flush is charged (flushASID=false).
 	for _, s := range append([]*Segment(nil), r.segments...) {
 		r.sched.drop(s)
-		if s.Task != nil {
-			r.e.Retire(s.Task)
-		}
-		if s.Checker != nil && s.Checker != r.main {
-			r.e.L.Reap(s.Checker)
-		}
-		r.releaseCP(s.StartCP)
-		if s.EndCP != nil {
-			r.releaseCP(s.EndCP)
-		}
+		r.releaseSegment(s, false)
 	}
 	r.segments = r.segments[:0]
 	r.current = nil

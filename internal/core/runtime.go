@@ -88,6 +88,12 @@ type Config struct {
 	// scaled by the simulation time scale).
 	SampleIntervalNs float64
 
+	// CompareWorkers bounds the host-side hashing pool of the comparison
+	// subsystem (internal/compare); 0 picks a GOMAXPROCS-capped default.
+	// It only affects host wall-clock: the simulated comparison cost and
+	// every experiment output are identical for any value.
+	CompareWorkers int
+
 	// CheckerHook, when set, is invoked before every checker dispatch with
 	// the segment index, the checker process, and the checker's elapsed
 	// segment time. The fault injector uses it to flip register bits at a
@@ -254,6 +260,7 @@ type Segment struct {
 	bigInstrs     uint64
 	compared      bool
 	checkerInstrs uint64
+	pos           int // index in Runtime.segments; -1 when not live
 }
 
 // LiveAhead reports the checker's segment-relative branch count.
@@ -308,6 +315,11 @@ type RunStats struct {
 
 	DirtyPagesHashed uint64
 	BytesHashed      uint64
+	// Host-side comparison shortcuts (internal/compare): pages proven
+	// equal by frame identity alone, and hashes served from a frame's
+	// memo. Diagnostics only — excluded from the simulated cost model.
+	IdentitySkips uint64
+	HashCacheHits uint64
 
 	CheckerLittleNs float64
 	CheckerBigNs    float64
@@ -469,22 +481,6 @@ func (r *Runtime) forkCheckpoint(name string) *checkpoint {
 	p := r.e.L.Fork(r.main, name)
 	r.stats.Checkpoints++
 	return &checkpoint{p: p}
-}
-
-// mmapDirtyFallback decides the dirty union when the address spaces have
-// diverged structurally; exposed for tests.
-func unionVPNs(lists ...[]uint64) []uint64 {
-	seen := make(map[uint64]struct{})
-	var out []uint64
-	for _, l := range lists {
-		for _, v := range l {
-			if _, ok := seen[v]; !ok {
-				seen[v] = struct{}{}
-				out = append(out, v)
-			}
-		}
-	}
-	return out
 }
 
 // DirtyModeOf maps the core-level tracking selection to the mem package's

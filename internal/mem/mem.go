@@ -25,6 +25,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
+
+	"parallaft/internal/hashx"
 )
 
 // Prot is a page protection bitmask.
@@ -70,13 +73,73 @@ func (f *Fault) Error() string {
 
 // Frame is a refcounted physical page frame. The refcount is the number of
 // page-table entries (across all address spaces) mapping the frame.
+//
+// Every frame carries a stable identity (ID) and a lazily memoized content
+// hash. Two PTEs holding the same *Frame are trivially content-equal — the
+// foundation of the comparison subsystem's frame-identity fast path — and
+// the memoized hash lets a COW-shared frame be hashed once no matter how
+// many checkpoints and checkers map it.
 type Frame struct {
 	data []byte
 	ref  int
+	id   uint64
+
+	// writeGen counts content mutations; a memo is valid only for the
+	// generation it was computed at. The counter is written only by the
+	// (single) goroutine executing the guest, and read by hashing workers
+	// while the guest is paused, so a plain field suffices.
+	writeGen uint64
+	// The memoized hash, valid for exactly one (generation, seed). Plain
+	// fields keep ContentHash allocation-free; safety rests on the pages
+	// being a one-to-one vpn→frame map per address space, so a comparison
+	// fan-out (one page per job) never hands the same frame to two
+	// workers, and comparisons are serialized by worker join.
+	memoGen  uint64
+	memoSeed uint64
+	memoSum  uint64
+	memoOK   bool
+}
+
+// frameIDs allocates stable frame identities process-wide.
+var frameIDs atomic.Uint64
+
+func newFrame(size uint64) *Frame {
+	return &Frame{data: make([]byte, size), ref: 1, id: frameIDs.Add(1)}
 }
 
 // MapCount returns the number of address spaces mapping this frame.
 func (f *Frame) MapCount() int { return f.ref }
+
+// ID returns the frame's stable identity. IDs are unique process-wide and
+// never reused; they are for diagnostics and tests — equality of frames is
+// pointer equality.
+func (f *Frame) ID() uint64 { return f.id }
+
+// Data returns the frame contents. The slice aliases the frame; callers
+// must treat it as read-only.
+func (f *Frame) Data() []byte { return f.data }
+
+// noteWrite invalidates any memoized hash; called on every content mutation.
+func (f *Frame) noteWrite() { f.writeGen++ }
+
+// ContentHash returns the XXH64 hash of the frame contents under seed,
+// memoizing the result. The second return reports whether the memo served
+// the request (no host-side hashing happened). The memo is invalidated by
+// any write to the frame; COW keeps it trivially correct across sharers,
+// because a write to a shared frame redirects the writer to a fresh frame
+// and a write to a private frame bumps its generation.
+//
+// Callers must not invoke ContentHash on the same frame from two goroutines
+// at once; the comparison subsystem guarantees this by assigning each page
+// (and therefore each frame) to exactly one hashing worker.
+func (f *Frame) ContentHash(seed uint64) (sum uint64, cached bool) {
+	if f.memoOK && f.memoGen == f.writeGen && f.memoSeed == seed {
+		return f.memoSum, true
+	}
+	sum = hashx.Sum64(seed, f.data)
+	f.memoGen, f.memoSeed, f.memoSum, f.memoOK = f.writeGen, seed, sum, true
+	return sum, false
+}
 
 type pte struct {
 	frame     *Frame
@@ -171,7 +234,7 @@ func (as *AddressSpace) Map(base, length uint64, prot Prot, name string) error {
 	}
 	for vpn := base >> as.pageShift; vpn < (base+length)>>as.pageShift; vpn++ {
 		as.pages[vpn] = &pte{
-			frame:     &Frame{data: make([]byte, as.pageSize), ref: 1},
+			frame:     newFrame(as.pageSize),
 			prot:      prot,
 			softDirty: true, // a new page is "modified" from nothing
 		}
@@ -367,6 +430,7 @@ func (as *AddressSpace) lookupWrite(addr uint64) (*pte, bool, *Fault) {
 	vpn := addr >> as.pageShift
 	if as.tlbWrite != nil && vpn == as.tlbWriteVPN {
 		as.tlbWrite.softDirty = true
+		as.tlbWrite.frame.noteWrite()
 		return as.tlbWrite, false, nil
 	}
 	p, ok := as.pages[vpn]
@@ -378,7 +442,7 @@ func (as *AddressSpace) lookupWrite(addr uint64) (*pte, bool, *Fault) {
 	}
 	cow := false
 	if p.frame.ref > 1 {
-		nf := &Frame{data: make([]byte, as.pageSize), ref: 1}
+		nf := newFrame(as.pageSize)
 		copy(nf.data, p.frame.data)
 		p.frame.ref--
 		p.frame = nf
@@ -387,6 +451,7 @@ func (as *AddressSpace) lookupWrite(addr uint64) (*pte, bool, *Fault) {
 		cow = true
 	}
 	p.softDirty = true
+	p.frame.noteWrite()
 	as.tlbWriteVPN, as.tlbWrite = vpn, p
 	return p, cow, nil
 }
@@ -556,6 +621,18 @@ func (as *AddressSpace) PageData(vpn uint64) []byte {
 		return nil
 	}
 	return p.frame.data
+}
+
+// FrameAt returns the frame backing the given virtual page number, or nil
+// if unmapped. Frames are shared COW across forks, so comparing the frames
+// two address spaces hold at the same page is an O(1) content-equality
+// fast path.
+func (as *AddressSpace) FrameAt(vpn uint64) *Frame {
+	p, ok := as.pages[vpn]
+	if !ok {
+		return nil
+	}
+	return p.frame
 }
 
 // MapCountOf returns the frame map count for the page containing addr, or 0

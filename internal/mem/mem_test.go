@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"parallaft/internal/hashx"
 )
 
 const pg = 16 * 1024
@@ -350,5 +352,177 @@ func TestForkIsolationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- frame identity and hash memoization -----------------------------------
+
+const testSeed = 0x9a7a11af7
+
+func TestFrameIdentityStable(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x10000, 2*pg)
+	f := as.FrameAt(as.VPN(0x10000))
+	if f == nil {
+		t.Fatal("mapped page has no frame")
+	}
+	if f.ID() == 0 {
+		t.Error("frame ID not assigned")
+	}
+	if g := as.FrameAt(as.VPN(0x10000 + pg)); g.ID() == f.ID() {
+		t.Error("distinct frames share an ID")
+	}
+	// Writes keep the identity (only COW redirects change the frame).
+	as.StoreU64(0x10000, 7) //nolint:errcheck
+	if as.FrameAt(as.VPN(0x10000)) != f {
+		t.Error("private write changed the frame")
+	}
+	// A fork shares the frame: same pointer, same ID on both sides.
+	child := as.Fork()
+	if child.FrameAt(child.VPN(0x10000)) != f {
+		t.Error("fork did not share the frame")
+	}
+	if as.FrameAt(as.VPN(0x20000)) != nil {
+		t.Error("unmapped page returned a frame")
+	}
+}
+
+// TestContentHashInvalidation is the hash-cache invalidation contract: a
+// memoized frame hash must never be served stale — in particular, a COW
+// write to a shared frame must leave every sharer's hash correct.
+func TestContentHashInvalidation(t *testing.T) {
+	const base = 0x10000
+	cases := []struct {
+		name string
+		// mutate acts on the parent/child pair after both hashes were
+		// memoized; wantRecompute lists which sides must see a fresh
+		// (non-cached) and correct hash afterwards.
+		mutate              func(t *testing.T, parent, child *AddressSpace)
+		wantParentRecompute bool
+		wantChildRecompute  bool
+	}{
+		{
+			name:                "no write keeps both memos",
+			mutate:              func(t *testing.T, parent, child *AddressSpace) {},
+			wantParentRecompute: false,
+			wantChildRecompute:  false,
+		},
+		{
+			name: "child COW write invalidates only the child",
+			mutate: func(t *testing.T, parent, child *AddressSpace) {
+				if _, f := child.StoreU64(base, 0xdead); f != nil {
+					t.Fatal(f)
+				}
+			},
+			wantParentRecompute: false,
+			wantChildRecompute:  true,
+		},
+		{
+			name: "parent COW write invalidates only the parent",
+			mutate: func(t *testing.T, parent, child *AddressSpace) {
+				if _, f := parent.StoreU64(base, 0xbeef); f != nil {
+					t.Fatal(f)
+				}
+			},
+			wantParentRecompute: true,
+			wantChildRecompute:  false,
+		},
+		{
+			name: "private rewrite after COW invalidates again",
+			mutate: func(t *testing.T, parent, child *AddressSpace) {
+				// First write COWs to a private frame; the second write hits
+				// the same private frame (often via the write TLB) and must
+				// still invalidate its memo.
+				if _, f := child.StoreU64(base, 1); f != nil {
+					t.Fatal(f)
+				}
+				if _, fr := child.FrameAt(child.VPN(base)).ContentHash(testSeed); fr {
+					t.Fatal("memo survived the COW write")
+				}
+				if _, f := child.StoreU64(base+8, 2); f != nil {
+					t.Fatal(f)
+				}
+			},
+			wantParentRecompute: false,
+			wantChildRecompute:  true,
+		},
+		{
+			name: "byte store invalidates",
+			mutate: func(t *testing.T, parent, child *AddressSpace) {
+				if _, f := child.StoreByte(base+123, 0x5a); f != nil {
+					t.Fatal(f)
+				}
+			},
+			wantParentRecompute: false,
+			wantChildRecompute:  true,
+		},
+		{
+			name: "bulk write invalidates",
+			mutate: func(t *testing.T, parent, child *AddressSpace) {
+				if f := child.Write(base+256, []byte("not the same bytes")); f != nil {
+					t.Fatal(f)
+				}
+			},
+			wantParentRecompute: false,
+			wantChildRecompute:  true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parent := newAS(t)
+			mustMap(t, parent, base, pg)
+			if _, f := parent.StoreU64(base, 42); f != nil {
+				t.Fatal(f)
+			}
+			child := parent.Fork()
+
+			// Memoize both sides (same shared frame: second call must hit).
+			pv, _ := parent.FrameAt(parent.VPN(base)).ContentHash(testSeed)
+			cv, hit := child.FrameAt(child.VPN(base)).ContentHash(testSeed)
+			if !hit || pv != cv {
+				t.Fatalf("shared frame not memoized: hit=%v parent=%#x child=%#x", hit, pv, cv)
+			}
+
+			tc.mutate(t, parent, child)
+
+			check := func(side string, as *AddressSpace, wantRecompute bool) {
+				t.Helper()
+				f := as.FrameAt(as.VPN(base))
+				got, cached := f.ContentHash(testSeed)
+				if cached == wantRecompute {
+					t.Errorf("%s: cached=%v, want recompute=%v", side, cached, wantRecompute)
+				}
+				// The served hash must equal a from-scratch hash of the
+				// actual contents — never a stale memo.
+				var buf [pg]byte
+				if fault := as.Read(base, buf[:]); fault != nil {
+					t.Fatal(fault)
+				}
+				want := hashx.Sum64(testSeed, buf[:])
+				if got != want {
+					t.Errorf("%s: hash %#x != contents hash %#x (stale memo served)", side, got, want)
+				}
+			}
+			check("parent", parent, tc.wantParentRecompute)
+			check("child", child, tc.wantChildRecompute)
+		})
+	}
+}
+
+func TestContentHashSeedIsPartOfTheMemoKey(t *testing.T) {
+	as := newAS(t)
+	mustMap(t, as, 0x10000, pg)
+	f := as.FrameAt(as.VPN(0x10000))
+	a, _ := f.ContentHash(1)
+	b, cached := f.ContentHash(2)
+	if cached {
+		t.Error("memo for seed 1 served a seed-2 request")
+	}
+	if a == b {
+		t.Error("different seeds produced the same hash")
+	}
+	if _, cached := f.ContentHash(2); !cached {
+		t.Error("seed-2 memo not installed")
 	}
 }

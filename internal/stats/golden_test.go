@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// The goldens pin the rendered experiment outputs byte for byte. The
+// simulated cost model (DirtyPagesHashed, BytesHashed, HashByteNs charging)
+// is part of the paper's methodology; host-side optimisations of the
+// comparison path — frame-identity fast paths, memoized hashes, concurrent
+// hashing — must leave every one of these tables untouched.
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run go test -run Golden -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func goldenRunner() *Runner {
+	r := NewRunner()
+	r.Scale = 0.1
+	r.Parallel = 1
+	return r
+}
+
+// TestGoldenSuiteOutput pins the figure-5/7/8 and table-1 renderings for a
+// representative two-workload suite (memory-bound chase + multi-input).
+func TestGoldenSuiteOutput(t *testing.T) {
+	sr, err := goldenRunner().RunSuite([]string{"429.mcf", "403.gcc"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sr.FormatFig5() + sr.FormatFig7() + sr.FormatFig8() + sr.FormatTable1()
+	goldenCompare(t, "golden_suite.txt", out)
+}
+
+// TestGoldenFig9Output pins the slicing-period sweep rendering on a small
+// grid.
+func TestGoldenFig9Output(t *testing.T) {
+	points, err := goldenRunner().RunFig9(
+		[]string{"403.gcc", "458.sjeng"}, []float64{400_000, 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_fig9.txt", FormatFig9(points))
+}
+
+// TestGoldenTable2Output pins the detection-guarantee table, which exercises
+// the comparison path's error reporting (detected segment index and all).
+func TestGoldenTable2Output(t *testing.T) {
+	res, err := goldenRunner().RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_table2.txt", FormatTable2(res))
+}

@@ -61,6 +61,10 @@ type SessionResult struct {
 	SegmentsOnBig    int
 	COWCopies        uint64
 	DirtyPagesHashed uint64
+	// Host-side comparison-subsystem shortcuts (diagnostics; not part of
+	// the simulated cost model, so absent from all figures and tables).
+	IdentitySkips uint64
+	HashCacheHits uint64
 
 	CheckerBigNs    float64
 	CheckerLittleNs float64
@@ -190,6 +194,8 @@ func (r *Runner) RunWorkload(w *workload.Workload, mode Mode) (*SessionResult, e
 			agg.SegmentsOnBig += stats.SegmentsOnBig
 			agg.COWCopies += stats.COWCopies
 			agg.DirtyPagesHashed += stats.DirtyPagesHashed
+			agg.IdentitySkips += stats.IdentitySkips
+			agg.HashCacheHits += stats.HashCacheHits
 			agg.CheckerBigNs += stats.CheckerBigNs
 			agg.CheckerLittleNs += stats.CheckerLittleNs
 			agg.CheckerBigInstrs += stats.CheckerBigInstrs
