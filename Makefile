@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench bench-compare golden
+.PHONY: check build vet test race race-short bench bench-compare golden fuzz-smoke offload-roundtrip
 
-check: vet golden race
+check: vet golden fuzz-smoke race
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,19 @@ race-short:
 # host-side comparison optimisations must not move it. Regenerate with
 # `go test <pkg> -run Golden -update` after an intentional model change.
 golden:
-	$(GO) test ./internal/core ./internal/stats -run 'Golden'
+	$(GO) test ./internal/core ./internal/stats ./internal/packet ./internal/checkd -run 'Golden'
+
+# Short fuzz of the check-packet codec: Decode must never panic, and every
+# accepted input must re-encode byte-identically (canonical wire format).
+fuzz-smoke:
+	$(GO) test ./internal/packet -run '^$$' -fuzz FuzzPacketRoundTrip -fuzztime 5s
+
+# End-to-end offload pipeline through the real binaries: export packets from
+# a protected run, then re-check them with the daemon CLI.
+offload-roundtrip:
+	rm -rf /tmp/paft-packets && \
+	$(GO) run ./cmd/parallaft -workload 458.sjeng -scale 0.05 -export-packets /tmp/paft-packets >/dev/null && \
+	$(GO) run ./cmd/paftcheckd -verify /tmp/paft-packets -quiet
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

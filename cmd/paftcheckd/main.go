@@ -1,0 +1,186 @@
+// Command paftcheckd is the offloaded checking daemon: it re-runs
+// Parallaft check packets (exported by `parallaft -export-packets dir/`)
+// against a fresh simulated substrate and reports one verdict per segment,
+// identical to what the in-process checkers would have decided.
+//
+// Usage:
+//
+//	paftcheckd -verify dir/                 # check an exported directory in-process
+//	paftcheckd -listen /run/paftcheckd.sock # serve the checking service on a Unix socket
+//	paftcheckd -verify dir/ -connect /run/paftcheckd.sock   # check via a running daemon
+//
+// Exit codes for -verify: 0 all segments pass, 1 a divergence was detected,
+// 3 infrastructure failure (missing chunks, protocol errors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"syscall"
+
+	"parallaft/internal/checkd"
+	"parallaft/internal/packet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paftcheckd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		verifyDir = fs.String("verify", "", "check every packet in this exported directory")
+		listen    = fs.String("listen", "", "serve the checking service on this Unix socket path")
+		connect   = fs.String("connect", "", "with -verify: send the packets to a daemon at this Unix socket instead of checking in-process")
+		workers   = fs.Int("workers", 4, "concurrent replay workers")
+		queue     = fs.Int("queue", 0, "intake queue depth (0 = 2x workers); a full queue blocks the producer")
+		retries   = fs.Int("retries", 2, "retries for packets whose chunks have not arrived yet")
+		quiet     = fs.Bool("quiet", false, "print only failing verdicts and the summary")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	opts := checkd.Options{Workers: *workers, QueueDepth: *queue, Retries: *retries}
+
+	switch {
+	case *listen != "":
+		return serve(*listen, opts, stderr)
+	case *verifyDir != "":
+		return verify(*verifyDir, *connect, opts, *quiet, stdout, stderr)
+	default:
+		fmt.Fprintln(stderr, "paftcheckd: one of -verify or -listen is required")
+		fs.Usage()
+		return 2
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
+// in-flight connections finish their verdict streams before exit.
+func serve(sock string, opts checkd.Options, stderr io.Writer) int {
+	// A stale socket from a previous daemon would block the listen.
+	if _, err := os.Stat(sock); err == nil {
+		os.Remove(sock)
+	}
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		fmt.Fprintln(stderr, "paftcheckd:", err)
+		return 1
+	}
+	srv := checkd.NewServer(opts)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "paftcheckd: listening on %s\n", sock)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "paftcheckd: %v, draining\n", sig)
+		srv.Shutdown()
+		<-done
+		os.Remove(sock)
+		return 0
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(stderr, "paftcheckd:", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// verify checks one exported directory — either a single export (it holds
+// pages.store) or a multi-program export (one subdirectory per program).
+func verify(dir, connect string, opts checkd.Options, quiet bool, stdout, stderr io.Writer) int {
+	dirs, err := exportDirs(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "paftcheckd:", err)
+		return 3
+	}
+
+	worst := 0
+	var pass, fail int
+	for _, d := range dirs {
+		store, pkts, err := packet.ReadDir(d)
+		if err != nil {
+			fmt.Fprintf(stderr, "paftcheckd: %s: %v\n", d, err)
+			return 3
+		}
+		var verdicts []checkd.Verdict
+		if connect != "" {
+			conn, err := net.Dial("unix", connect)
+			if err != nil {
+				fmt.Fprintln(stderr, "paftcheckd:", err)
+				return 3
+			}
+			verdicts, err = checkd.CheckOver(conn, store, pkts)
+			conn.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "paftcheckd: %s: %v\n", d, err)
+				return 3
+			}
+		} else {
+			verdicts, err = checkd.CheckAll(store, pkts, opts)
+			if err != nil {
+				fmt.Fprintf(stderr, "paftcheckd: %s: %v\n", d, err)
+				return 3
+			}
+		}
+		for _, v := range verdicts {
+			switch {
+			case v.Infra != "":
+				fmt.Fprintf(stdout, "INFRA %v\n", v)
+				if worst < 3 {
+					worst = 3
+				}
+			case v.OK:
+				pass++
+				if !quiet {
+					fmt.Fprintf(stdout, "ok    %v\n", v)
+				}
+			default:
+				fail++
+				fmt.Fprintf(stdout, "FAIL  %v\n", v)
+				if worst < 1 {
+					worst = 1
+				}
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "paftcheckd: %d segment(s) passed, %d diverged\n", pass, fail)
+	return worst
+}
+
+// exportDirs resolves a -verify argument to concrete export directories.
+func exportDirs(dir string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(dir, packet.StoreName)); err == nil {
+		return []string{dir}, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sub, packet.StoreName)); err == nil {
+			dirs = append(dirs, sub)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("%s: no %s found (not an export directory?)", dir, packet.StoreName)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/checkd"
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/packet"
+	"parallaft/internal/sim"
+)
+
+// exportRun produces a packet directory from a protected run, standing in
+// for `parallaft -export-packets`.
+func exportRun(t *testing.T, dir string) {
+	t.Helper()
+	b := asm.NewBuilder("victim")
+	b.Space("buf", 32*1024)
+	b.MovI(1, 0)
+	b.MovI(2, 0)
+	b.MovI(3, 120_000)
+	b.Addr(4, "buf")
+	b.Label("loop")
+	b.AndI(5, 2, 4095)
+	b.ShlI(5, 5, 3)
+	b.AndI(5, 5, 32760)
+	b.Add(5, 4, 5)
+	b.Ld(6, 5, 0)
+	b.Add(6, 6, 2)
+	b.St(5, 0, 6)
+	b.Add(1, 1, 6)
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.AndI(1, 1, 255)
+	b.MovI(0, int64(oskernel.SysExit))
+	b.Syscall()
+	prog := b.MustBuild()
+
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 150_000
+	de, err := packet.NewDirExporter(dir, core.PageHashSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Export = de.Exporter()
+
+	m := machine.New(machine.AppleM2Like())
+	k := oskernel.NewKernel(m.PageSize, 7)
+	l := oskernel.NewLoader(k, m.PageSize, 7)
+	e := sim.New(m, k, l)
+	rt := core.NewRuntime(e, cfg)
+	if _, err := rt.Run(prog); err != nil {
+		t.Fatalf("protected run: %v", err)
+	}
+	if err := de.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyInProcess(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pkts")
+	exportRun(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-verify", dir, "-quiet"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "0 diverged") {
+		t.Errorf("summary missing: %q", stdout.String())
+	}
+}
+
+// TestVerifyOverSocket is the CLI acceptance round trip: an exported
+// directory is verified through a live daemon over a Unix socket.
+func TestVerifyOverSocket(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pkts")
+	exportRun(t, dir)
+
+	sock := filepath.Join(t.TempDir(), "checkd.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := checkd.NewServer(checkd.Options{Workers: 2})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-verify", dir, "-connect", sock, "-quiet"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "0 diverged") {
+		t.Errorf("summary missing: %q", stdout.String())
+	}
+}
+
+func TestVerifyMissingDirFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-verify", filepath.Join(t.TempDir(), "nope")}, &stdout, &stderr); code != 3 {
+		t.Fatalf("exit %d, want 3", code)
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -8,52 +8,84 @@
 //	parallaft [-mode parallaft|raft|baseline] [-machine apple|intel] prog.pasm [args...]
 //	parallaft -workload 429.mcf            # run a built-in workload instead
 //	parallaft -period 2000000 prog.pasm    # slicing period in sim cycles
+//	parallaft -workload 429.mcf -export-packets dir/   # emit check packets
+//	parallaft -workload 429.mcf -stats-json            # machine-readable stats
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"parallaft/internal/asm"
 	"parallaft/internal/core"
 	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
+	"parallaft/internal/packet"
 	"parallaft/internal/sim"
 	"parallaft/internal/trace"
 	"parallaft/internal/workload"
 )
 
 func main() {
-	var (
-		mode      = flag.String("mode", "parallaft", "execution mode: parallaft, raft, or baseline")
-		machName  = flag.String("machine", "apple", "machine preset: apple, intel, or big (big cores only)")
-		wlName    = flag.String("workload", "", "run a built-in workload instead of an assembly file")
-		period    = flag.Float64("period", 0, "slicing period in sim cycles (0 = default)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		scale     = flag.Float64("scale", 1.0, "workload scale (built-in workloads only)")
-		list      = flag.Bool("list", false, "list built-in workloads and exit")
-		traceFile = flag.String("trace", "", "write a JSONL trace of runtime decisions to this file")
-		traceCap  = flag.Int("trace-limit", 0, "keep at most N trace events (0 = unbounded); a truncation marker records the overflow")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		for _, name := range workload.Names() {
-			w := workload.Get(name)
-			fmt.Printf("%-18s [%s] %s\n", w.Name, w.Class, w.Note)
-		}
-		return
+// options are the parsed command-line settings for one invocation.
+type options struct {
+	mode      string
+	machName  string
+	wlName    string
+	period    float64
+	seed      int64
+	scale     float64
+	list      bool
+	traceFile string
+	traceCap  int
+	exportDir string
+	statsJSON bool
+}
+
+// run is the testable entry point: parses argv against a fresh FlagSet,
+// executes, and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("parallaft", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.mode, "mode", "parallaft", "execution mode: parallaft, raft, or baseline")
+	fs.StringVar(&o.machName, "machine", "apple", "machine preset: apple, intel, or big (big cores only)")
+	fs.StringVar(&o.wlName, "workload", "", "run a built-in workload instead of an assembly file")
+	fs.Float64Var(&o.period, "period", 0, "slicing period in sim cycles (0 = default)")
+	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.Float64Var(&o.scale, "scale", 1.0, "workload scale (built-in workloads only)")
+	fs.BoolVar(&o.list, "list", false, "list built-in workloads and exit")
+	fs.StringVar(&o.traceFile, "trace", "", "write a JSONL trace of runtime decisions to this file")
+	fs.IntVar(&o.traceCap, "trace-limit", 0, "keep at most N trace events (0 = unbounded); a truncation marker records the overflow")
+	fs.StringVar(&o.exportDir, "export-packets", "", "export one check packet per sealed segment into this directory (paftcheckd -verify re-checks them)")
+	fs.BoolVar(&o.statsJSON, "stats-json", false, "emit one compact JSON stats object per program instead of the text block")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
 
-	progs, err := loadPrograms(*wlName, *scale, flag.Args())
+	if o.list {
+		for _, name := range workload.Names() {
+			w := workload.Get(name)
+			fmt.Fprintf(stdout, "%-18s [%s] %s\n", w.Name, w.Class, w.Note)
+		}
+		return 0
+	}
+
+	progs, err := loadPrograms(o.wlName, o.scale, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "parallaft:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "parallaft:", err)
+		return 2
 	}
 
 	var mcfg machine.Config
-	switch *machName {
+	switch o.machName {
 	case "apple":
 		mcfg = machine.AppleM2Like()
 	case "intel":
@@ -61,16 +93,28 @@ func main() {
 	case "big":
 		mcfg = machine.BigOnly()
 	default:
-		fmt.Fprintf(os.Stderr, "parallaft: unknown machine %q\n", *machName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "parallaft: unknown machine %q\n", o.machName)
+		return 2
+	}
+
+	if o.exportDir != "" && o.mode != "parallaft" && o.mode != "raft" {
+		fmt.Fprintln(stderr, "parallaft: -export-packets requires a checking mode (parallaft or raft)")
+		return 2
 	}
 
 	for _, prog := range progs {
-		if err := runOne(prog, mcfg, *mode, *period, *seed, *traceFile, *traceCap); err != nil {
-			fmt.Fprintln(os.Stderr, "parallaft:", err)
-			os.Exit(1)
+		// Multi-input workloads restart segment numbering per program, so
+		// each program gets its own packet directory.
+		dir := o.exportDir
+		if dir != "" && len(progs) > 1 {
+			dir = filepath.Join(dir, prog.Name)
+		}
+		if err := runOne(prog, mcfg, o, dir, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "parallaft:", err)
+			return 1
 		}
 	}
+	return 0
 }
 
 func loadPrograms(wlName string, scale float64, args []string) ([]*asm.Program, error) {
@@ -95,36 +139,39 @@ func loadPrograms(wlName string, scale float64, args []string) ([]*asm.Program, 
 	return []*asm.Program{prog}, nil
 }
 
-func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64, seed int64, traceFile string, traceCap int) error {
+func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string, stdout, stderr io.Writer) error {
 	m := machine.New(mcfg)
-	k := oskernel.NewKernel(m.PageSize, seed)
+	k := oskernel.NewKernel(m.PageSize, o.seed)
 	for name, data := range workload.Files() {
 		k.AddFile(name, data)
 	}
-	l := oskernel.NewLoader(k, m.PageSize, seed)
+	l := oskernel.NewLoader(k, m.PageSize, o.seed)
 	e := sim.New(m, k, l)
 	e.MaxInstr = 4_000_000_000
 
-	switch mode {
+	switch o.mode {
 	case "baseline":
 		res, err := e.RunBaseline(prog, m.BigCores()[0])
 		if err != nil {
 			return err
 		}
-		fmt.Printf("== %s (baseline on %s) ==\n", prog.Name, m)
-		fmt.Printf("timing.all_wall_time:   %.3f ms\n", res.WallNs/1e6)
-		fmt.Printf("timing.user_time:       %.3f ms\n", res.UserNs/1e6)
-		fmt.Printf("timing.sys_time:        %.3f ms\n", res.SysNs/1e6)
-		fmt.Printf("energy.total:           %.3f mJ\n", res.EnergyJ*1e3)
-		fmt.Printf("instructions:           %d\n", res.Instrs)
-		fmt.Printf("branches:               %d\n", res.Branches)
-		fmt.Printf("exit_code:              %d\n", res.ExitCode)
-		os.Stdout.Write(res.Stdout)
+		if o.statsJSON {
+			return emitJSON(stdout, map[string]any{"benchmark": prog.Name, "mode": "baseline", "stats": res})
+		}
+		fmt.Fprintf(stdout, "== %s (baseline on %s) ==\n", prog.Name, m)
+		fmt.Fprintf(stdout, "timing.all_wall_time:   %.3f ms\n", res.WallNs/1e6)
+		fmt.Fprintf(stdout, "timing.user_time:       %.3f ms\n", res.UserNs/1e6)
+		fmt.Fprintf(stdout, "timing.sys_time:        %.3f ms\n", res.SysNs/1e6)
+		fmt.Fprintf(stdout, "energy.total:           %.3f mJ\n", res.EnergyJ*1e3)
+		fmt.Fprintf(stdout, "instructions:           %d\n", res.Instrs)
+		fmt.Fprintf(stdout, "branches:               %d\n", res.Branches)
+		fmt.Fprintf(stdout, "exit_code:              %d\n", res.ExitCode)
+		stdout.Write(res.Stdout)
 		return nil
 
 	case "parallaft", "raft":
 		var cfg core.Config
-		if mode == "raft" {
+		if o.mode == "raft" {
 			cfg = core.RAFTConfig()
 		} else {
 			cfg = core.DefaultConfig()
@@ -133,22 +180,37 @@ func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64,
 				cfg.Tracking = core.TrackSoftDirty
 			}
 		}
-		if period > 0 {
-			cfg.SlicePeriodCycles = period
-			cfg.SlicePeriodInstrs = uint64(period)
+		if o.period > 0 {
+			cfg.SlicePeriodCycles = o.period
+			cfg.SlicePeriodInstrs = uint64(o.period)
 		}
 		var rec *trace.Recorder
-		if traceFile != "" {
-			rec = trace.New(traceCap)
+		if o.traceFile != "" {
+			rec = trace.New(o.traceCap)
 			cfg.Trace = rec
+		}
+		var de *packet.DirExporter
+		if exportDir != "" {
+			var err error
+			de, err = packet.NewDirExporter(exportDir, core.PageHashSeed)
+			if err != nil {
+				return err
+			}
+			cfg.Export = de.Exporter()
 		}
 		rt := core.NewRuntime(e, cfg)
 		st, err := rt.Run(prog)
 		if err != nil {
 			return err
 		}
+		if de != nil {
+			if err := de.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "export: %d packets written to %s\n", de.Count(), exportDir)
+		}
 		if rec != nil {
-			f, err := os.Create(traceFile)
+			f, err := os.Create(o.traceFile)
 			if err != nil {
 				return err
 			}
@@ -156,32 +218,47 @@ func runOne(prog *asm.Program, mcfg machine.Config, mode string, period float64,
 			if err := rec.WriteJSONL(f); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", rec.Count(""), traceFile)
+			fmt.Fprintf(stderr, "trace: %d events written to %s\n", rec.Count(""), o.traceFile)
 			if d := rec.Dropped(); d > 0 {
-				fmt.Fprintf(os.Stderr, "trace: %d events dropped by -trace-limit %d\n", d, traceCap)
+				fmt.Fprintf(stderr, "trace: %d events dropped by -trace-limit %d\n", d, o.traceCap)
 			}
 		}
-		fmt.Printf("== %s (%s on %s) ==\n", prog.Name, mode, m)
-		fmt.Printf("timing.all_wall_time:            %.3f ms\n", st.AllWallNs/1e6)
-		fmt.Printf("timing.main_wall_time:           %.3f ms\n", st.MainWallNs/1e6)
-		fmt.Printf("timing.main_user_time:           %.3f ms\n", st.MainUserNs/1e6)
-		fmt.Printf("timing.main_sys_time:            %.3f ms\n", st.MainSysNs/1e6)
-		fmt.Printf("timing.runtime_work:             %.3f ms\n", st.RuntimeNs/1e6)
-		fmt.Printf("hwmon.energy_total:              %.3f mJ\n", st.EnergyJ*1e3)
-		fmt.Printf("counter.checkpoint_count:        %d\n", st.Checkpoints)
-		fmt.Printf("fixed_interval_slicer.nr_slices: %d\n", st.Slices)
-		fmt.Printf("counter.syscalls_traced:         %d\n", st.SyscallsTraced)
-		fmt.Printf("counter.cow_copies:              %d\n", st.COWCopies)
-		fmt.Printf("counter.dirty_pages_hashed:      %d\n", st.DirtyPagesHashed)
-		fmt.Printf("counter.identity_skips:          %d\n", st.IdentitySkips)
-		fmt.Printf("counter.hash_cache_hits:         %d\n", st.HashCacheHits)
-		fmt.Printf("checker.big_work_fraction:       %.1f%%\n", st.BigWorkFraction()*100)
-		fmt.Printf("exit_code:                       %d\n", st.ExitCode)
-		if st.Detected != nil {
-			fmt.Printf("DETECTED ERROR: %v\n", st.Detected)
+		if o.statsJSON {
+			return emitJSON(stdout, map[string]any{"benchmark": st.Benchmark, "mode": o.mode, "stats": st})
 		}
-		os.Stdout.Write(st.Stdout)
+		fmt.Fprintf(stdout, "== %s (%s on %s) ==\n", prog.Name, o.mode, m)
+		fmt.Fprintf(stdout, "timing.all_wall_time:            %.3f ms\n", st.AllWallNs/1e6)
+		fmt.Fprintf(stdout, "timing.main_wall_time:           %.3f ms\n", st.MainWallNs/1e6)
+		fmt.Fprintf(stdout, "timing.main_user_time:           %.3f ms\n", st.MainUserNs/1e6)
+		fmt.Fprintf(stdout, "timing.main_sys_time:            %.3f ms\n", st.MainSysNs/1e6)
+		fmt.Fprintf(stdout, "timing.runtime_work:             %.3f ms\n", st.RuntimeNs/1e6)
+		fmt.Fprintf(stdout, "hwmon.energy_total:              %.3f mJ\n", st.EnergyJ*1e3)
+		fmt.Fprintf(stdout, "counter.checkpoint_count:        %d\n", st.Checkpoints)
+		fmt.Fprintf(stdout, "fixed_interval_slicer.nr_slices: %d\n", st.Slices)
+		fmt.Fprintf(stdout, "counter.syscalls_traced:         %d\n", st.SyscallsTraced)
+		fmt.Fprintf(stdout, "counter.cow_copies:              %d\n", st.COWCopies)
+		fmt.Fprintf(stdout, "counter.dirty_pages_hashed:      %d\n", st.DirtyPagesHashed)
+		fmt.Fprintf(stdout, "counter.identity_skips:          %d\n", st.IdentitySkips)
+		fmt.Fprintf(stdout, "counter.hash_cache_hits:         %d\n", st.HashCacheHits)
+		fmt.Fprintf(stdout, "checker.big_work_fraction:       %.1f%%\n", st.BigWorkFraction()*100)
+		fmt.Fprintf(stdout, "exit_code:                       %d\n", st.ExitCode)
+		if st.Detected != nil {
+			fmt.Fprintf(stdout, "DETECTED ERROR: %v\n", st.Detected)
+		}
+		stdout.Write(st.Stdout)
 		return nil
 	}
-	return fmt.Errorf("unknown mode %q", mode)
+	return fmt.Errorf("unknown mode %q", o.mode)
+}
+
+// emitJSON writes one compact JSON object per line, the machine-readable
+// counterpart of the Appendix A.7 text block.
+func emitJSON(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }

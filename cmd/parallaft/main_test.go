@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parallaft/internal/packet"
+)
+
+// TestStatsJSON pins the machine-readable stats path: one compact JSON
+// object per program, carrying the run's stats block.
+func TestStatsJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-workload", "stress.getpid", "-scale", "0.05", "-stats-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	line := strings.TrimSpace(stdout.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one JSON line, got:\n%s", stdout.String())
+	}
+	var obj struct {
+		Benchmark string `json:"benchmark"`
+		Mode      string `json:"mode"`
+		Stats     struct {
+			Slices      int     `json:"Slices"`
+			Checkpoints int     `json:"Checkpoints"`
+			AllWallNs   float64 `json:"AllWallNs"`
+			Stdout      []byte  `json:"Stdout"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, line)
+	}
+	if obj.Mode != "parallaft" {
+		t.Errorf("mode = %q", obj.Mode)
+	}
+	if !strings.Contains(obj.Benchmark, "getpid") {
+		t.Errorf("benchmark = %q", obj.Benchmark)
+	}
+	if obj.Stats.AllWallNs <= 0 {
+		t.Errorf("AllWallNs = %v, want > 0", obj.Stats.AllWallNs)
+	}
+	if len(obj.Stats.Stdout) == 0 {
+		t.Error("stats carry no program stdout")
+	}
+}
+
+func TestStatsJSONBaseline(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-mode", "baseline", "-workload", "stress.getpid", "-scale", "0.05", "-stats-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	var obj struct {
+		Mode  string `json:"mode"`
+		Stats struct {
+			Instrs   uint64 `json:"Instrs"`
+			ExitCode int64  `json:"ExitCode"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &obj); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if obj.Mode != "baseline" || obj.Stats.Instrs == 0 {
+		t.Errorf("unexpected baseline stats: %s", stdout.String())
+	}
+}
+
+// TestExportPackets runs a workload with -export-packets and checks that
+// the directory holds a loadable store and one packet per sealed segment.
+func TestExportPackets(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pkts")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-workload", "stress.devzero", "-scale", "0.05", "-export-packets", dir}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, packet.StoreName)); err != nil {
+		t.Fatalf("no page store exported: %v", err)
+	}
+	_, pkts, err := packet.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(pkts) == 0 {
+		t.Fatal("no packets exported")
+	}
+	if !strings.Contains(stderr.String(), "packets written") {
+		t.Errorf("stderr missing export summary: %q", stderr.String())
+	}
+}
+
+func TestUnknownWorkloadFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workload", "no-such-benchmark"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown workload") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}

@@ -1,0 +1,223 @@
+package checkd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parallaft/internal/packet"
+	"parallaft/internal/pagestore"
+)
+
+// Options configures an Executor.
+type Options struct {
+	// Workers is the number of concurrent replay workers (default 4).
+	Workers int
+	// QueueDepth bounds the intake queue; a full queue makes Submit block,
+	// applying backpressure to the producer (default 2×Workers).
+	QueueDepth int
+	// Retries is how many times a packet whose chunks are missing is
+	// retried before the miss becomes an infrastructure verdict — under a
+	// streaming transport the chunks may simply not have arrived yet
+	// (default 2).
+	Retries int
+	// RetryDelay spaces the retries (default 2ms).
+	RetryDelay time.Duration
+	// WantDigest pins the config digest packets must carry. Zero pins to
+	// the first accepted packet's digest instead.
+	WantDigest uint64
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = 2 * time.Millisecond
+	}
+}
+
+// Executor checks packets with a bounded worker pool and emits verdicts in
+// submission order. It is the in-process transport of the checking service;
+// the socket transport (Server) wraps one Executor per connection.
+//
+// Submit and Close must be called from a single producer goroutine;
+// Verdicts is read by any single consumer.
+type Executor struct {
+	store *pagestore.Store
+	opts  Options
+
+	intake  chan job
+	results chan Verdict
+	out     chan Verdict
+	wg      sync.WaitGroup
+	reorder sync.WaitGroup
+
+	mu     sync.Mutex
+	digest uint64
+	pinned bool
+	seq    int
+	closed bool
+}
+
+type job struct {
+	seq int
+	pkt *packet.CheckPacket
+}
+
+// NewExecutor creates an executor reading chunks from store.
+func NewExecutor(store *pagestore.Store, opts Options) *Executor {
+	opts.fill()
+	x := &Executor{
+		store:   store,
+		opts:    opts,
+		intake:  make(chan job, opts.QueueDepth),
+		results: make(chan Verdict, opts.QueueDepth),
+		out:     make(chan Verdict, opts.QueueDepth),
+		digest:  opts.WantDigest,
+		pinned:  opts.WantDigest != 0,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		x.wg.Add(1)
+		go x.worker()
+	}
+	x.reorder.Add(1)
+	go x.reorderLoop()
+	return x
+}
+
+// Verdicts is the ordered verdict stream: one verdict per accepted packet,
+// in Submit order, closed after Close has drained the queue.
+func (x *Executor) Verdicts() <-chan Verdict { return x.out }
+
+// Submit validates a packet and enqueues it. Validation is synchronous so
+// typed rejections (ErrVersion, ErrConfigDigest) surface immediately and a
+// rejected packet never consumes a verdict slot. A full queue blocks.
+func (x *Executor) Submit(pkt *packet.CheckPacket) error {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return ErrClosed
+	}
+	if pkt.Version != packet.Version {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: packet v%d, daemon speaks v%d", ErrVersion, pkt.Version, packet.Version)
+	}
+	if d := pkt.Config.Digest(); d != pkt.ConfigDigest {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: packet carries %#x but its config digests to %#x",
+			ErrConfigDigest, pkt.ConfigDigest, d)
+	}
+	if x.pinned && pkt.ConfigDigest != x.digest {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: stream pinned to %#x, packet carries %#x",
+			ErrConfigDigest, x.digest, pkt.ConfigDigest)
+	}
+	if !x.pinned {
+		x.digest = pkt.ConfigDigest
+		x.pinned = true
+	}
+	j := job{seq: x.seq, pkt: pkt}
+	x.seq++
+	x.mu.Unlock()
+
+	x.intake <- j
+	return nil
+}
+
+// Close stops intake, waits for in-flight packets to finish, and closes the
+// verdict stream once every accepted packet has a verdict.
+func (x *Executor) Close() {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return
+	}
+	x.closed = true
+	x.mu.Unlock()
+	close(x.intake)
+	x.wg.Wait()
+	close(x.results)
+	x.reorder.Wait()
+}
+
+func (x *Executor) worker() {
+	defer x.wg.Done()
+	for j := range x.intake {
+		x.results <- x.check(j)
+	}
+}
+
+// check runs one packet, retrying chunk misses: with a streaming transport
+// the pages may be in flight while the packet is already queued.
+func (x *Executor) check(j job) Verdict {
+	var v Verdict
+	var err error
+	for attempt := 0; ; attempt++ {
+		v, err = RunPacket(x.store, j.pkt)
+		if err == nil || !errors.Is(err, ErrMissingChunk) || attempt >= x.opts.Retries {
+			break
+		}
+		time.Sleep(x.opts.RetryDelay)
+	}
+	v.Seq = j.seq
+	if err != nil {
+		v.OK = false
+		v.Infra = err.Error()
+	}
+	return v
+}
+
+// reorderLoop restores submission order: workers finish out of order, the
+// consumer sees verdicts in Submit order.
+func (x *Executor) reorderLoop() {
+	defer x.reorder.Done()
+	defer close(x.out)
+	pending := make(map[int]Verdict)
+	next := 0
+	for v := range x.results {
+		pending[v.Seq] = v
+		for {
+			nv, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			x.out <- nv
+		}
+	}
+	// Sequence numbers are dense, so the map is empty here; nothing to flush.
+}
+
+// CheckAll is the convenience in-process path: run every packet against the
+// store and return the verdicts in order. Used by `paftcheckd -verify` and
+// the parity tests.
+func CheckAll(store *pagestore.Store, pkts []*packet.CheckPacket, opts Options) ([]Verdict, error) {
+	x := NewExecutor(store, opts)
+	var firstErr error
+	done := make(chan []Verdict)
+	go func() {
+		var out []Verdict
+		for v := range x.Verdicts() {
+			out = append(out, v)
+		}
+		done <- out
+	}()
+	for _, p := range pkts {
+		if err := x.Submit(p); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("packet %s seg %d: %w", p.ProgName, p.Segment, err)
+		}
+	}
+	x.Close()
+	return <-done, firstErr
+}

@@ -1,0 +1,178 @@
+package checkd
+
+import (
+	"errors"
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/packet"
+	"parallaft/internal/pagestore"
+	"parallaft/internal/sim"
+)
+
+// runExported runs a program under the in-process runtime with packet
+// export enabled and returns the run's stats alongside the exported store
+// and packets — the raw material for every offload test.
+func runExported(t *testing.T, cfg core.Config, prog *asm.Program) (*core.RunStats, *pagestore.Store, []*packet.CheckPacket) {
+	t.Helper()
+	store := pagestore.New(core.PageHashSeed)
+	var pkts []*packet.CheckPacket
+	cfg.Export = &packet.Exporter{
+		Store: store,
+		Sink:  func(p *packet.CheckPacket) error { pkts = append(pkts, p); return nil },
+	}
+	m := machine.New(machine.AppleM2Like())
+	k := oskernel.NewKernel(m.PageSize, 7)
+	l := oskernel.NewLoader(k, m.PageSize, 7)
+	e := sim.New(m, k, l)
+	rt := core.NewRuntime(e, cfg)
+	stats, err := rt.Run(prog)
+	if err != nil {
+		t.Fatalf("protected run: %v", err)
+	}
+	return stats, store, pkts
+}
+
+// victimProgram is a multi-segment compute+memory loop whose checksum
+// register and data buffer give fault injections something to corrupt.
+func victimProgram(iters int64) *asm.Program {
+	b := asm.NewBuilder("victim")
+	b.Space("buf", 32*1024)
+	b.MovI(1, 0)
+	b.MovI(2, 0)
+	b.MovI(3, iters)
+	b.Addr(4, "buf")
+	b.Label("loop")
+	b.AndI(5, 2, 4095)
+	b.ShlI(5, 5, 3)
+	b.AndI(5, 5, 32760)
+	b.Add(5, 4, 5)
+	b.Ld(6, 5, 0)
+	b.Add(6, 6, 2)
+	b.St(5, 0, 6)
+	b.Add(1, 1, 6)
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.AndI(1, 1, 255)
+	b.MovI(0, int64(oskernel.SysExit))
+	b.Syscall()
+	return b.MustBuild()
+}
+
+func smallSliceConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 150_000
+	return cfg
+}
+
+func TestSubmitTypedRejections(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(120_000))
+	if len(pkts) == 0 {
+		t.Fatal("run exported no packets")
+	}
+
+	t.Run("version", func(t *testing.T) {
+		x := NewExecutor(store, Options{})
+		defer x.Close()
+		bad := *pkts[0]
+		bad.Version = packet.Version + 1
+		if err := x.Submit(&bad); !errors.Is(err, ErrVersion) {
+			t.Fatalf("Submit(version %d) = %v, want ErrVersion", bad.Version, err)
+		}
+	})
+
+	t.Run("self-inconsistent digest", func(t *testing.T) {
+		x := NewExecutor(store, Options{})
+		defer x.Close()
+		bad := *pkts[0]
+		bad.ConfigDigest++
+		if err := x.Submit(&bad); !errors.Is(err, ErrConfigDigest) {
+			t.Fatalf("Submit(bad digest) = %v, want ErrConfigDigest", err)
+		}
+	})
+
+	t.Run("pinned digest", func(t *testing.T) {
+		x := NewExecutor(store, Options{})
+		defer x.Close()
+		if err := x.Submit(pkts[0]); err != nil {
+			t.Fatalf("first Submit: %v", err)
+		}
+		// A packet from a different (self-consistent) config must be
+		// rejected once the stream is pinned.
+		other := *pkts[0]
+		other.Config.Quantum++
+		other.ConfigDigest = other.Config.Digest()
+		if err := x.Submit(&other); !errors.Is(err, ErrConfigDigest) {
+			t.Fatalf("Submit(other config) = %v, want ErrConfigDigest", err)
+		}
+	})
+
+	t.Run("explicit pin", func(t *testing.T) {
+		x := NewExecutor(store, Options{WantDigest: pkts[0].ConfigDigest + 1})
+		defer x.Close()
+		if err := x.Submit(pkts[0]); !errors.Is(err, ErrConfigDigest) {
+			t.Fatalf("Submit against foreign pin = %v, want ErrConfigDigest", err)
+		}
+	})
+
+	t.Run("closed", func(t *testing.T) {
+		x := NewExecutor(store, Options{})
+		x.Close()
+		if err := x.Submit(pkts[0]); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+		}
+	})
+}
+
+func TestMissingChunkBecomesInfraVerdict(t *testing.T) {
+	_, _, pkts := runExported(t, smallSliceConfig(), victimProgram(120_000))
+	if len(pkts) == 0 {
+		t.Fatal("run exported no packets")
+	}
+	// An empty store: every chunk reference misses, the retries exhaust,
+	// and the failure surfaces as an infrastructure verdict — never as a
+	// detection.
+	empty := pagestore.New(core.PageHashSeed)
+	verdicts, err := CheckAll(empty, pkts[:1], Options{Retries: 1, RetryDelay: 1})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+	if len(verdicts) != 1 {
+		t.Fatalf("got %d verdicts, want 1", len(verdicts))
+	}
+	v := verdicts[0]
+	if v.OK || v.Infra == "" || v.ErrorKind != "" {
+		t.Fatalf("verdict = %+v, want infra failure with no detection kind", v)
+	}
+	if !errors.Is(ErrMissingChunk, ErrMissingChunk) { // keep the sentinel referenced
+		t.Fatal("unreachable")
+	}
+}
+
+func TestVerdictsOrderedUnderConcurrency(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(240_000))
+	if len(pkts) < 3 {
+		t.Fatalf("want several packets, got %d", len(pkts))
+	}
+	verdicts, err := CheckAll(store, pkts, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+	if len(verdicts) != len(pkts) {
+		t.Fatalf("got %d verdicts for %d packets", len(verdicts), len(pkts))
+	}
+	for i, v := range verdicts {
+		if v.Seq != i {
+			t.Fatalf("verdict %d has seq %d; stream is unordered", i, v.Seq)
+		}
+		if v.Segment != pkts[i].Segment {
+			t.Fatalf("verdict %d is for segment %d, packet is segment %d", i, v.Segment, pkts[i].Segment)
+		}
+		if !v.OK {
+			t.Fatalf("clean run produced failing verdict: %v", v)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package checkd
+
+import "errors"
+
+// Typed intake rejections. Submit returns these synchronously so a client
+// learns immediately — before any replay work is queued — that a packet can
+// never produce a meaningful verdict here.
+var (
+	// ErrVersion: the packet's wire version is not the one this daemon
+	// speaks. Distinct from packet.ErrVersion (a decode-time failure): this
+	// fires on a well-formed packet whose recorded Version field disagrees.
+	ErrVersion = errors.New("checkd: unsupported packet version")
+
+	// ErrConfigDigest: the packet's config digest disagrees — either with
+	// its own embedded config (tampering or corruption past the codec) or
+	// with the digest this executor is pinned to. Verdicts are only
+	// comparable across identical verdict-relevant configs, so mixing
+	// digests in one stream is rejected rather than silently checked.
+	ErrConfigDigest = errors.New("checkd: packet config digest mismatch")
+
+	// ErrMissingChunk: a content-addressed chunk referenced by a packet is
+	// not (yet) in the store. Transient under a streaming transport — the
+	// executor retries before giving up.
+	ErrMissingChunk = errors.New("checkd: referenced chunk missing from store")
+
+	// ErrClosed: Submit after Close.
+	ErrClosed = errors.New("checkd: executor closed")
+)

@@ -1,0 +1,172 @@
+package checkd
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parallaft/internal/proc"
+	"parallaft/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run go test -run Golden -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOffloadParityAllWorkloads is the offloading service's
+// non-negotiable invariant: for every built-in workload, the offloaded
+// verdicts must be identical to in-process checking. Each workload's first
+// program runs under the in-process runtime with export enabled; the
+// exported packets are then checked by a fresh executor with no access to
+// the originating run, and every verdict must come back clean, one per
+// sealed segment. The golden file pins the packet counts so silent changes
+// to segmentation or export coverage surface as drift.
+func TestGoldenOffloadParityAllWorkloads(t *testing.T) {
+	suite := append(workload.All(), workload.Stress()...)
+	var sb strings.Builder
+	for _, w := range suite {
+		if testing.Short() && sb.Len() > 0 {
+			t.Skip("short mode: first workload only")
+		}
+		progs := w.Gen(0.05)
+		prog := progs[0]
+		stats, store, pkts := runExported(t, smallSliceConfig(), prog)
+		if stats.Detected != nil {
+			t.Fatalf("%s: clean run detected in-process: %v", w.Name, stats.Detected)
+		}
+		verdicts, err := CheckAll(store, pkts, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: CheckAll: %v", w.Name, err)
+		}
+		if len(verdicts) != len(pkts) {
+			t.Fatalf("%s: %d verdicts for %d packets", w.Name, len(verdicts), len(pkts))
+		}
+		ok := 0
+		for _, v := range verdicts {
+			if v.Infra != "" {
+				t.Fatalf("%s: infrastructure failure: %v", w.Name, v)
+			}
+			if v.OK {
+				ok++
+			} else {
+				t.Errorf("%s: offloaded verdict diverged from in-process (clean): %v", w.Name, v)
+			}
+		}
+		fmt.Fprintf(&sb, "%s prog=%s packets=%d ok=%d\n", w.Name, prog.Name, len(pkts), ok)
+	}
+	goldenCompare(t, "golden_offload_parity.txt", sb.String())
+}
+
+// TestGoldenOffloadParityInjectedFault injects a memory corruption into the
+// main mid-run: the in-process runtime detects the divergence at some
+// segment, and the offloaded checker — replaying the same packets — must
+// report the identical verdict: same detecting segment, same error kind,
+// same detail, with every other exported segment passing.
+func TestGoldenOffloadParityInjectedFault(t *testing.T) {
+	prog := victimProgram(120_000)
+	bufAddr := prog.Symbols["buf"]
+	cfg := smallSliceConfig()
+	corrupted := false
+	cfg.MainHook = func(m *proc.Process, _ float64) {
+		// One bit flip in the victim's buffer, past the first segment so a
+		// pre-corruption checkpoint and packet exist.
+		if corrupted || m.Instrs < 300_000 {
+			return
+		}
+		corrupted = true
+		v, _ := m.AS.LoadU64(bufAddr + 512)
+		m.AS.StoreU64(bufAddr+512, v^4) //nolint:errcheck
+	}
+	stats, store, pkts := runExported(t, cfg, prog)
+	if stats.Detected == nil {
+		t.Fatal("in-process run did not detect the injected corruption")
+	}
+	verdicts, err := CheckAll(store, pkts, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+
+	var failing *Verdict
+	for i := range verdicts {
+		v := &verdicts[i]
+		if v.Infra != "" {
+			t.Fatalf("infrastructure failure: %v", v)
+		}
+		if v.OK {
+			continue
+		}
+		if failing != nil {
+			t.Fatalf("second failing verdict %v (already had %v); corruption must fail exactly one segment", v, failing)
+		}
+		failing = v
+	}
+	if failing == nil {
+		t.Fatal("offloaded checking missed the corruption the in-process runtime detected")
+	}
+	if failing.Segment != stats.Detected.Segment {
+		t.Errorf("offloaded detection at segment %d, in-process at %d", failing.Segment, stats.Detected.Segment)
+	}
+	if failing.ErrorKind != stats.Detected.Kind.String() {
+		t.Errorf("offloaded kind %q, in-process %q", failing.ErrorKind, stats.Detected.Kind)
+	}
+	if failing.Detail != stats.Detected.Detail {
+		t.Errorf("offloaded detail %q, in-process %q", failing.Detail, stats.Detected.Detail)
+	}
+
+	got := fmt.Sprintf("inprocess: seg=%d kind=%s detail=%s\noffloaded: seg=%d kind=%s detail=%s\npackets=%d\n",
+		stats.Detected.Segment, stats.Detected.Kind, stats.Detected.Detail,
+		failing.Segment, failing.ErrorKind, failing.Detail, len(pkts))
+	goldenCompare(t, "golden_offload_fault.txt", got)
+}
+
+// TestOffloadParityRegisterFault covers the checker-side fault path: a
+// corrupted checker register makes the in-process comparison fail, while
+// the exported packets describe a perfectly healthy run — the offloaded
+// verdicts must all pass. Detection parity means agreeing about where the
+// corruption happened: in the checker substrate, not in the recorded run.
+func TestOffloadParityRegisterFault(t *testing.T) {
+	cfg := smallSliceConfig()
+	done := false
+	cfg.CheckerHook = func(seg int, c *proc.Process, _ float64) {
+		if done || seg != 1 {
+			return
+		}
+		done = true
+		c.FlipRegisterBit(proc.GPRClass, 1, 0, 40)
+	}
+	stats, store, pkts := runExported(t, cfg, victimProgram(120_000))
+	if stats.Detected == nil {
+		t.Fatal("in-process run did not detect the checker corruption")
+	}
+	verdicts, err := CheckAll(store, pkts, Options{})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+	for _, v := range verdicts {
+		if !v.OK {
+			t.Errorf("offloaded verdict failed for a healthy recorded run: %v", v)
+		}
+	}
+}

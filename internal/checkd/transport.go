@@ -1,0 +1,262 @@
+package checkd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"parallaft/internal/packet"
+	"parallaft/internal/pagestore"
+)
+
+// Wire protocol: a stream of length-prefixed frames, each a type byte
+// followed by a little-endian uint32 payload length and the payload.
+//
+//	client → server:  'C' chunk (key u64 + bytes)   content-addressed page/code data
+//	                  'P' packet                     one encoded CheckPacket
+//	                  'D' done                       no more frames; drain and report
+//	server → client:  'V' verdict                    JSON-encoded Verdict, in submit order
+//	                  'E' error                      intake rejection or protocol error (fatal)
+//	                  'D' done                       all verdicts sent
+//
+// Chunks for a packet must precede it on the stream (the executor's retry
+// loop tolerates slight reordering). Each connection gets its own store and
+// executor: connections are independent verdict streams.
+const (
+	frameChunk   = 'C'
+	framePacket  = 'P'
+	frameVerdict = 'V'
+	frameError   = 'E'
+	frameDone    = 'D'
+)
+
+// maxFrameLen bounds a single frame so a corrupt length prefix cannot
+// exhaust host memory.
+const maxFrameLen = 64 << 20
+
+// ErrProtocol reports a malformed or out-of-protocol frame.
+var ErrProtocol = errors.New("checkd: protocol error")
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrameLen {
+		return 0, nil, fmt.Errorf("%w: frame %q length %d exceeds limit", ErrProtocol, hdr[0], n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Server serves the checking service over a listener (normally a Unix
+// socket). Each connection is an independent session: its own pagestore,
+// its own executor, its own verdict ordering.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server; opts configures the per-connection executors.
+func NewServer(opts Options) *Server {
+	return &Server{opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes (see Shutdown). It
+// returns nil on graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight connections
+// finish their verdict streams, then return.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn runs one session: intake frames drive a fresh executor, a
+// writer goroutine streams its verdicts back.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	store := pagestore.New(0)
+	x := NewExecutor(store, s.opts)
+
+	var wmu sync.Mutex // 'V'/'E'/'D' frames interleave from two goroutines
+	send := func(typ byte, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, typ, payload)
+	}
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for v := range x.Verdicts() {
+			b, err := json.Marshal(v)
+			if err != nil {
+				return
+			}
+			if send(frameVerdict, b) != nil {
+				return
+			}
+		}
+	}()
+
+	fail := func(msg string) {
+		send(frameError, []byte(msg))
+		x.Close()
+		<-writerDone
+	}
+
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			// A vanished client: drop the session, nothing to report to.
+			x.Close()
+			<-writerDone
+			return
+		}
+		switch typ {
+		case frameChunk:
+			if len(payload) < 8 {
+				fail("chunk frame shorter than its key")
+				return
+			}
+			key := pagestore.Key(binary.LittleEndian.Uint64(payload))
+			store.Insert(key, payload[8:])
+		case framePacket:
+			pkt, err := packet.Decode(payload)
+			if err != nil {
+				fail(fmt.Sprintf("bad packet: %v", err))
+				return
+			}
+			if err := x.Submit(pkt); err != nil {
+				fail(err.Error())
+				return
+			}
+		case frameDone:
+			x.Close()
+			<-writerDone
+			send(frameDone, nil)
+			return
+		default:
+			fail(fmt.Sprintf("unexpected frame type %q", typ))
+			return
+		}
+	}
+}
+
+// RemoteError is an 'E' frame from the server: the session was rejected.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "checkd: remote: " + e.Msg }
+
+// CheckOver runs a full client session on conn: stream every chunk of the
+// store, then every packet, then collect the ordered verdicts. It is the
+// Unix-socket analogue of CheckAll.
+func CheckOver(conn io.ReadWriter, store *pagestore.Store, pkts []*packet.CheckPacket) ([]Verdict, error) {
+	var sendErr error
+	store.Each(func(k pagestore.Key, data []byte) {
+		if sendErr != nil {
+			return
+		}
+		payload := make([]byte, 8+len(data))
+		binary.LittleEndian.PutUint64(payload, uint64(k))
+		copy(payload[8:], data)
+		sendErr = writeFrame(conn, frameChunk, payload)
+	})
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	for _, p := range pkts {
+		if err := writeFrame(conn, framePacket, packet.Encode(p)); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(conn, frameDone, nil); err != nil {
+		return nil, err
+	}
+
+	var verdicts []Verdict
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return verdicts, fmt.Errorf("checkd: connection lost mid-session: %w", err)
+		}
+		switch typ {
+		case frameVerdict:
+			var v Verdict
+			if err := json.Unmarshal(payload, &v); err != nil {
+				return verdicts, fmt.Errorf("%w: bad verdict frame: %v", ErrProtocol, err)
+			}
+			verdicts = append(verdicts, v)
+		case frameError:
+			return verdicts, &RemoteError{Msg: string(payload)}
+		case frameDone:
+			return verdicts, nil
+		default:
+			return verdicts, fmt.Errorf("%w: unexpected frame type %q", ErrProtocol, typ)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package checkd
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"parallaft/internal/packet"
+)
+
+// startServer serves on a fresh Unix socket under the test's temp dir and
+// tears down gracefully when the test ends.
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "checkd.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("listen %s: %v", sock, err)
+	}
+	srv := NewServer(opts)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, sock
+}
+
+// TestUnixSocketRoundTrip is the acceptance path: packets exported from an
+// in-process run travel over a Unix socket to a daemon-side executor, and
+// the verdicts coming back are identical to the in-process transport's.
+func TestUnixSocketRoundTrip(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(240_000))
+	if len(pkts) < 2 {
+		t.Fatalf("want several packets, got %d", len(pkts))
+	}
+	local, err := CheckAll(store, pkts, Options{})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+
+	_, sock := startServer(t, Options{Workers: 2})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	remote, err := CheckOver(conn, store, pkts)
+	if err != nil {
+		t.Fatalf("CheckOver: %v", err)
+	}
+	if !reflect.DeepEqual(local, remote) {
+		t.Fatalf("socket verdicts differ from in-process:\n local %+v\nremote %+v", local, remote)
+	}
+}
+
+// TestSocketRejectsBadVersion pins the 'E' path: an intake rejection is
+// reported to the client as a typed remote error, not a dropped connection.
+func TestSocketRejectsBadVersion(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(120_000))
+	bad := *pkts[0]
+	bad.Version = packet.Version + 1
+
+	_, sock := startServer(t, Options{})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_, err = CheckOver(conn, store, []*packet.CheckPacket{&bad})
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("CheckOver = %v, want RemoteError", err)
+	}
+	if !strings.Contains(remote.Msg, "version") {
+		t.Fatalf("remote error %q does not mention the version", remote.Msg)
+	}
+}
+
+// TestSocketRejectsBadDigest covers the other typed rejection end to end.
+func TestSocketRejectsBadDigest(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(120_000))
+	bad := *pkts[0]
+	bad.ConfigDigest++
+
+	_, sock := startServer(t, Options{})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_, err = CheckOver(conn, store, []*packet.CheckPacket{&bad})
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("CheckOver = %v, want RemoteError", err)
+	}
+	if !strings.Contains(remote.Msg, "digest") {
+		t.Fatalf("remote error %q does not mention the digest", remote.Msg)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"parallaft/internal/packet"
+	"parallaft/internal/proc"
+)
+
+// PageHashSeed is the seed of the end-of-segment page hashes. Exported so
+// packet tooling can build pagestores whose keys share the comparison
+// subsystem's per-frame hash memos.
+const PageHashSeed uint64 = hashSeed
+
+// exportConfig projects the verdict-relevant slice of the runtime config
+// into wire form. Scheduling, DVFS and cost knobs deliberately stay out:
+// they move timing and energy, never the verdict.
+func (r *Runtime) exportConfig() packet.Config {
+	return packet.Config{
+		PageSize:          r.main.AS.PageSize(),
+		Quantum:           r.cfg.Quantum,
+		SkidBuffer:        r.cfg.SkidBuffer,
+		TimeoutScale:      r.cfg.TimeoutScale,
+		CompareStates:     r.cfg.CompareStates,
+		SoftDirtyTracking: r.cfg.Tracking == TrackSoftDirty,
+		CompareFullMemory: r.cfg.CompareFullMemory,
+		HashSeed:          hashSeed,
+	}
+}
+
+// exportSegment builds one check packet from a sealed segment and hands it
+// to the configured exporter. Called at the end of onSeal, when the
+// segment's end point, instruction budget, end checkpoint and full event
+// log are all final. Export failures are latched into r.exportErr and
+// surfaced as an infrastructure error when Run returns — never as a
+// detection.
+func (r *Runtime) exportSegment(seg *Segment) error {
+	exp := r.cfg.Export
+	cfg := r.exportConfig()
+	p := &packet.CheckPacket{
+		Version:      packet.Version,
+		ConfigDigest: cfg.Digest(),
+		Config:       cfg,
+		Benchmark:    r.stats.Benchmark,
+		ProgName:     r.main.Name,
+		Segment:      seg.Index,
+		End:          packet.ExecPoint{Branches: seg.End.Branches, PC: seg.End.PC},
+		EndIsExit:    seg.EndIsExit,
+		InstrLimit:   seg.Checker.InstrLimit,
+		MainInstrs:   seg.MainInstrs,
+		CheckerPID:   seg.Checker.PID,
+		PMUSeed:      r.e.L.PMUSeed(seg.Checker.PID),
+		MaxSkid:      int(seg.Checker.MaxSkid()),
+		// Program text is content-addressed like any page: interning it
+		// per segment costs one hash and dedups to a single stored copy.
+		CodeKey: exp.Store.Put(packet.EncodeCode(r.main.Code)),
+		CodeLen: len(r.main.Code),
+	}
+
+	exportStartState(&p.Start, seg.StartCP.p, exp)
+
+	p.Events = make([]packet.Event, 0, len(seg.Log.Events))
+	for i := range seg.Log.Events {
+		p.Events = append(p.Events, exportEvent(&seg.Log.Events[i]))
+	}
+
+	end := seg.EndCP.p
+	p.EndState.Regs = packet.RegsToWire(&end.Regs)
+	p.EndState.PC = end.PC
+	endRefs := end.AS.FrameRefs()
+	p.EndState.Pages = make([]packet.PageHash, 0, len(endRefs))
+	for _, fr := range endRefs {
+		sum, _ := fr.Frame.ContentHash(hashSeed)
+		p.EndState.Pages = append(p.EndState.Pages, packet.PageHash{VPN: fr.VPN, Sum: sum})
+	}
+
+	return exp.Sink(p)
+}
+
+// exportStartState serializes a checkpointed process: registers, VMAs,
+// handlers, brk, and every mapped page interned into the exporter's store
+// (COW sharing across consecutive checkpoints dedups automatically —
+// identical frames carry identical content keys).
+func exportStartState(st *packet.StartState, cp *proc.Process, exp *packet.Exporter) {
+	st.Regs = packet.RegsToWire(&cp.Regs)
+	st.PC = cp.PC
+	st.BrkBase = cp.AS.BrkBase()
+	st.Brk = cp.AS.CurrentBrk()
+
+	for _, v := range cp.AS.VMAs() {
+		st.VMAs = append(st.VMAs, packet.VMA{
+			Base: v.Base, Length: v.Length, Prot: uint8(v.Prot), Name: v.Name,
+		})
+	}
+
+	refs := cp.AS.FrameRefs()
+	st.Pages = make([]packet.PageRef, 0, len(refs))
+	for _, fr := range refs {
+		st.Pages = append(st.Pages, packet.PageRef{
+			VPN:  fr.VPN,
+			Key:  exp.Store.PutFrame(fr.Frame),
+			Prot: uint8(fr.Prot),
+		})
+	}
+
+	st.Handlers = make([]packet.Handler, 0, len(cp.Handlers))
+	for sig, pc := range cp.Handlers {
+		st.Handlers = append(st.Handlers, packet.Handler{Sig: uint8(sig), PC: pc})
+	}
+	sort.Slice(st.Handlers, func(i, j int) bool { return st.Handlers[i].Sig < st.Handlers[j].Sig })
+}
+
+// exportEvent converts one rrlog entry to wire form.
+func exportEvent(ev *Event) packet.Event {
+	out := packet.Event{Kind: uint8(ev.Kind)}
+	switch ev.Kind {
+	case EvSyscall:
+		rec := ev.Syscall
+		out.Syscall = &packet.SyscallEvent{
+			Nr:            uint16(rec.Info.Nr),
+			Args:          rec.Info.Args,
+			Class:         uint8(rec.Class),
+			In:            exportRegions(rec.In),
+			Ret:           rec.Ret,
+			Out:           exportRegions(rec.Out),
+			MmapFixedAddr: rec.MmapFixedAddr,
+		}
+	case EvNondet:
+		out.Nondet = &packet.NondetEvent{PC: ev.Nondet.PC, Value: ev.Nondet.Value}
+	case EvSignalInternal, EvSignalExternal:
+		rec := ev.Signal
+		out.Signal = &packet.SignalEvent{
+			Sig:   uint8(rec.Sig),
+			PC:    rec.PC,
+			Point: packet.ExecPoint{Branches: rec.Point.Branches, PC: rec.Point.PC},
+			Fatal: rec.Fatal,
+		}
+	}
+	return out
+}
+
+func exportRegions(rs []RegionData) []packet.Region {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]packet.Region, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, packet.Region{Addr: r.Addr, Data: r.Data})
+	}
+	return out
+}

@@ -49,6 +49,9 @@ func (r *Runtime) Run(prog *asm.Program) (*RunStats, error) {
 	}
 
 	r.finish()
+	if r.exportErr != nil {
+		return nil, fmt.Errorf("core: packet export failed: %w", r.exportErr)
+	}
 	return &r.stats, nil
 }
 
@@ -293,7 +296,9 @@ func (r *Runtime) sealFinal() {
 }
 
 // onSeal arms the sealed segment's checker for end-point replay and the
-// timeout budget (§4.2.2).
+// timeout budget (§4.2.2), and — when packet export is configured — emits
+// the segment as a portable check packet, now that its end point, budget,
+// end checkpoint and event log are all final.
 func (r *Runtime) onSeal(seg *Segment) {
 	limit := uint64(float64(seg.MainInstrs) * r.cfg.TimeoutScale)
 	if limit < 64 {
@@ -302,6 +307,12 @@ func (r *Runtime) onSeal(seg *Segment) {
 	seg.Checker.InstrLimit = seg.checkerInstrs + limit
 	seg.waiting = false
 	r.ensureTarget(seg)
+
+	if r.cfg.Export != nil && !seg.arb {
+		if err := r.exportSegment(seg); err != nil && r.exportErr == nil {
+			r.exportErr = err
+		}
+	}
 }
 
 // --- main-side event recording ---------------------------------------------

@@ -5,6 +5,7 @@ import (
 
 	"parallaft/internal/machine"
 	"parallaft/internal/mem"
+	"parallaft/internal/packet"
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
 	"parallaft/internal/trace"
@@ -120,6 +121,12 @@ type Config struct {
 	// Trace, when set, receives a structured event stream of runtime
 	// decisions (segments, replay events, scheduling, detections).
 	Trace *trace.Recorder
+
+	// Export, when set, emits one portable check packet per sealed segment
+	// (internal/packet): pages interned into the exporter's store, the
+	// finished packet handed to its sink. Nil — the default — costs
+	// nothing: the seal path never touches the export code.
+	Export *packet.Exporter
 
 	// ContainSyscalls enables error containment in the sphere of
 	// replication (the paper's other table-2 future-work row): before any
@@ -386,6 +393,10 @@ type Runtime struct {
 	// containWait gates the main at a globally-effectful syscall until all
 	// prior segments verify (Config.ContainSyscalls).
 	containWait bool
+
+	// exportErr latches the first packet-export failure (Config.Export);
+	// surfaced by Run as an infrastructure error, never as a detection.
+	exportErr error
 }
 
 // NewRuntime creates a Parallaft (or RAFT-configured) runtime over an

@@ -1,0 +1,55 @@
+package mem
+
+import "testing"
+
+func TestFrameRefsSortedAndComplete(t *testing.T) {
+	as := NewAddressSpace(4096)
+	if err := as.Map(0x30000, 2*4096, ProtRW, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x10000, 2*4096, ProtRead, "a"); err != nil {
+		t.Fatal(err)
+	}
+	refs := as.FrameRefs()
+	if len(refs) != 4 {
+		t.Fatalf("got %d refs, want 4", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1].VPN >= refs[i].VPN {
+			t.Fatalf("refs not sorted: vpn[%d]=%#x, vpn[%d]=%#x", i-1, refs[i-1].VPN, i, refs[i].VPN)
+		}
+	}
+	if refs[0].VPN != 0x10000/4096 || refs[0].Prot != ProtRead {
+		t.Fatalf("refs[0] = %+v", refs[0])
+	}
+	if refs[2].VPN != 0x30000/4096 || refs[2].Prot != ProtRW {
+		t.Fatalf("refs[2] = %+v", refs[2])
+	}
+	for _, fr := range refs {
+		if fr.Frame != as.FrameAt(fr.VPN) {
+			t.Fatalf("ref at %#x does not alias the live frame", fr.VPN)
+		}
+	}
+}
+
+func TestRestoreBrkDoesNotMap(t *testing.T) {
+	as := NewAddressSpace(4096)
+	// Heap pages come from a snapshot; RestoreBrk must only set the fields.
+	if err := as.Map(0x200000, 2*4096, ProtRW, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	as.RestoreBrk(0x200000, 0x201800)
+	if as.BrkBase() != 0x200000 || as.CurrentBrk() != 0x201800 {
+		t.Fatalf("brk = [%#x, %#x], want [0x200000, 0x201800]", as.BrkBase(), as.CurrentBrk())
+	}
+	if as.PageCount() != 2 {
+		t.Fatalf("RestoreBrk changed the page count to %d", as.PageCount())
+	}
+	// Growth from the restored break maps only the new page.
+	if got := as.Brk(0x202800); got != 0x202800 {
+		t.Fatalf("Brk after restore = %#x", got)
+	}
+	if as.PageCount() != 3 {
+		t.Fatalf("page count after growth = %d, want 3", as.PageCount())
+	}
+}

@@ -320,6 +320,19 @@ func (as *AddressSpace) Brk(newBrk uint64) uint64 {
 // CurrentBrk returns the current program break.
 func (as *AddressSpace) CurrentBrk() uint64 { return as.brk }
 
+// BrkBase returns the base of the program break region.
+func (as *AddressSpace) BrkBase() uint64 { return as.brkBase }
+
+// RestoreBrk restores the break fields of a reconstructed address space
+// without mapping anything: the heap pages were already materialised from a
+// snapshot (they are part of the VMA/page set), so growing via Brk here
+// would collide with them. Used when rebuilding an address space from a
+// serialized checkpoint.
+func (as *AddressSpace) RestoreBrk(base, brk uint64) {
+	as.brkBase = base
+	as.brk = brk
+}
+
 func (as *AddressSpace) overlaps(base, length uint64) bool {
 	end := base + length
 	for _, v := range as.vmas {
@@ -633,6 +646,26 @@ func (as *AddressSpace) FrameAt(vpn uint64) *Frame {
 		return nil
 	}
 	return p.frame
+}
+
+// FrameRef is one mapped page of an address space, exposed for snapshot
+// export: its page number, effective protection, and backing frame.
+type FrameRef struct {
+	VPN   uint64
+	Prot  Prot
+	Frame *Frame
+}
+
+// FrameRefs enumerates every mapped page sorted by page number. The frames
+// alias the address space's live page table; callers must not mutate their
+// contents and should consume the snapshot while the guest is paused.
+func (as *AddressSpace) FrameRefs() []FrameRef {
+	out := make([]FrameRef, 0, len(as.pages))
+	for vpn, p := range as.pages {
+		out = append(out, FrameRef{VPN: vpn, Prot: p.prot, Frame: p.frame})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VPN < out[j].VPN })
+	return out
 }
 
 // MapCountOf returns the frame map count for the page containing addr, or 0
