@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench bench-compare golden fuzz-smoke offload-roundtrip
+.PHONY: check build vet test race race-short bench bench-compare golden telemetry-golden fuzz-smoke offload-roundtrip
 
-check: vet golden fuzz-smoke race
+check: vet golden telemetry-golden fuzz-smoke race
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ race-short:
 # `go test <pkg> -run Golden -update` after an intentional model change.
 golden:
 	$(GO) test ./internal/core ./internal/stats ./internal/packet ./internal/checkd -run 'Golden'
+
+# Telemetry must be as deterministic as the simulation it observes: the
+# snapshot for one fixed workload is pinned byte for byte, alongside the
+# metric/span naming lint. Regenerate with
+# `go test ./cmd/parallaft -run TestTelemetryGolden -update`.
+telemetry-golden:
+	$(GO) test ./cmd/parallaft -run 'TestTelemetryGolden'
+	$(GO) test ./internal/telemetry -run 'Lint|Total'
 
 # Short fuzz of the check-packet codec: Decode must never panic, and every
 # accepted input must re-encode byte-identically (canonical wire format).

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"parallaft/internal/stats"
+	"parallaft/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +53,9 @@ func main() {
 	runner.Scale = *scale
 	runner.Seed = *seed
 	runner.Parallel = *parallel
+	// Campaign progress (and the -progress lines) are backed by the
+	// paft_campaign_* telemetry gauges rather than a private counter.
+	runner.Telemetry = telemetry.NewRegistry()
 	if *progress {
 		runner.Progress = os.Stderr
 	}
@@ -156,6 +160,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		intel.Seed = runner.Seed
 		intel.Parallel = runner.Parallel
 		intel.Progress = runner.Progress
+		intel.Telemetry = runner.Telemetry
 		sr, err := intel.RunSuite(names, true)
 		if err != nil {
 			return err

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -26,6 +27,7 @@ import (
 
 	"parallaft/internal/checkd"
 	"parallaft/internal/packet"
+	"parallaft/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		queue     = fs.Int("queue", 0, "intake queue depth (0 = 2x workers); a full queue blocks the producer")
 		retries   = fs.Int("retries", 2, "retries for packets whose chunks have not arrived yet")
 		quiet     = fs.Bool("quiet", false, "print only failing verdicts and the summary")
+		metrics   = fs.String("metrics-addr", "", "with -listen: serve Prometheus text metrics on this TCP address at /metrics (e.g. 127.0.0.1:9141)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -51,7 +54,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *listen != "":
-		return serve(*listen, opts, stderr)
+		return serve(*listen, *metrics, opts, stderr)
 	case *verifyDir != "":
 		return verify(*verifyDir, *connect, opts, *quiet, stdout, stderr)
 	default:
@@ -61,9 +64,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 }
 
+// shutdownHook, when non-nil, triggers the same graceful drain as
+// SIGINT/SIGTERM when closed. Tests use it to stop serve without
+// signalling the whole process.
+var shutdownHook chan struct{}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
-// in-flight connections finish their verdict streams before exit.
-func serve(sock string, opts checkd.Options, stderr io.Writer) int {
+// in-flight connections finish their verdict streams before exit. With
+// metricsAddr set, a telemetry registry is shared by every connection's
+// executor and served as Prometheus text on http://metricsAddr/metrics
+// (the same snapshot the transport's 'M' frame returns).
+func serve(sock, metricsAddr string, opts checkd.Options, stderr io.Writer) int {
 	// A stale socket from a previous daemon would block the listen.
 	if _, err := os.Stat(sock); err == nil {
 		os.Remove(sock)
@@ -73,6 +84,25 @@ func serve(sock string, opts checkd.Options, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "paftcheckd:", err)
 		return 1
 	}
+
+	var msrv *http.Server
+	if metricsAddr != "" {
+		if opts.Metrics == nil {
+			opts.Metrics = telemetry.NewRegistry()
+		}
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "paftcheckd:", err)
+			ln.Close()
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", opts.Metrics.Handler())
+		msrv = &http.Server{Handler: mux}
+		go msrv.Serve(mln)
+		// The resolved address matters when the flag asked for port 0.
+		fmt.Fprintf(stderr, "paftcheckd: metrics on http://%s/metrics\n", mln.Addr())
+	}
 	srv := checkd.NewServer(opts)
 
 	sigc := make(chan os.Signal, 1)
@@ -81,14 +111,25 @@ func serve(sock string, opts checkd.Options, stderr io.Writer) int {
 	go func() { done <- srv.Serve(ln) }()
 	fmt.Fprintf(stderr, "paftcheckd: listening on %s\n", sock)
 
-	select {
-	case sig := <-sigc:
-		fmt.Fprintf(stderr, "paftcheckd: %v, draining\n", sig)
+	drain := func(why string) int {
+		fmt.Fprintf(stderr, "paftcheckd: %s, draining\n", why)
 		srv.Shutdown()
 		<-done
+		if msrv != nil {
+			msrv.Close()
+		}
 		os.Remove(sock)
 		return 0
+	}
+	select {
+	case sig := <-sigc:
+		return drain(sig.String())
+	case <-shutdownHook:
+		return drain("shutdown requested")
 	case err := <-done:
+		if msrv != nil {
+			msrv.Close()
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "paftcheckd:", err)
 			return 1

@@ -26,6 +26,7 @@ import (
 	"parallaft/internal/oskernel"
 	"parallaft/internal/packet"
 	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
 	"parallaft/internal/workload"
 )
@@ -47,6 +48,7 @@ type options struct {
 	traceCap  int
 	exportDir string
 	statsJSON bool
+	spansFile string
 }
 
 // run is the testable entry point: parses argv against a fresh FlagSet,
@@ -66,6 +68,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.traceCap, "trace-limit", 0, "keep at most N trace events (0 = unbounded); a truncation marker records the overflow")
 	fs.StringVar(&o.exportDir, "export-packets", "", "export one check packet per sealed segment into this directory (paftcheckd -verify re-checks them)")
 	fs.BoolVar(&o.statsJSON, "stats-json", false, "emit one compact JSON stats object per program instead of the text block")
+	fs.StringVar(&o.spansFile, "spans", "", "write one JSONL segment-lifecycle span per retired segment to this file")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -189,6 +192,16 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			rec = trace.New(o.traceCap)
 			cfg.Trace = rec
 		}
+		// Telemetry is observation-only (it consumes no simulated time), so
+		// the registry is always on in checking modes; -stats-json carries
+		// its snapshot.
+		reg := telemetry.NewRegistry()
+		cfg.Metrics = reg
+		var spans *telemetry.SpanRecorder
+		if o.spansFile != "" {
+			spans = telemetry.NewSpanRecorder(0)
+			cfg.Spans = spans
+		}
 		var de *packet.DirExporter
 		if exportDir != "" {
 			var err error
@@ -223,8 +236,25 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 				fmt.Fprintf(stderr, "trace: %d events dropped by -trace-limit %d\n", d, o.traceCap)
 			}
 		}
+		if spans != nil {
+			f, err := os.Create(o.spansFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := spans.WriteJSONL(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "spans: %d segment spans written to %s\n", spans.Len(), o.spansFile)
+		}
 		if o.statsJSON {
-			return emitJSON(stdout, map[string]any{"benchmark": st.Benchmark, "mode": o.mode, "stats": st})
+			return emitJSON(stdout, map[string]any{
+				"benchmark":     st.Benchmark,
+				"mode":          o.mode,
+				"stats":         st,
+				"telemetry":     reg.Snapshot(),
+				"trace_dropped": rec.Dropped(),
+			})
 		}
 		fmt.Fprintf(stdout, "== %s (%s on %s) ==\n", prog.Name, o.mode, m)
 		fmt.Fprintf(stdout, "timing.all_wall_time:            %.3f ms\n", st.AllWallNs/1e6)

@@ -69,10 +69,16 @@ func RunProgress[T any](workers, n int, pr *Progress, fn func(i int) (T, error))
 	if workers > n {
 		workers = n
 	}
+	finish := func(i int) {
+		if _, isPanic := out[i].Err.(*PanicError); isPanic {
+			pr.notePanic()
+		}
+		pr.Step(1)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			out[i] = runOne(i, fn)
-			pr.Step(1)
+			finish(i)
 		}
 		return out
 	}
@@ -88,7 +94,7 @@ func RunProgress[T any](workers, n int, pr *Progress, fn func(i int) (T, error))
 					return
 				}
 				out[i] = runOne(i, fn)
-				pr.Step(1)
+				finish(i)
 			}
 		}()
 	}

@@ -5,27 +5,58 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"parallaft/internal/telemetry"
 )
 
 // Progress reports campaign completion and an ETA as plain lines, one per
 // finished job, so long fan-outs (a full fig. 10 injection campaign runs
 // hundreds of simulations) are observable. A nil *Progress is silent, so
 // call sites never need nil checks.
+//
+// With a telemetry registry attached, the job counts live in the
+// paft_campaign_* gauges — the printed lines are rendered from the gauges,
+// not a private counter, so anything scraping the registry sees exactly
+// the numbers the console shows.
 type Progress struct {
 	mu    sync.Mutex
 	w     io.Writer
 	label string
-	total int
-	done  int
 	start time.Time
+
+	total  *telemetry.Gauge
+	done   *telemetry.Gauge
+	panics *telemetry.Counter
+	noReg  bool // no registry: fall back to the private fields below
+	totalN int
+	doneN  int
 }
 
 // NewProgress returns a reporter writing to w (nil w = silent reporter).
 func NewProgress(w io.Writer, label string, total int) *Progress {
-	if w == nil {
+	return NewProgressWith(w, label, total, nil)
+}
+
+// NewProgressWith is NewProgress with a telemetry registry backing the job
+// counts. It returns a live reporter when either sink is present; with
+// both nil there is nothing to report to and the reporter is silent (nil).
+// Campaigns run sequentially, so a new reporter resets the done gauge.
+func NewProgressWith(w io.Writer, label string, total int, reg *telemetry.Registry) *Progress {
+	if w == nil && reg == nil {
 		return nil
 	}
-	return &Progress{w: w, label: label, total: total, start: time.Now()}
+	p := &Progress{w: w, label: label, totalN: total, start: time.Now(), noReg: reg == nil}
+	if reg != nil {
+		p.total = reg.Gauge("paft_campaign_jobs",
+			"jobs in the campaign currently running")
+		p.done = reg.Gauge("paft_campaign_jobs_done",
+			"jobs of the current campaign that have finished")
+		p.panics = reg.Counter("paft_campaign_panics_total",
+			"jobs that panicked and were contained as error results")
+		p.total.Set(float64(total))
+		p.done.Set(0)
+	}
+	return p
 }
 
 // Step records n finished jobs and emits a progress line with an ETA
@@ -36,13 +67,31 @@ func (p *Progress) Step(n int) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.done += n
+	var done, total int
+	if p.noReg {
+		p.doneN += n
+		done, total = p.doneN, p.totalN
+	} else {
+		p.done.Add(float64(n))
+		done, total = int(p.done.Value()), int(p.total.Value())
+	}
+	if p.w == nil {
+		return
+	}
 	elapsed := time.Since(p.start)
 	eta := "?"
-	if p.done > 0 && p.done <= p.total {
-		rem := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+	if done > 0 && done <= total {
+		rem := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 		eta = rem.Round(time.Second).String()
 	}
 	fmt.Fprintf(p.w, "%s: %d/%d done, elapsed %s, eta %s\n",
-		p.label, p.done, p.total, elapsed.Round(time.Second), eta)
+		p.label, done, total, elapsed.Round(time.Second), eta)
+}
+
+// notePanic counts a contained job panic (no-op without a registry).
+func (p *Progress) notePanic() {
+	if p == nil {
+		return
+	}
+	p.panics.Inc()
 }

@@ -8,6 +8,7 @@ import (
 
 	"parallaft/internal/packet"
 	"parallaft/internal/pagestore"
+	"parallaft/internal/telemetry"
 )
 
 // Options configures an Executor.
@@ -27,6 +28,11 @@ type Options struct {
 	// WantDigest pins the config digest packets must carry. Zero pins to
 	// the first accepted packet's digest instead.
 	WantDigest uint64
+	// Metrics, when set, receives the daemon's telemetry: queue depth,
+	// worker utilization, verdict latency and counters. Executors (and the
+	// socket server's per-connection stores) sharing one registry compose
+	// into daemon-wide totals.
+	Metrics *telemetry.Registry
 }
 
 func (o *Options) fill() {
@@ -55,9 +61,10 @@ func (o *Options) fill() {
 type Executor struct {
 	store *pagestore.Store
 	opts  Options
+	tm    checkdMetrics
 
 	intake  chan job
-	results chan Verdict
+	results chan verdictTimed
 	out     chan Verdict
 	wg      sync.WaitGroup
 	reorder sync.WaitGroup
@@ -70,8 +77,16 @@ type Executor struct {
 }
 
 type job struct {
-	seq int
-	pkt *packet.CheckPacket
+	seq       int
+	pkt       *packet.CheckPacket
+	submitted time.Time // for the verdict-latency histogram; zero without metrics
+}
+
+// verdictTimed carries a verdict and its job's submission time through the
+// reorder stage, so latency is observed at ordered delivery.
+type verdictTimed struct {
+	v         Verdict
+	submitted time.Time
 }
 
 // NewExecutor creates an executor reading chunks from store.
@@ -80,12 +95,14 @@ func NewExecutor(store *pagestore.Store, opts Options) *Executor {
 	x := &Executor{
 		store:   store,
 		opts:    opts,
+		tm:      newCheckdMetrics(opts.Metrics),
 		intake:  make(chan job, opts.QueueDepth),
-		results: make(chan Verdict, opts.QueueDepth),
+		results: make(chan verdictTimed, opts.QueueDepth),
 		out:     make(chan Verdict, opts.QueueDepth),
 		digest:  opts.WantDigest,
 		pinned:  opts.WantDigest != 0,
 	}
+	x.tm.workers.Add(float64(opts.Workers))
 	for i := 0; i < opts.Workers; i++ {
 		x.wg.Add(1)
 		go x.worker()
@@ -110,15 +127,18 @@ func (x *Executor) Submit(pkt *packet.CheckPacket) error {
 	}
 	if pkt.Version != packet.Version {
 		x.mu.Unlock()
+		x.tm.rejections.Inc()
 		return fmt.Errorf("%w: packet v%d, daemon speaks v%d", ErrVersion, pkt.Version, packet.Version)
 	}
 	if d := pkt.Config.Digest(); d != pkt.ConfigDigest {
 		x.mu.Unlock()
+		x.tm.rejections.Inc()
 		return fmt.Errorf("%w: packet carries %#x but its config digests to %#x",
 			ErrConfigDigest, pkt.ConfigDigest, d)
 	}
 	if x.pinned && pkt.ConfigDigest != x.digest {
 		x.mu.Unlock()
+		x.tm.rejections.Inc()
 		return fmt.Errorf("%w: stream pinned to %#x, packet carries %#x",
 			ErrConfigDigest, x.digest, pkt.ConfigDigest)
 	}
@@ -130,6 +150,11 @@ func (x *Executor) Submit(pkt *packet.CheckPacket) error {
 	x.seq++
 	x.mu.Unlock()
 
+	if x.opts.Metrics != nil {
+		j.submitted = time.Now()
+	}
+	x.tm.submitted.Inc()
+	x.tm.queueDepth.Add(1)
 	x.intake <- j
 	return nil
 }
@@ -152,8 +177,13 @@ func (x *Executor) Close() {
 
 func (x *Executor) worker() {
 	defer x.wg.Done()
+	defer x.tm.workers.Add(-1)
 	for j := range x.intake {
-		x.results <- x.check(j)
+		x.tm.queueDepth.Add(-1)
+		x.tm.busyWorkers.Add(1)
+		v := x.check(j)
+		x.tm.busyWorkers.Add(-1)
+		x.results <- verdictTimed{v: v, submitted: j.submitted}
 	}
 }
 
@@ -167,6 +197,7 @@ func (x *Executor) check(j job) Verdict {
 		if err == nil || !errors.Is(err, ErrMissingChunk) || attempt >= x.opts.Retries {
 			break
 		}
+		x.tm.retries.Inc()
 		time.Sleep(x.opts.RetryDelay)
 	}
 	v.Seq = j.seq
@@ -182,10 +213,10 @@ func (x *Executor) check(j job) Verdict {
 func (x *Executor) reorderLoop() {
 	defer x.reorder.Done()
 	defer close(x.out)
-	pending := make(map[int]Verdict)
+	pending := make(map[int]verdictTimed)
 	next := 0
 	for v := range x.results {
-		pending[v.Seq] = v
+		pending[v.v.Seq] = v
 		for {
 			nv, ok := pending[next]
 			if !ok {
@@ -193,7 +224,11 @@ func (x *Executor) reorderLoop() {
 			}
 			delete(pending, next)
 			next++
-			x.out <- nv
+			x.tm.observeVerdict(nv.v)
+			if !nv.submitted.IsZero() {
+				x.tm.verdictLatency.Observe(time.Since(nv.submitted).Seconds())
+			}
+			x.out <- nv.v
 		}
 	}
 	// Sequence numbers are dense, so the map is empty here; nothing to flush.

@@ -1,6 +1,7 @@
 package checkd
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -18,20 +19,25 @@ import (
 //
 //	client → server:  'C' chunk (key u64 + bytes)   content-addressed page/code data
 //	                  'P' packet                     one encoded CheckPacket
+//	                  'M' metrics request            ask for a telemetry snapshot
 //	                  'D' done                       no more frames; drain and report
 //	server → client:  'V' verdict                    JSON-encoded Verdict, in submit order
+//	                  'M' metrics reply              Prometheus text exposition
 //	                  'E' error                      intake rejection or protocol error (fatal)
 //	                  'D' done                       all verdicts sent
 //
 // Chunks for a packet must precede it on the stream (the executor's retry
 // loop tolerates slight reordering). Each connection gets its own store and
-// executor: connections are independent verdict streams.
+// executor: connections are independent verdict streams. A metrics request
+// is answered immediately with the daemon-wide registry (empty payload when
+// the server runs without one).
 const (
 	frameChunk   = 'C'
 	framePacket  = 'P'
 	frameVerdict = 'V'
 	frameError   = 'E'
 	frameDone    = 'D'
+	frameMetrics = 'M'
 )
 
 // maxFrameLen bounds a single frame so a corrupt length prefix cannot
@@ -73,6 +79,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 // its own executor, its own verdict ordering.
 type Server struct {
 	opts Options
+	tm   checkdMetrics
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -82,8 +89,11 @@ type Server struct {
 }
 
 // NewServer creates a server; opts configures the per-connection executors.
+// With opts.Metrics set, every connection's executor and pagestore report
+// into the shared registry, and 'M' frames (or the HTTP endpoint fed by the
+// same registry) expose daemon-wide totals.
 func NewServer(opts Options) *Server {
-	return &Server{opts: opts, conns: make(map[net.Conn]struct{})}
+	return &Server{opts: opts, tm: newCheckdMetrics(opts.Metrics), conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections until the listener closes (see Shutdown). It
@@ -91,7 +101,14 @@ func NewServer(opts Options) *Server {
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	draining := s.draining
 	s.mu.Unlock()
+	if draining {
+		// Shutdown ran before Serve stored the listener; it could not
+		// close it, so close it here instead of accepting forever.
+		ln.Close()
+		return nil
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -140,12 +157,15 @@ func (s *Server) Shutdown() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	store := pagestore.New(0)
+	store.SetMetrics(s.opts.Metrics)
 	x := NewExecutor(store, s.opts)
 
-	var wmu sync.Mutex // 'V'/'E'/'D' frames interleave from two goroutines
+	var wmu sync.Mutex // 'V'/'E'/'M'/'D' frames interleave from two goroutines
 	send := func(typ byte, payload []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		s.tm.framesWritten.Inc()
+		s.tm.bytesWritten.Add(uint64(5 + len(payload)))
 		return writeFrame(conn, typ, payload)
 	}
 
@@ -177,6 +197,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			<-writerDone
 			return
 		}
+		s.tm.framesRead.Inc()
+		s.tm.bytesRead.Add(uint64(5 + len(payload)))
 		switch typ {
 		case frameChunk:
 			if len(payload) < 8 {
@@ -195,6 +217,19 @@ func (s *Server) serveConn(conn net.Conn) {
 				fail(err.Error())
 				return
 			}
+		case frameMetrics:
+			var buf bytes.Buffer
+			if s.opts.Metrics != nil {
+				if err := s.opts.Metrics.WritePrometheus(&buf); err != nil {
+					fail(fmt.Sprintf("metrics snapshot: %v", err))
+					return
+				}
+			}
+			if send(frameMetrics, buf.Bytes()) != nil {
+				x.Close()
+				<-writerDone
+				return
+			}
 		case frameDone:
 			x.Close()
 			<-writerDone
@@ -211,6 +246,28 @@ func (s *Server) serveConn(conn net.Conn) {
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "checkd: remote: " + e.Msg }
+
+// FetchMetrics asks the server for a telemetry snapshot over a dedicated
+// connection and returns the Prometheus text exposition. Use a fresh
+// connection: on a session with packets in flight, verdict frames may
+// arrive ahead of the metrics reply.
+func FetchMetrics(conn io.ReadWriter) ([]byte, error) {
+	if err := writeFrame(conn, frameMetrics, nil); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case frameMetrics:
+		return payload, nil
+	case frameError:
+		return nil, &RemoteError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("%w: unexpected frame type %q in metrics reply", ErrProtocol, typ)
+	}
+}
 
 // CheckOver runs a full client session on conn: stream every chunk of the
 // store, then every packet, then collect the ordered verdicts. It is the

@@ -6,6 +6,7 @@ import (
 
 	"parallaft/internal/compare"
 	"parallaft/internal/proc"
+	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
 )
 
@@ -50,6 +51,13 @@ func (r *Runtime) compareSegment(seg *Segment) {
 			r.stats.SegmentsOnBig++
 		}
 		r.retireSegment(seg)
+		r.tm.segRetired.Inc()
+		r.observeLiveSegments()
+		outcome := telemetry.OutcomeRetired
+		if r.detected != nil && r.detected.Segment == seg.Index {
+			outcome = telemetry.OutcomeDetected
+		}
+		r.emitSpan(seg, outcome, seg.compareNs)
 
 		// Un-stall the main: the wall time it spent gated (live-segment
 		// bound or containment barrier) elapses until this comparison
@@ -74,6 +82,7 @@ func (r *Runtime) compareSegment(seg *Segment) {
 
 	result := r.compareAgainstEndCP(seg, seg.Checker)
 	dirtyPages = result.dirtyPages
+	seg.dirtyPages = result.dirtyPages
 	if result.err != nil {
 		r.fail(seg.Index, result.err.Kind, "%s", result.err.Detail)
 	}
@@ -88,6 +97,10 @@ func (r *Runtime) compareSegment(seg *Segment) {
 	r.stats.BytesHashed += result.hashedBytes
 	r.stats.IdentitySkips += result.identitySkips
 	r.stats.HashCacheHits += result.cacheHits
+	r.tm.identitySkips.Add(result.identitySkips)
+	r.tm.hashCacheHits.Add(result.cacheHits)
+	r.tm.hashBytes.Observe(float64(result.hashedBytes))
+	r.tm.dirtyPages.Observe(float64(result.dirtyPages))
 	hashedBytes := result.hashedBytes
 
 	// The comparison can only start once both the checker has finished and

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"parallaft/internal/asm"
 	"parallaft/internal/oskernel"
@@ -226,6 +227,11 @@ func (r *Runtime) startSegmentWith(cp *checkpoint) {
 	seg.pos = len(r.segments)
 	r.segments = append(r.segments, seg)
 	r.current = seg
+	r.tm.segStarted.Inc()
+	if r.cfg.Spans != nil {
+		seg.wallStart = time.Now()
+	}
+	r.observeLiveSegments()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.SegmentStart, seg.Index, "%d pages mapped", r.main.AS.PageCount())
 	r.sched.place(seg, r.mainTask.Clock)
 }
@@ -246,6 +252,8 @@ func (r *Runtime) sealCurrent(cp *checkpoint) {
 	cur.EndCP = cp
 	cp.refs++
 	r.current = nil
+	r.tm.segSealed.Inc()
+	r.observeLiveSegments()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.SegmentSeal, cur.Index, "end at %s, %d events", cur.End, len(cur.Log.Events))
 	r.onSeal(cur)
 }
@@ -290,6 +298,8 @@ func (r *Runtime) sealFinal() {
 	cur.sealed = true
 	cur.EndCP = &checkpoint{p: r.main, refs: 1000} // backed by the live main; never reaped
 	r.current = nil
+	r.tm.segSealed.Inc()
+	r.observeLiveSegments()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.SegmentSeal, cur.Index, "final: end at %s", cur.End)
 	r.onSeal(cur)
 	r.sched.onMainExit()
@@ -328,6 +338,7 @@ func (r *Runtime) recordSyscall() error {
 	// Two ptrace stops (entry and exit) plus input capture.
 	r.chargeRuntimeMain(2 * r.cfg.tracerStopNs())
 	r.stats.SyscallsTraced++
+	r.tm.syscalls.Inc()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.Syscall, r.currentIndex(), "%v", info.Nr)
 
 	// File-backed private mmap: split the segment around the call so the
@@ -345,6 +356,7 @@ func (r *Runtime) recordSyscall() error {
 		if r.current != nil && r.main.Branches > r.current.mainStartBranches {
 			r.takeBoundary()
 			r.stats.ContainBarriers++
+			r.tm.barriers.Inc()
 			r.cfg.Trace.Emit(r.mainTask.Clock, trace.Barrier, r.currentIndex(), "before %v", info.Nr)
 		}
 		if r.uncomparedOthers() > 0 {
@@ -436,6 +448,7 @@ func (r *Runtime) recordNondet() {
 	p := r.main
 	r.chargeRuntimeMain(r.cfg.tracerStopNs())
 	r.stats.NondetTraced++
+	r.tm.nondet.Inc()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.Nondet, r.currentIndex(), "pc %d", p.PC)
 	val := sim.EmulateNondet(p, r.mainCore, r.mainTask.Clock)
 	rec := &NondetRecord{PC: p.PC, Value: val}
@@ -450,6 +463,7 @@ func (r *Runtime) recordInternalSignal(sig proc.Signal) {
 	p := r.main
 	r.chargeRuntimeMain(r.cfg.tracerStopNs())
 	r.stats.SignalsTraced++
+	r.tm.signals.Inc()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.Signal, r.currentIndex(), "internal %v at pc %d", sig, p.PC)
 	rec := &SignalRecord{Sig: sig, PC: p.PC}
 	alive := p.DeliverSignal(sig)
@@ -473,6 +487,7 @@ func (r *Runtime) InjectExternalSignal(sig proc.Signal) {
 	}
 	r.chargeRuntimeMain(r.cfg.tracerStopNs())
 	r.stats.SignalsTraced++
+	r.tm.signals.Inc()
 	point := ExecPoint{Branches: r.main.Branches - r.current.mainStartBranches, PC: r.main.PC}
 	rec := &SignalRecord{Sig: sig, PC: r.main.PC, Point: point}
 	alive := r.main.DeliverSignal(sig)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parallaft/internal/oskernel"
+	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
 )
 
@@ -76,6 +77,7 @@ func (r *Runtime) tryRecover() bool {
 		// The checker carried the fault; the referee itself verified the
 		// segment. Accept it and release its resources.
 		r.stats.RecoveredCheckerFaults++
+		r.tm.recoveredChecker.Inc()
 		r.cfg.Trace.Emit(r.mainTask.Clock, trace.Recover, seg.Index, "checker fault absorbed; segment verified by referee")
 		if !seg.compared {
 			if seg.doneNs == 0 {
@@ -92,6 +94,9 @@ func (r *Runtime) tryRecover() bool {
 			})
 			r.sched.drop(seg)
 			r.retireSegment(seg)
+			r.tm.segRetired.Inc()
+			r.observeLiveSegments()
+			r.emitSpan(seg, telemetry.OutcomeRecovered, seg.compareNs)
 			r.sched.kick(r.mainTask.Clock)
 		}
 		return true
@@ -106,6 +111,7 @@ func (r *Runtime) tryRecover() bool {
 // against the end checkpoint.
 func (r *Runtime) arbitrate(seg *Segment) arbVerdict {
 	r.stats.Arbitrations++
+	r.tm.arbitrations.Inc()
 
 	referee := r.e.L.Fork(seg.StartCP.p, fmt.Sprintf("referee%d", seg.Index))
 	referee.AS.ClearSoftDirty()
@@ -203,6 +209,7 @@ func (r *Runtime) rollback() {
 	for _, s := range append([]*Segment(nil), r.segments...) {
 		r.sched.drop(s)
 		r.releaseSegment(s, false)
+		r.emitSpan(s, telemetry.OutcomeRollback, wall)
 	}
 	r.segments = r.segments[:0]
 	r.current = nil
@@ -216,6 +223,8 @@ func (r *Runtime) rollback() {
 	r.releaseCP(target)
 	r.mainTask = r.e.NewTask(r.main, r.mainCore, wall+r.cfg.tracerStopNs())
 	r.stats.Rollbacks++
+	r.tm.rollbacks.Inc()
+	r.observeLiveSegments()
 	r.cfg.Trace.Emit(wall, trace.Rollback, oldest.Index, "main restored from segment %d's start checkpoint", oldest.Index)
 
 	// Restart protection from the restored state, carrying the retry

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"parallaft/internal/machine"
 	"parallaft/internal/mem"
 	"parallaft/internal/packet"
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
 )
 
@@ -121,6 +123,19 @@ type Config struct {
 	// Trace, when set, receives a structured event stream of runtime
 	// decisions (segments, replay events, scheduling, detections).
 	Trace *trace.Recorder
+
+	// Metrics, when set, receives runtime metrics under the paft_core_*
+	// namespace (segment lifecycle counters, hash-bytes/dirty-pages
+	// histograms, checker-slack and live-segment gauges, scheduling
+	// decision counters). Telemetry is observation-only: it consumes no
+	// simulated time and never changes a verdict or a table.
+	Metrics *telemetry.Registry
+
+	// Spans, when set, receives one lifecycle span per finished segment
+	// (checkpoint fork → main run → checker replay → compare →
+	// retire/rollback), with simulated-time phase stamps and a host
+	// wall-time duration.
+	Spans *telemetry.SpanRecorder
 
 	// Export, when set, emits one portable check packet per sealed segment
 	// (internal/packet): pages interned into the exporter's store, the
@@ -268,6 +283,10 @@ type Segment struct {
 	compared      bool
 	checkerInstrs uint64
 	pos           int // index in Runtime.segments; -1 when not live
+
+	// Telemetry-only bookkeeping (observation-only; never feeds the model).
+	dirtyPages uint64    // pages hashed at comparison, for the span record
+	wallStart  time.Time // host time at segment start (set only when Spans on)
 }
 
 // LiveAhead reports the checker's segment-relative branch count.
@@ -379,6 +398,7 @@ type Runtime struct {
 	sched    *scheduler
 
 	stats        RunStats
+	tm           coreMetrics
 	nextSampleNs float64
 	detected     *DetectedError
 	segCounter   int
@@ -422,6 +442,7 @@ func NewRuntime(e *sim.Engine, cfg Config) *Runtime {
 		panic("core: machine has no big cores")
 	}
 	r := &Runtime{cfg: cfg, e: e, mainCore: bigs[0]}
+	r.tm = newCoreMetrics(cfg.Metrics)
 	r.sched = newScheduler(r)
 	return r
 }
@@ -452,6 +473,7 @@ func (r *Runtime) fail(seg int, kind ErrorKind, format string, args ...any) {
 	}
 	if r.detected == nil {
 		r.detected = d
+		r.tm.detections.Inc()
 		r.cfg.Trace.Emit(r.mainTask.Clock, trace.Detect, d.Segment, "%s: %s", d.Kind, d.Detail)
 	}
 }
@@ -467,6 +489,7 @@ func (r *Runtime) failSig(seg int, sig proc.Signal, format string, args ...any) 
 	}
 	if r.detected == nil {
 		r.detected = d
+		r.tm.detections.Inc()
 	}
 }
 
@@ -491,6 +514,7 @@ func (r *Runtime) forkCheckpoint(name string) *checkpoint {
 	r.e.ChargeSys(r.mainTask, cost)
 	p := r.e.L.Fork(r.main, name)
 	r.stats.Checkpoints++
+	r.tm.checkpoints.Inc()
 	return &checkpoint{p: p}
 }
 

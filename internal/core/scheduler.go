@@ -76,6 +76,7 @@ func (s *scheduler) place(seg *Segment, nowNs float64) {
 			if victim != nil {
 				s.migrate(victim, big)
 				s.r.stats.Migrations++
+				s.r.tm.migrations.Inc()
 				s.lastMigration = s.boundaryCount
 				// Checkers are falling behind: run the pool flat out.
 				s.setLittleFreqMax()
@@ -88,6 +89,7 @@ func (s *scheduler) place(seg *Segment, nowNs float64) {
 	}
 	seg.queued = true
 	s.r.stats.Queued++
+	s.r.tm.queued.Inc()
 	s.r.cfg.Trace.Emit(nowNs, trace.Queue, seg.Index, "no core free")
 	s.queue = append(s.queue, seg)
 }
@@ -301,6 +303,7 @@ func (s *scheduler) setLittleFreqMax() {
 
 func (s *scheduler) setLittleFreqIdx(idx int) {
 	if len(s.littles) > 0 && s.littles[0].FreqIndex() != idx {
+		s.r.tm.dvfsChanges.Inc()
 		s.r.cfg.Trace.Emit(s.r.mainTask.Clock, trace.DVFS, -1, "little cores -> %.1f GHz", s.littles[0].Ladder[clampIdx(idx, len(s.littles[0].Ladder))].GHz)
 	}
 	for _, c := range s.littles {
@@ -336,6 +339,7 @@ func (s *scheduler) onMainExit() {
 		}
 		s.migrate(seg, big)
 		s.r.stats.ExitMigrated++
+		s.r.tm.exitMigrations.Inc()
 	}
 	s.setLittleFreqMax()
 }

@@ -15,6 +15,7 @@ import (
 	"parallaft/internal/core"
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
 )
 
 // Outcome classifies one injection trial (§5.6).
@@ -136,6 +137,9 @@ type Campaign struct {
 	Parallel int
 	// Progress, when set, receives per-trial progress/ETA lines.
 	Progress io.Writer
+	// Telemetry, when set, backs the progress gauges and counts contained
+	// trial panics (paft_campaign_*).
+	Telemetry *telemetry.Registry
 }
 
 func (c *Campaign) trials() int {
@@ -197,7 +201,7 @@ func (c *Campaign) Run() (*Report, error) {
 		}
 	}
 
-	pr := campaign.NewProgress(c.Progress, "inject "+c.Program.Name, len(slots))
+	pr := campaign.NewProgressWith(c.Progress, "inject "+c.Program.Name, len(slots), c.Telemetry)
 	results := campaign.RunProgress(c.Parallel, len(slots), pr, func(i int) (Trial, error) {
 		s := slots[i]
 		seed := campaign.DeriveSeed(c.Seed, "inject", c.Program.Name,

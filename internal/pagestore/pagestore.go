@@ -58,6 +58,7 @@ type Store struct {
 	seed   uint64
 	chunks map[Key]*chunk
 	stats  Stats
+	tm     storeMetrics
 }
 
 // New creates an empty store whose keys are XXH64 hashes under seed.
@@ -106,16 +107,22 @@ func (s *Store) Insert(k Key, data []byte) {
 func (s *Store) intern(k Key, data []byte, countPut bool) {
 	if countPut {
 		s.stats.Puts++
+		s.tm.puts.Inc()
 	}
+	s.tm.refChurn.Inc()
 	if c, ok := s.chunks[k]; ok {
 		c.refs++
 		s.stats.DedupHits++
 		s.stats.DedupedBytes += uint64(len(data))
+		s.tm.dedupHits.Inc()
+		s.tm.dedupedBytes.Add(uint64(len(data)))
 		return
 	}
 	s.chunks[k] = &chunk{data: append([]byte(nil), data...), refs: 1}
 	s.stats.Chunks++
 	s.stats.StoredBytes += uint64(len(data))
+	s.tm.chunks.Add(1)
+	s.tm.storedBytes.Add(float64(len(data)))
 }
 
 // Get returns the chunk contents for k, or nil when absent. The returned
@@ -146,6 +153,7 @@ func (s *Store) Ref(k Key) error {
 		return fmt.Errorf("pagestore: ref of absent chunk %#x", uint64(k))
 	}
 	c.refs++
+	s.tm.refChurn.Inc()
 	return nil
 }
 
@@ -160,12 +168,15 @@ func (s *Store) Release(k Key) bool {
 		return false
 	}
 	c.refs--
+	s.tm.refChurn.Inc()
 	if c.refs > 0 {
 		return false
 	}
 	delete(s.chunks, k)
 	s.stats.Chunks--
 	s.stats.StoredBytes -= uint64(len(c.data))
+	s.tm.chunks.Add(-1)
+	s.tm.storedBytes.Add(-float64(len(c.data)))
 	return true
 }
 

@@ -1,0 +1,45 @@
+package pagestore
+
+import "parallaft/internal/telemetry"
+
+// storeMetrics holds the store's instrument handles. All nil (and so
+// no-ops) until SetMetrics attaches a registry.
+//
+// The gauges are maintained additively — several stores can share one
+// registry (the checker daemon opens a store per connection) and the
+// gauges then read the fleet-wide totals.
+type storeMetrics struct {
+	chunks      *telemetry.Gauge
+	storedBytes *telemetry.Gauge
+
+	puts         *telemetry.Counter
+	dedupHits    *telemetry.Counter
+	dedupedBytes *telemetry.Counter
+	refChurn     *telemetry.Counter
+}
+
+// SetMetrics attaches a registry to the store. Chunks already resident are
+// folded into the gauges so attaching mid-life stays accurate. A nil
+// registry detaches (handles revert to no-ops).
+func (s *Store) SetMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg == nil {
+		s.tm = storeMetrics{}
+		return
+	}
+	s.tm.chunks = reg.Gauge("paft_pagestore_chunks",
+		"content-addressed chunks currently resident (all attached stores)")
+	s.tm.storedBytes = reg.Gauge("paft_pagestore_stored_bytes",
+		"unique chunk bytes currently resident (all attached stores)")
+	s.tm.puts = reg.Counter("paft_pagestore_puts_total",
+		"chunk interning operations (Put, PutFrame, Insert)")
+	s.tm.dedupHits = reg.Counter("paft_pagestore_dedup_hits_total",
+		"puts served by an already-resident chunk")
+	s.tm.dedupedBytes = reg.Counter("paft_pagestore_deduped_bytes_total",
+		"bytes not stored because an identical chunk was already resident")
+	s.tm.refChurn = reg.Counter("paft_pagestore_refcount_ops_total",
+		"reference-count movements: interns, explicit refs, and releases")
+	s.tm.chunks.Add(float64(s.stats.Chunks))
+	s.tm.storedBytes.Add(float64(s.stats.StoredBytes))
+}

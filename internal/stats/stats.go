@@ -15,6 +15,7 @@ import (
 	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
 	"parallaft/internal/workload"
 )
 
@@ -117,6 +118,10 @@ type Runner struct {
 	// Progress, when set, receives coarse progress/ETA lines (one per
 	// finished run) — typically os.Stderr, so tables on stdout stay clean.
 	Progress io.Writer
+	// Telemetry, when set, backs the campaign progress gauges
+	// (paft_campaign_*): progress lines are rendered from the gauges, and
+	// contained job panics are counted.
+	Telemetry *telemetry.Registry
 }
 
 // NewRunner returns a runner on the Apple-M2-like preset at scale 1.

@@ -128,7 +128,8 @@ func (r *Runner) RunTable2() (*Table2Result, error) {
 		detected bool
 		segment  int
 	}
-	results := campaign.Run(r.Parallel, len(scenarios), func(i int) (verdict, error) {
+	pr := campaign.NewProgressWith(r.Progress, "table2", len(scenarios), r.Telemetry)
+	results := campaign.RunProgress(r.Parallel, len(scenarios), pr, func(i int) (verdict, error) {
 		sc := scenarios[i]
 		var cfg core.Config
 		if sc.raftMode {

@@ -1,0 +1,176 @@
+package telemetry_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/campaign"
+	"parallaft/internal/checkd"
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/pagestore"
+	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
+	"parallaft/internal/trace"
+)
+
+// lintProgram is a minimal guest: enough compute to span a couple of
+// segments, then a clean exit.
+func lintProgram() *asm.Program {
+	b := asm.NewBuilder("lint")
+	b.MovI(2, 0)
+	b.MovI(3, 200_000)
+	b.Label("loop")
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.MovI(0, int64(oskernel.SysExit))
+	b.MovI(1, 0)
+	b.Syscall()
+	return b.MustBuild()
+}
+
+// fullyInstrumentedRegistry builds one registry and routes every subsystem's
+// instruments into it: a core runtime (which it also runs, so the hot paths
+// exercise their instruments), a checkd executor, a pagestore, and a
+// campaign progress meter. This is the same composition paftcheckd and
+// paftbench use in production.
+func fullyInstrumentedRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+
+	m := machine.New(machine.AppleM2Like())
+	k := oskernel.NewKernel(m.PageSize, 1)
+	l := oskernel.NewLoader(k, m.PageSize, 1)
+	cfg := core.DefaultConfig()
+	cfg.Metrics = reg
+	rt := core.NewRuntime(sim.New(m, k, l), cfg)
+	if _, err := rt.Run(lintProgram()); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+
+	store := pagestore.New(0)
+	store.SetMetrics(reg)
+	store.Insert(1, []byte("lint"))
+
+	x := checkd.NewExecutor(store, checkd.Options{Workers: 1, Metrics: reg})
+	x.Close()
+
+	if pr := campaign.NewProgressWith(io.Discard, "lint", 1, reg); pr == nil {
+		t.Fatal("NewProgressWith returned nil with a registry attached")
+	}
+	return reg
+}
+
+// TestMetricNameLint asserts the exposition contract over the fully
+// instrumented stack: every metric name is unique, matches the
+// paft_<subsystem>_<quantity>[_unit] scheme, carries non-empty help, and
+// counters follow the Prometheus `_total` convention.
+func TestMetricNameLint(t *testing.T) {
+	snap := fullyInstrumentedRegistry(t).Snapshot()
+	if len(snap) < 40 {
+		t.Fatalf("only %d metrics registered; the stack is not fully instrumented", len(snap))
+	}
+
+	nameRe := regexp.MustCompile(`^paft_(core|checkd|pagestore|campaign)_[a-z0-9]+(_[a-z0-9]+)*$`)
+	seen := make(map[string]bool)
+	for _, ms := range snap {
+		if seen[ms.Name] {
+			t.Errorf("metric %s registered twice", ms.Name)
+		}
+		seen[ms.Name] = true
+		if !nameRe.MatchString(ms.Name) {
+			t.Errorf("metric %s violates the paft_<subsystem>_<quantity> naming scheme", ms.Name)
+		}
+		if strings.TrimSpace(ms.Help) == "" {
+			t.Errorf("metric %s has no help string", ms.Name)
+		}
+		switch ms.Type {
+		case "counter":
+			if !strings.HasSuffix(ms.Name, "_total") {
+				t.Errorf("counter %s must end in _total", ms.Name)
+			}
+		case "gauge", "histogram":
+			if strings.HasSuffix(ms.Name, "_total") {
+				t.Errorf("%s %s must not end in _total (counters only)", ms.Type, ms.Name)
+			}
+		default:
+			t.Errorf("metric %s has unknown type %q", ms.Name, ms.Type)
+		}
+	}
+}
+
+// TestTraceKindHelpIsTotal walks the trace package's source for every
+// declared Kind constant and asserts each one has a non-empty KindHelp
+// entry. Parsing the source (rather than trusting Kinds(), which is derived
+// from KindHelp itself) means adding a Kind without help fails `make check`.
+func TestTraceKindHelpIsTotal(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "../trace/trace.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse trace.go: %v", err)
+	}
+	var kinds []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			id, ok := vs.Type.(*ast.Ident)
+			if !ok || id.Name != "Kind" {
+				continue
+			}
+			for _, name := range vs.Names {
+				kinds = append(kinds, name.Name)
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("found no Kind constants in trace.go; did the declarations move?")
+	}
+
+	// Map constant names to their runtime values via the package itself.
+	byName := map[string]trace.Kind{
+		"SegmentStart": trace.SegmentStart,
+		"SegmentSeal":  trace.SegmentSeal,
+		"Syscall":      trace.Syscall,
+		"Nondet":       trace.Nondet,
+		"Signal":       trace.Signal,
+		"CheckerDone":  trace.CheckerDone,
+		"Compare":      trace.Compare,
+		"Migrate":      trace.Migrate,
+		"DVFS":         trace.DVFS,
+		"Queue":        trace.Queue,
+		"Detect":       trace.Detect,
+		"Arbitrate":    trace.Arbitrate,
+		"Recover":      trace.Recover,
+		"Rollback":     trace.Rollback,
+		"Barrier":      trace.Barrier,
+		"Stall":        trace.Stall,
+		"Truncated":    trace.Truncated,
+	}
+	for _, name := range kinds {
+		k, ok := byName[name]
+		if !ok {
+			t.Errorf("trace.%s is a new Kind constant: add it to this test's table and to trace.KindHelp", name)
+			continue
+		}
+		if trace.KindHelp[k] == "" {
+			t.Errorf("trace.%s (%q) has no KindHelp entry", name, k)
+		}
+	}
+	if len(trace.KindHelp) != len(kinds) {
+		t.Errorf("KindHelp has %d entries but trace.go declares %d Kind constants", len(trace.KindHelp), len(kinds))
+	}
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE per metric, cumulative `le`
+// buckets plus _sum and _count for histograms. Metrics appear sorted by
+// name. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.Name, m.Help, m.Name, m.Type); err != nil {
+			return err
+		}
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, formatFloat(b.UpperBound), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.Name, m.Count, m.Name, formatFloat(m.Sum), m.Name, m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value the way Prometheus clients expect:
+// integral values without an exponent or trailing zeros.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it on /metrics. Safe on a nil registry (serves an empty
+// exposition).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

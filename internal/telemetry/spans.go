@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span outcomes.
+const (
+	// OutcomeRetired: the segment compared clean and was retired.
+	OutcomeRetired = "retired"
+	// OutcomeDetected: comparison or replay detected a divergence and the
+	// application was terminated (no recovery).
+	OutcomeDetected = "detected"
+	// OutcomeRecovered: a checker fault was absorbed in place after
+	// arbitration (the referee verified the segment).
+	OutcomeRecovered = "recovered"
+	// OutcomeRollback: the segment was discarded by a main-fault rollback.
+	OutcomeRollback = "rollback"
+)
+
+// Span is one segment's full lifecycle: checkpoint fork → main run →
+// checker replay → compare → retire/rollback. Timestamps are simulated
+// nanoseconds on the run's clock (deterministic for a fixed workload);
+// WallNs is host wall time from segment start to span end and is the only
+// nondeterministic field.
+//
+// A phase that never happened (e.g. the checker never started before a
+// rollback) keeps its zero timestamp.
+type Span struct {
+	Segment int    `json:"segment"`
+	Outcome string `json:"outcome"`
+
+	ForkNs         float64 `json:"fork_ns"`                    // checkpoint + checker fork (segment start)
+	SealNs         float64 `json:"seal_ns,omitempty"`          // main reached the segment end
+	CheckerStartNs float64 `json:"checker_start_ns,omitempty"` // checker first dispatched
+	CheckerDoneNs  float64 `json:"checker_done_ns,omitempty"`  // checker reached the end point
+	CompareNs      float64 `json:"compare_ns,omitempty"`       // state comparison finished
+	EndNs          float64 `json:"end_ns"`                     // retire/rollback (span close)
+
+	WallNs int64 `json:"wall_ns,omitempty"` // host time, segment start to span close
+
+	Events     int  `json:"events"`      // recorded replay events
+	DirtyPages int  `json:"dirty_pages"` // pages hashed at comparison
+	OnBig      bool `json:"on_big"`      // checker touched a big core
+}
+
+// SpanRecorder collects finished spans. The zero value is unusable; use
+// NewSpanRecorder. A nil *SpanRecorder drops everything, so instrumented
+// code never needs nil checks.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	spans []Span
+	limit int
+	drop  uint64
+}
+
+// NewSpanRecorder returns a recorder bounded to limit spans (0 =
+// unbounded).
+func NewSpanRecorder(limit int) *SpanRecorder { return &SpanRecorder{limit: limit} }
+
+// Record appends one finished span; a no-op on a nil recorder.
+func (r *SpanRecorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.spans) >= r.limit {
+		r.drop++
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Len returns how many spans were recorded.
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Dropped returns how many spans the limit discarded.
+func (r *SpanRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drop
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// WriteJSONL renders the spans as JSON Lines, one span per line, in record
+// order.
+func (r *SpanRecorder) WriteJSONL(w io.Writer) error {
+	for _, s := range r.Spans() {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind classifies events.
@@ -42,6 +43,38 @@ const (
 	Truncated Kind = "truncated"
 )
 
+// KindHelp describes every event kind; the telemetry lint test asserts the
+// table is total (a new Kind without a help string fails `make check`), so
+// downstream dashboards always have human-readable descriptions.
+var KindHelp = map[Kind]string{
+	SegmentStart: "a new segment began: checkpoint and checker forked",
+	SegmentSeal:  "the main reached a segment end; its record is final",
+	Syscall:      "the main stopped at a syscall and its record was captured",
+	Nondet:       "a nondeterministic instruction's value was recorded",
+	Signal:       "a signal was recorded at the main's execution point",
+	CheckerDone:  "a checker reached its segment end point",
+	Compare:      "an end-of-segment state comparison completed",
+	Migrate:      "a checker migrated between cores",
+	DVFS:         "the pacer changed the little cores' operating point",
+	Queue:        "a checker queued because no core was free",
+	Detect:       "a divergence was detected",
+	Arbitrate:    "recovery re-executed a segment with a clean referee",
+	Recover:      "a checker fault was absorbed without rollback",
+	Rollback:     "the main was restored from a verified checkpoint",
+	Barrier:      "a containment barrier drained outstanding segments",
+	Stall:        "the main stalled on the live-segment bound",
+	Truncated:    "synthetic trailer: the recorder hit its event limit",
+}
+
+// Kinds returns every event kind in KindHelp, for exhaustiveness checks.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(KindHelp))
+	for k := range KindHelp {
+		out = append(out, k)
+	}
+	return out
+}
+
 // Event is one runtime decision.
 type Event struct {
 	TimeNs  float64 `json:"t"`
@@ -54,24 +87,38 @@ type Event struct {
 // *Recorder drops everything, so call sites never need nil checks beyond
 // the method receiver.
 type Recorder struct {
-	mu      sync.Mutex
-	events  []Event
-	limit   int
-	dropped uint64
+	mu     sync.Mutex
+	events []Event
+	limit  int
+
+	// full flips once the event limit is reached so over-limit Emits take a
+	// lock-free, allocation-free fast path: on long runs every dropped event
+	// used to pay for the mutex and the Sprintf detail formatting; now it
+	// pays for one atomic load and one atomic add.
+	full    atomic.Bool
+	dropped atomic.Uint64
 }
 
 // New returns a recorder bounded to limit events (0 = unbounded).
 func New(limit int) *Recorder { return &Recorder{limit: limit} }
 
-// Emit appends an event; on a nil recorder it is a no-op.
+// Emit appends an event; on a nil recorder it is a no-op. Once the event
+// limit has been reached, Emit only counts the drop: no lock, no detail
+// formatting, no allocation (BenchmarkEmitDropped pins this).
 func (r *Recorder) Emit(timeNs float64, kind Kind, segment int, format string, args ...any) {
 	if r == nil {
+		return
+	}
+	if r.full.Load() {
+		r.dropped.Add(1)
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.limit > 0 && len(r.events) >= r.limit {
-		r.dropped++
+		// Raced with the recorder filling up between the fast-path check and
+		// the lock; count the drop here too.
+		r.dropped.Add(1)
 		return
 	}
 	detail := format
@@ -79,6 +126,9 @@ func (r *Recorder) Emit(timeNs float64, kind Kind, segment int, format string, a
 		detail = fmt.Sprintf(format, args...)
 	}
 	r.events = append(r.events, Event{TimeNs: timeNs, Kind: kind, Segment: segment, Detail: detail})
+	if r.limit > 0 && len(r.events) >= r.limit {
+		r.full.Store(true)
+	}
 }
 
 // Dropped returns how many events were discarded after the limit was
@@ -88,9 +138,7 @@ func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.dropped
+	return r.dropped.Load()
 }
 
 // Events returns a copy of the recorded stream.

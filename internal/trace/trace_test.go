@@ -121,3 +121,60 @@ func TestEventsAreCopies(t *testing.T) {
 		t.Error("Events returned aliased storage")
 	}
 }
+
+func TestKindHelpIsTotal(t *testing.T) {
+	for k, help := range KindHelp {
+		if help == "" {
+			t.Errorf("kind %q has an empty help string", k)
+		}
+	}
+	if len(Kinds()) != len(KindHelp) {
+		t.Error("Kinds() disagrees with KindHelp")
+	}
+}
+
+// TestDroppedPathAllocationFree is the non-benchmark guard for the Emit
+// fast path: over-limit emits must not allocate (and in particular must
+// not format the detail string).
+func TestDroppedPathAllocationFree(t *testing.T) {
+	r := New(1)
+	r.Emit(0, Compare, 0, "fill")
+	args := []any{42} // pre-boxed so the caller side does not allocate either
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Emit(1, Compare, 1, "dropped %d", args...)
+	})
+	if allocs != 0 {
+		t.Errorf("dropped-path Emit allocates %.1f times per call, want 0", allocs)
+	}
+	if r.Dropped() == 0 {
+		t.Error("events were not dropped")
+	}
+}
+
+// BenchmarkEmitDropped pins the over-limit Emit path: lock-free,
+// Sprintf-free, allocation-free (run with -benchmem; the satellite fix
+// this PR lands makes allocs/op exactly 0).
+func BenchmarkEmitDropped(b *testing.B) {
+	r := New(1)
+	r.Emit(0, Compare, 0, "fill")
+	args := []any{uint64(7)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(float64(i), Syscall, i, "syscall %d traced", args...)
+	}
+	if r.Dropped() != uint64(b.N) {
+		b.Fatalf("dropped = %d, want %d", r.Dropped(), b.N)
+	}
+}
+
+// BenchmarkEmitRecorded is the baseline: the under-limit path still
+// formats and appends.
+func BenchmarkEmitRecorded(b *testing.B) {
+	r := New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(float64(i), Syscall, i, "syscall traced")
+	}
+}
