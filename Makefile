@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench bench-compare golden telemetry-golden fuzz-smoke offload-roundtrip
+.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden telemetry-golden fuzz-smoke offload-roundtrip
 
-check: vet golden telemetry-golden fuzz-smoke race
+check: vet golden telemetry-golden alloc-guard trajectory-check fuzz-smoke race
 
 build:
 	$(GO) build ./...
@@ -60,3 +60,24 @@ bench:
 # segment-compare path under dirty tracking and the full-memory ablation).
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkCompareSegment -benchmem -benchtime 2x .
+
+# Zero-allocation pins for the two hot paths (interpreter dispatch and the
+# steady-state comparator). Run without -race: the detector's own
+# instrumentation allocates, so the guard tests carry a !race build tag.
+alloc-guard:
+	$(GO) test ./internal/proc ./internal/compare -run 'AllocFree' -v
+
+# Validate the pinned benchmark-trajectory file: BENCH_006.json must exist,
+# parse against the parallaft-bench-trajectory/v1 schema, contain the
+# headline fullmem benchmark on both sides, and show the recorded speedup.
+trajectory-check:
+	$(GO) test -run TestBenchTrajectoryPinned .
+
+# Refresh the "current" side of the benchmark trajectory. Baselines are
+# captured once per PR from the pre-PR tree under interleaved paired
+# conditions (see cmd/benchtrend's doc comment) and are not overwritten
+# here; pipe a pre-PR run through `benchtrend -set baseline` to redo one.
+bench-trajectory:
+	($(GO) test -run '^$$' -bench BenchmarkCompareSegment -benchmem -benchtime 3x . && \
+	 $(GO) test -run '^$$' -bench BenchmarkInterpreterDispatch -benchmem -benchtime 200x .) \
+	| $(GO) run ./cmd/benchtrend -json BENCH_006.json -pr 6 -set current

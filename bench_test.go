@@ -9,11 +9,14 @@ package parallaft
 import (
 	"testing"
 
+	"parallaft/internal/asm"
 	"parallaft/internal/core"
 	"parallaft/internal/inject"
 	"parallaft/internal/lang"
 	"parallaft/internal/machine"
+	"parallaft/internal/mem"
 	"parallaft/internal/oskernel"
+	"parallaft/internal/proc"
 	"parallaft/internal/sim"
 	"parallaft/internal/stats"
 	"parallaft/internal/workload"
@@ -349,6 +352,51 @@ func BenchmarkCompareSegment(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkInterpreterDispatch measures the raw interpreter hot loop — the
+// predecoded dispatch path every simulated instruction takes — on a tight
+// compute+memory kernel, without segmentation or comparison on top. The
+// process is warmed once so predecode, timing tables and TLB/cache state are
+// steady; the measured region is pure dispatch (expected 0 allocs/op, pinned
+// by TestRunAllocFree).
+func BenchmarkInterpreterDispatch(b *testing.B) {
+	ab := asm.NewBuilder("dispatch")
+	ab.MovI(1, 0) // always < x2: the loop never exits
+	ab.MovI(2, 1)
+	ab.MovI(3, 0) // accumulator
+	ab.MovI(4, 0) // arena pointer
+	ab.Label("loop")
+	ab.AddI(3, 3, 7)
+	ab.AndI(5, 3, 4095)
+	ab.ShlI(5, 5, 3)
+	ab.Add(5, 4, 5)
+	ab.Ld(6, 5, 0)
+	ab.Add(6, 6, 3)
+	ab.St(5, 0, 6)
+	ab.Blt(1, 2, "loop")
+	prog := ab.MustBuild()
+
+	m := machine.New(machine.AppleM2Like())
+	as := mem.NewAddressSpace(m.PageSize)
+	if err := as.Map(0, 4*m.PageSize, mem.ProtRW, "arena"); err != nil {
+		b.Fatal(err)
+	}
+	p := proc.New(1, 1, "bench", prog.Code, as, 99)
+	env := proc.ExecEnv{Machine: m, Core: m.BigCores()[0], Contention: 1, Fabric: 1}
+	if s := p.Run(env, 50_000); s.Reason != proc.StopBudget {
+		b.Fatalf("warm-up stop = %v", s)
+	}
+
+	const instrsPerOp = 100_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := p.Run(env, instrsPerOp); s.Reason != proc.StopBudget {
+			b.Fatalf("stop = %v", s)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*instrsPerOp/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
 // newBenchEngine builds a fresh engine for direct runtime benches.

@@ -1,0 +1,92 @@
+package parallaft
+
+// The benchmark-trajectory file (BENCH_006.json, maintained by
+// cmd/benchtrend via `make bench-trajectory`) is part of the repo's
+// contract: it pins what this PR's hot-path work measurably bought, under
+// paired conditions, in a deterministic schema. This test is the
+// `make check` gate that keeps the file present, well-formed, and telling
+// the story it claims — a missing file, a schema drift, or a regression
+// edit that quietly drops the improvement all fail here.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// trajectoryEntry/trajectoryFile mirror cmd/benchtrend's schema (that
+// package is a main and cannot be imported; the JSON field names are the
+// compatibility surface, and benchtrend's own tests pin the writer side).
+type trajectoryEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type trajectoryFile struct {
+	Schema   string                     `json:"schema"`
+	PR       int                        `json:"pr"`
+	Baseline map[string]trajectoryEntry `json:"baseline"`
+	Current  map[string]trajectoryEntry `json:"current"`
+}
+
+const (
+	trajectoryPath   = "BENCH_006.json"
+	trajectorySchema = "parallaft-bench-trajectory/v1"
+	// fullmemBench is the headline end-to-end benchmark: a full protected
+	// run compared exhaustively at every boundary, the workload the
+	// interpreter + comparison overhaul targets.
+	fullmemBench = "BenchmarkCompareSegment/fullmem"
+	// minSpeedup is the improvement this PR claims on fullmemBench
+	// (baseline ns/op over current ns/op, both measured in the same
+	// interleaved session).
+	minSpeedup = 1.5
+)
+
+func TestBenchTrajectoryPinned(t *testing.T) {
+	data, err := os.ReadFile(trajectoryPath)
+	if err != nil {
+		t.Fatalf("benchmark trajectory missing: %v (regenerate with `make bench-trajectory`)", err)
+	}
+	var f trajectoryFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("%s is malformed: %v", trajectoryPath, err)
+	}
+	if f.Schema != trajectorySchema {
+		t.Fatalf("schema = %q, want %q", f.Schema, trajectorySchema)
+	}
+	if f.PR <= 0 {
+		t.Fatalf("pr = %d, want a positive PR number", f.PR)
+	}
+
+	for side, m := range map[string]map[string]trajectoryEntry{
+		"baseline": f.Baseline, "current": f.Current,
+	} {
+		if _, ok := m[fullmemBench]; !ok {
+			t.Fatalf("%s is missing %s", side, fullmemBench)
+		}
+		for name, e := range m {
+			if e.NsPerOp <= 0 {
+				t.Errorf("%s %s: ns_per_op = %v, want > 0", side, name, e.NsPerOp)
+			}
+			if e.BytesPerOp < 0 || e.AllocsPerOp < 0 {
+				t.Errorf("%s %s: negative per-op measurement: %+v", side, name, e)
+			}
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	base, cur := f.Baseline[fullmemBench], f.Current[fullmemBench]
+	if speedup := base.NsPerOp / cur.NsPerOp; speedup < minSpeedup {
+		t.Errorf("%s: %.0f -> %.0f ns/op is %.2fx, below the pinned %.1fx floor",
+			fullmemBench, base.NsPerOp, cur.NsPerOp, speedup, minSpeedup)
+	}
+
+	// The dispatch loop's zero-allocation property is load-bearing (the
+	// alloc-guard tests pin the code; this pins the recorded evidence).
+	if e, ok := f.Current["BenchmarkInterpreterDispatch"]; ok && e.AllocsPerOp != 0 {
+		t.Errorf("BenchmarkInterpreterDispatch: %v allocs/op recorded, want 0", e.AllocsPerOp)
+	}
+}

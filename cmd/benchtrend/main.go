@@ -1,0 +1,199 @@
+// Command benchtrend maintains the repo's pinned benchmark-trajectory files
+// (BENCH_NNN.json). It reads `go test -bench` output on stdin, extracts the
+// standard per-op measurements, and merges them into one side of a
+// trajectory file:
+//
+//	go test -run '^$' -bench BenchmarkCompareSegment -benchmem . \
+//	    | benchtrend -json BENCH_006.json -pr 6 -set current
+//
+// A trajectory file records two snapshots of the same benchmarks — the
+// pre-PR baseline and the post-PR current — taken under identical
+// conditions (same machine, interleaved runs), so the ratio between them is
+// the PR's measured effect rather than machine luck. The JSON schema is
+// deterministic: fixed field names, map keys sorted by encoding/json, so
+// re-running benchtrend on identical input reproduces the file byte for
+// byte and diffs stay reviewable.
+//
+// Schema (parallaft-bench-trajectory/v1):
+//
+//	{
+//	  "schema":   "parallaft-bench-trajectory/v1",
+//	  "pr":       6,
+//	  "baseline": {"<bench>/<case>": {"ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}},
+//	  "current":  {...}
+//	}
+//
+// Benchmark names have the -<GOMAXPROCS> suffix stripped, so files taken on
+// machines with different core counts still key identically. `-set` chooses
+// which side the stdin results land on; the other side is preserved, so the
+// baseline captured before a change survives re-measurements of current.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's standard per-op measurements.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is one benchmark-trajectory file.
+type File struct {
+	Schema   string           `json:"schema"`
+	PR       int              `json:"pr"`
+	Baseline map[string]Entry `json:"baseline"`
+	Current  map[string]Entry `json:"current"`
+}
+
+// Schema is the trajectory-file schema this tool reads and writes.
+const Schema = "parallaft-bench-trajectory/v1"
+
+func main() {
+	var (
+		jsonPath = flag.String("json", "", "trajectory file to update (required)")
+		pr       = flag.Int("pr", 0, "PR number recorded in the file (required)")
+		set      = flag.String("set", "current", "which snapshot stdin results belong to: baseline or current")
+	)
+	flag.Parse()
+	if err := run(*jsonPath, *pr, *set, os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jsonPath string, pr int, set string, in io.Reader) error {
+	if jsonPath == "" {
+		return fmt.Errorf("-json is required")
+	}
+	if pr <= 0 {
+		return fmt.Errorf("-pr must be a positive PR number, got %d", pr)
+	}
+	if set != "baseline" && set != "current" {
+		return fmt.Errorf("-set must be baseline or current, got %q", set)
+	}
+
+	entries, err := ParseBenchOutput(in)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	f, err := Load(jsonPath)
+	if os.IsNotExist(err) {
+		f = &File{Schema: Schema, Baseline: map[string]Entry{}, Current: map[string]Entry{}}
+	} else if err != nil {
+		return err
+	}
+	f.PR = pr
+	side := f.Current
+	if set == "baseline" {
+		side = f.Baseline
+	}
+	for name, e := range entries {
+		side[name] = e
+	}
+	return f.Save(jsonPath)
+}
+
+// Load reads and validates a trajectory file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, this tool speaks %q", path, f.Schema, Schema)
+	}
+	if f.Baseline == nil {
+		f.Baseline = map[string]Entry{}
+	}
+	if f.Current == nil {
+		f.Current = map[string]Entry{}
+	}
+	return &f, nil
+}
+
+// Save writes the file with deterministic formatting (sorted map keys,
+// two-space indent, trailing newline).
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseBenchOutput extracts standard per-op measurements from `go test
+// -bench` output. Result lines look like
+//
+//	BenchmarkCompareSegment/fullmem-4   3   1402489196 ns/op   2.7e8 B/op   84087 allocs/op
+//
+// with an optional -<GOMAXPROCS> suffix (stripped) and any number of custom
+// metrics (ignored). Non-benchmark lines are skipped, so the full `go test`
+// transcript can be piped in unfiltered.
+func ParseBenchOutput(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. "Benchmark... 	--- FAIL")
+		}
+		name := stripProcSuffix(fields[0])
+		e := out[name]
+		// Measurements come as "<value> <unit>" pairs after the iteration
+		// count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if e.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchmark %s: no ns/op measurement", name)
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, without touching hyphens inside sub-benchmark names.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

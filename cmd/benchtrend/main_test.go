@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: parallaft
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCompareSegment/dirty-4         	       3	 512345678 ns/op	        55.00 pages/boundary	120000000 B/op	  900000 allocs/op
+BenchmarkCompareSegment/fullmem-4       	       3	1402489196 ns/op	       512.0 pages/boundary	274131288 B/op	   84087 allocs/op
+BenchmarkInterpreterDispatch-4          	       3	    887464 ns/op	       112.7 Minstr/s	       0 B/op	       0 allocs/op
+PASS
+ok  	parallaft	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Entry{
+		"BenchmarkCompareSegment/dirty":   {NsPerOp: 512345678, BytesPerOp: 120000000, AllocsPerOp: 900000},
+		"BenchmarkCompareSegment/fullmem": {NsPerOp: 1402489196, BytesPerOp: 274131288, AllocsPerOp: 84087},
+		"BenchmarkInterpreterDispatch":    {NsPerOp: 887464, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-4":         "BenchmarkFoo",
+		"BenchmarkFoo/sub-x-16":  "BenchmarkFoo/sub-x",
+		"BenchmarkFoo/sub-x":     "BenchmarkFoo/sub-x",
+		"BenchmarkFoo":           "BenchmarkFoo",
+		"BenchmarkBar/case-7-a":  "BenchmarkBar/case-7-a",
+		"BenchmarkBar/case-7-12": "BenchmarkBar/case-7",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRunMergePreservesOtherSide writes a baseline, then a current, and
+// checks both survive, the output is deterministic, and reloading agrees.
+func TestRunMergePreservesOtherSide(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_006.json")
+	if err := run(path, 6, "baseline", strings.NewReader(sampleOutput)); err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(sampleOutput, "1402489196", "700000000")
+	if err := run(path, 6, "current", strings.NewReader(faster)); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != Schema || f.PR != 6 {
+		t.Fatalf("header = %q pr %d", f.Schema, f.PR)
+	}
+	if got := f.Baseline["BenchmarkCompareSegment/fullmem"].NsPerOp; got != 1402489196 {
+		t.Errorf("baseline fullmem ns/op = %v, want 1402489196", got)
+	}
+	if got := f.Current["BenchmarkCompareSegment/fullmem"].NsPerOp; got != 700000000 {
+		t.Errorf("current fullmem ns/op = %v, want 700000000", got)
+	}
+
+	// Determinism: re-applying the same current snapshot is a no-op byte
+	// for byte.
+	before, _ := os.ReadFile(path)
+	if err := run(path, 6, "current", strings.NewReader(faster)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Error("re-running benchtrend on identical input changed the file")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := run(path, 6, "current", strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Error("empty bench output accepted")
+	}
+	if err := run(path, 0, "current", strings.NewReader(sampleOutput)); err == nil {
+		t.Error("pr 0 accepted")
+	}
+	if err := run(path, 6, "sideways", strings.NewReader(sampleOutput)); err == nil {
+		t.Error("bad -set accepted")
+	}
+	if err := run("", 6, "current", strings.NewReader(sampleOutput)); err == nil {
+		t.Error("missing -json accepted")
+	}
+}

@@ -44,6 +44,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateParallel(*parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "paftbench:", err)
+		os.Exit(1)
+	}
+
 	var names []string
 	if *workloads != "" {
 		names = strings.Split(*workloads, ",")
@@ -64,6 +69,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paftbench:", err)
 		os.Exit(1)
 	}
+}
+
+// validateParallel rejects nonsensical worker counts up front. A zero or
+// negative -parallel used to reach the campaign layer unchecked, where it
+// was silently remapped to NumCPU — "-parallel -1" quietly saturating every
+// core is the opposite of what the flag asked for. Like the
+// unknown-experiment check, bad input is a clear error.
+func validateParallel(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-parallel must be a positive worker count, got %d", n)
+	}
+	return nil
 }
 
 var knownExperiments = []string{

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestValidateParallel(t *testing.T) {
+	for _, n := range []int{1, 2, 64} {
+		if err := validateParallel(n); err != nil {
+			t.Errorf("validateParallel(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -8} {
+		if err := validateParallel(n); err == nil {
+			t.Errorf("validateParallel(%d) = nil, want error", n)
+		}
+	}
+}

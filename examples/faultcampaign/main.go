@@ -28,6 +28,9 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-trial progress/ETA lines to stderr")
 	flag.Parse()
 
+	if *parallel <= 0 {
+		log.Fatalf("-parallel must be a positive worker count, got %d", *parallel)
+	}
 	w := workload.Get(*bench)
 	if w == nil {
 		log.Fatalf("unknown workload %q", *bench)

@@ -66,6 +66,16 @@ type setAssoc struct {
 	clock uint64
 	mask  uint64
 
+	// mru caches, per set, the way index of the most recent hit or fill.
+	// Checking it before the way scan short-circuits the common case of
+	// repeated accesses to the same line without changing which accesses
+	// hit, miss, or evict.
+	mru []uint16
+	// asidLines counts valid lines per ASID (index = ASID), so flushing an
+	// ASID can stop as soon as its last line is invalidated instead of
+	// always walking the whole tag array.
+	asidLines []uint32
+
 	hits, misses uint64
 }
 
@@ -80,20 +90,56 @@ func newSetAssoc(g Geometry) *setAssoc {
 		geom:  g,
 		lines: make([]line, g.Sets*g.Ways),
 		mask:  uint64(g.Sets - 1),
+		mru:   make([]uint16, g.Sets),
 	}
+}
+
+// countLine adjusts the valid-line count of an ASID by d.
+func (c *setAssoc) countLine(asid uint64, d int32) {
+	if asid >= uint64(len(c.asidLines)) {
+		grown := make([]uint32, asid+64)
+		copy(grown, c.asidLines)
+		c.asidLines = grown
+	}
+	c.asidLines[asid] = uint32(int32(c.asidLines[asid]) + d)
+}
+
+// fastHit probes only the set's MRU way. It is small enough for the
+// compiler to inline at AccessRange's call sites, so the dominant case —
+// another access to the line just touched — never pays a function call.
+// A hit updates the same clock/LRU/hit state a full access would.
+func (c *setAssoc) fastHit(tag uint64) bool {
+	setIdx := int(tag & c.mask)
+	w := &c.lines[setIdx*c.geom.Ways+int(c.mru[setIdx])]
+	if w.valid && w.tag == tag {
+		c.clock++
+		w.lru = c.clock
+		c.hits++
+		return true
+	}
+	return false
 }
 
 // access probes the cache and fills on miss; returns true on hit.
 func (c *setAssoc) access(tag uint64) bool {
 	c.clock++
-	set := int(tag&c.mask) * c.geom.Ways
+	setIdx := int(tag & c.mask)
+	set := setIdx * c.geom.Ways
 	ways := c.lines[set : set+c.geom.Ways]
+	if m := c.mru[setIdx]; int(m) < len(ways) {
+		if w := &ways[m]; w.valid && w.tag == tag {
+			w.lru = c.clock
+			c.hits++
+			return true
+		}
+	}
 	victim := 0
 	var victimLRU uint64 = ^uint64(0)
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lru = c.clock
 			c.hits++
+			c.mru[setIdx] = uint16(i)
 			return true
 		}
 		if !ways[i].valid {
@@ -104,19 +150,38 @@ func (c *setAssoc) access(tag uint64) bool {
 			victimLRU = ways[i].lru
 		}
 	}
+	if v := &ways[victim]; v.valid {
+		c.countLine(v.tag>>asidShift, -1)
+	}
 	ways[victim] = line{tag: tag, valid: true, lru: c.clock}
+	c.mru[setIdx] = uint16(victim)
+	c.countLine(tag>>asidShift, 1)
 	c.misses++
 	return false
 }
 
 // flush invalidates every line belonging to the given ASID (used when an
 // address space is destroyed, to avoid stale hits for a recycled ASID).
+// The per-ASID line count bounds the walk: a flush of an ASID whose lines
+// were already evicted is O(1), and any other flush stops at the last line.
 func (c *setAssoc) flush(asid uint64) {
+	if asid >= uint64(len(c.asidLines)) {
+		return
+	}
+	remaining := c.asidLines[asid]
+	if remaining == 0 {
+		return
+	}
 	for i := range c.lines {
 		if c.lines[i].valid && c.lines[i].tag>>asidShift == asid {
 			c.lines[i].valid = false
+			remaining--
+			if remaining == 0 {
+				break
+			}
 		}
 	}
+	c.asidLines[asid] = 0
 }
 
 // Config describes the whole hierarchy.
@@ -214,13 +279,43 @@ func (h *Hierarchy) Access(core int, asid, addr uint64) Level {
 }
 
 // AccessRange simulates an access spanning [addr, addr+size); it touches
-// each distinct line and returns the worst (slowest) level observed.
+// each distinct line and returns the worst (slowest) level observed. The
+// body is Access unrolled per line with the tag built incrementally, since
+// this is the interpreter's per-memory-instruction entry point.
 func (h *Hierarchy) AccessRange(core int, asid, addr uint64, size int) Level {
-	worst := L1Hit
 	first := addr >> h.lineShift
 	last := (addr + uint64(size) - 1) >> h.lineShift
+	l1 := h.l1[core]
+	l2 := h.l2[h.coreL2[core]]
+	st := &h.stats[core]
+	base := asid << asidShift
+	if first == last { // the common case: the access stays in one line
+		tag := base | first&(1<<asidShift-1)
+		if l1.fastHit(tag) {
+			st.Counts[L1Hit]++
+			return L1Hit
+		}
+		lvl := DRAM
+		if l1.access(tag) {
+			lvl = L1Hit
+		} else if l2.access(tag) {
+			lvl = L2Hit
+		}
+		st.Counts[lvl]++
+		return lvl
+	}
+	worst := L1Hit
 	for lineAddr := first; lineAddr <= last; lineAddr++ {
-		lvl := h.Access(core, asid, lineAddr<<h.lineShift)
+		tag := base | lineAddr&(1<<asidShift-1)
+		lvl := DRAM
+		if l1.fastHit(tag) {
+			lvl = L1Hit
+		} else if l1.access(tag) {
+			lvl = L1Hit
+		} else if l2.access(tag) {
+			lvl = L2Hit
+		}
+		st.Counts[lvl]++
 		if lvl > worst {
 			worst = lvl
 		}

@@ -9,10 +9,11 @@ import "parallaft/internal/hashx"
 // instead. The labels are length-prefixed, so ("ab","c") and ("a","bc")
 // derive different seeds.
 func DeriveSeed(base int64, labels ...string) int64 {
-	h := hashx.New(uint64(base))
+	h := hashx.AcquireHasher(uint64(base))
+	defer hashx.ReleaseHasher(h)
 	for _, l := range labels {
 		h.WriteUint64(uint64(len(l)))
-		h.Write([]byte(l)) //nolint:errcheck // never fails
+		h.WriteString(l)
 	}
 	s := int64(h.Sum64())
 	if s == 0 {

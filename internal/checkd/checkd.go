@@ -197,13 +197,22 @@ func (x *Executor) check(j job) Verdict {
 		if err == nil || !errors.Is(err, ErrMissingChunk) || attempt >= x.opts.Retries {
 			break
 		}
+		// One retry == one more RunPacket attempt, regardless of how many
+		// chunks that attempt found missing (rebuild fails at the first).
 		x.tm.retries.Inc()
 		time.Sleep(x.opts.RetryDelay)
 	}
 	v.Seq = j.seq
 	if err != nil {
+		if errors.Is(err, ErrMissingChunk) {
+			// The budgeted attempts are the bound on a permanently missing
+			// chunk: the loop above never spins past opts.Retries, it
+			// abandons the packet with this typed error.
+			err = fmt.Errorf("abandoned after %d retries: %w", x.opts.Retries, err)
+		}
 		v.OK = false
 		v.Infra = err.Error()
+		v.infraErr = err
 	}
 	return v
 }

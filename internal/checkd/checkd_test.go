@@ -11,6 +11,7 @@ import (
 	"parallaft/internal/packet"
 	"parallaft/internal/pagestore"
 	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
 )
 
 // runExported runs a program under the in-process runtime with packet
@@ -174,5 +175,66 @@ func TestVerdictsOrderedUnderConcurrency(t *testing.T) {
 		if !v.OK {
 			t.Fatalf("clean run produced failing verdict: %v", v)
 		}
+	}
+}
+
+// TestPermanentlyMissingChunkRetriesBounded drops one page chunk from an
+// otherwise-complete store forever and checks the retry contract: the
+// counter increments once per re-attempt of the packet — not once per
+// missing chunk — the loop stops at the retry budget instead of spinning,
+// and the abandoned packet carries a typed ErrMissingChunk the caller can
+// errors.Is against.
+func TestPermanentlyMissingChunkRetriesBounded(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(120_000))
+	if len(pkts) == 0 {
+		t.Fatal("run exported no packets")
+	}
+	pkt := pkts[0]
+	if len(pkt.Start.Pages) < 2 {
+		t.Fatalf("packet has %d start pages, need at least 2", len(pkt.Start.Pages))
+	}
+
+	// Evict two of the packet's page chunks permanently: no retry can ever
+	// make them appear. Two, so a per-chunk (rather than per-attempt)
+	// retry counter would double-count. Releasing until reclaim drops the
+	// chunk no matter how many checkpoints shared it; a chunk may back
+	// several pages of the start state, so count distinct keys.
+	dropped := 0
+	seen := map[pagestore.Key]bool{}
+	for _, pg := range pkt.Start.Pages {
+		if seen[pg.Key] {
+			continue
+		}
+		seen[pg.Key] = true
+		for store.Contains(pg.Key) {
+			store.Release(pg.Key)
+		}
+		if dropped++; dropped == 2 {
+			break
+		}
+	}
+
+	const retries = 3
+	reg := telemetry.NewRegistry()
+	retryCounter := reg.Counter("paft_checkd_chunk_retries_total",
+		"packet checks re-attempted because a chunk had not arrived yet")
+	verdicts, err := CheckAll(store, pkts[:1], Options{
+		Retries: retries, RetryDelay: 1, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+	if len(verdicts) != 1 {
+		t.Fatalf("got %d verdicts, want 1", len(verdicts))
+	}
+	v := verdicts[0]
+	if v.OK || v.Infra == "" || v.ErrorKind != "" {
+		t.Fatalf("verdict = %+v, want infra failure with no detection kind", v)
+	}
+	if !errors.Is(v.InfraErr(), ErrMissingChunk) {
+		t.Fatalf("InfraErr() = %v, want a wrapped ErrMissingChunk", v.InfraErr())
+	}
+	if got := retryCounter.Value(); got != retries {
+		t.Fatalf("retry counter = %d, want exactly %d (once per re-attempt)", got, retries)
 	}
 }

@@ -39,7 +39,18 @@ type Verdict struct {
 	ErrorKind string `json:"error_kind,omitempty"` // set when !OK
 	Detail    string `json:"detail,omitempty"`
 	Infra     string `json:"infra,omitempty"` // infrastructure failure; not a detection
+
+	// infraErr is the typed error behind Infra, so programmatic consumers
+	// can errors.Is against sentinels like ErrMissingChunk instead of
+	// string-matching. It deliberately stays off the wire (unexported):
+	// Verdicts round-tripped through JSON keep only the Infra text.
+	infraErr error
 }
+
+// InfraErr returns the typed infrastructure error behind Infra, or nil. For
+// a packet abandoned after exhausting its chunk-miss retries this unwraps
+// to ErrMissingChunk.
+func (v Verdict) InfraErr() error { return v.infraErr }
 
 func (v Verdict) String() string {
 	if v.Infra != "" {

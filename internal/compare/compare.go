@@ -28,6 +28,7 @@ package compare
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 
 	"parallaft/internal/mem"
@@ -68,7 +69,8 @@ type Request struct {
 	// Seed seeds the page hashes; it must be identical on both sides.
 	Seed uint64
 	// Workers bounds the host hashing pool; 0 picks a default capped by
-	// GOMAXPROCS. The result is identical for any value.
+	// GOMAXPROCS, and any negative value forces the serial path. The
+	// result is identical for any value.
 	Workers int
 }
 
@@ -117,14 +119,56 @@ type hashJob struct {
 	ref, chk *mem.Frame
 }
 
+// chunkResult is one worker's contribution to a concurrent hash pass.
+type chunkResult struct {
+	idx int
+	vpn uint64
+	sub Result
+}
+
 // concurrencyThreshold is the minimum number of hash jobs per extra
 // worker; below it the spawn overhead outweighs the parallelism.
 const concurrencyThreshold = 32
 
-// Run performs one state comparison.
+// Comparator performs state comparisons while reusing every piece of
+// per-comparison scratch — the dirty-set union, the discovery buffers, and
+// the hash job list — across calls. A long-lived Comparator makes the
+// steady-state compare path allocation-free: after the first few segments
+// the buffers reach the working-set size and all later comparisons run
+// without touching the heap (the zero-value Comparator is ready to use).
+//
+// A Comparator is not safe for concurrent use; callers that compare from
+// several goroutines use one Comparator each.
+type Comparator struct {
+	union   vpnUnion
+	mainBuf []uint64
+	chkBuf  []uint64
+	vmaBuf  []mem.VMA
+	jobs    []hashJob
+	chunks  []chunkResult
+}
+
+// Run performs one state comparison using package-level scratch-free
+// buffers. It is a convenience wrapper for one-shot callers; steady-state
+// callers hold a Comparator and call its Run method to reuse scratch.
 func Run(req Request) Result {
+	var c Comparator
+	return c.Run(req)
+}
+
+// DirtyVPNs returns the candidate page set for a request: the reference
+// side's modified pages per the discovery mode, unioned with the checker
+// side's modified pages, preserving first-appearance order. The returned
+// slice is freshly allocated; Comparator.Run uses the reusable variant.
+func DirtyVPNs(req Request) []uint64 {
+	var c Comparator
+	return slices.Clone(c.dirtyVPNs(req))
+}
+
+// Run performs one state comparison, reusing the Comparator's scratch.
+func (c *Comparator) Run(req Request) Result {
 	var res Result
-	dirty := DirtyVPNs(req)
+	dirty := c.dirtyVPNs(req)
 	res.DirtyPages = uint64(len(dirty))
 
 	// Resolve each candidate page: structural verdicts and identity skips
@@ -135,7 +179,7 @@ func Run(req Request) Result {
 	// process the whole dirty set — is unaffected by where the first
 	// difference sits.
 	inline := workerCount(req.Workers, len(dirty)) <= 1
-	var jobs []hashJob
+	jobs := c.jobs[:0]
 	structuralIdx := -1
 	var structuralVPN uint64
 	contentIdx, contentVPN := -1, uint64(0)
@@ -166,8 +210,9 @@ func Run(req Request) Result {
 		}
 	}
 	if !inline {
-		contentIdx, contentVPN = hashJobs(req.Seed, jobs, workerCount(req.Workers, len(jobs)), &res)
+		contentIdx, contentVPN = c.hashJobs(req.Seed, jobs, workerCount(req.Workers, len(jobs)), &res)
 	}
+	c.jobs = jobs[:0]
 
 	// The reported mismatch is the first in dirty-set order across both
 	// kinds, exactly as a sequential scan would have found it.
@@ -180,85 +225,128 @@ func Run(req Request) Result {
 	return res
 }
 
-// DirtyVPNs returns the candidate page set for a request: the reference
-// side's modified pages per the discovery mode, unioned with the checker
-// side's modified pages, preserving first-appearance order. One size-hinted
-// set accumulates everything, so discovery allocates no intermediate lists.
-func DirtyVPNs(req Request) []uint64 {
-	chkDirty := req.Chk.DirtyPages(req.CheckerMode)
-	var set vpnSet
+// dirtyVPNs builds the candidate page set into the Comparator's reusable
+// union buffer: the reference side's modified pages per the discovery mode,
+// unioned with the checker side's modified pages, preserving
+// first-appearance order. The returned slice aliases Comparator scratch and
+// is valid until the next call.
+//
+// Every source list arrives sorted ascending (mem's Append* helpers sort,
+// and VMA walks ascend), so the union dedups by binary-searching the
+// already-emitted runs instead of keeping a map — same output, no
+// per-comparison allocation once the buffers have grown.
+func (c *Comparator) dirtyVPNs(req Request) []uint64 {
+	chkDirty := req.Chk.AppendDirtyPages(req.CheckerMode, c.chkBuf[:0])
+	c.chkBuf = chkDirty
+	u := &c.union
 	switch req.Discovery {
 	case FrameDiff:
-		main := mem.DiffFrames(req.Base, req.Ref)
-		set.grow(len(main) + len(chkDirty))
-		set.addList(main)
+		main := mem.AppendDiffFrames(req.Base, req.Ref, c.mainBuf[:0])
+		c.mainBuf = main
+		u.reset(len(main) + len(chkDirty))
+		u.addRun(main)
 	case SoftDirty:
-		main := req.Ref.DirtyPages(mem.DirtySoft)
-		set.grow(len(main) + len(chkDirty))
-		set.addList(main)
+		main := req.Ref.AppendDirtyPages(mem.DirtySoft, c.mainBuf[:0])
+		c.mainBuf = main
+		u.reset(len(main) + len(chkDirty))
+		u.addRun(main)
 	case FullMemory:
 		// The two sides' mappings almost always coincide, so the
 		// reference's page count is the right size hint for the union.
-		set.grow(req.Ref.PageCount() + len(chkDirty))
-		set.addAllMapped(req.Ref)
-		set.addAllMapped(req.Chk)
+		u.reset(req.Ref.PageCount() + len(chkDirty))
+		c.addAllMapped(req.Ref)
+		c.addAllMapped(req.Chk)
 	}
-	set.addList(chkDirty)
-	return set.out
+	u.addRun(chkDirty)
+	return u.out
 }
 
-// vpnSet is an insertion-ordered page-number set.
-type vpnSet struct {
-	seen map[uint64]struct{}
+// vpnUnion unions sorted page-number runs, preserving first-appearance
+// order. out is a concatenation of ascending sub-runs (one per sealed
+// source, duplicates removed), so membership in "everything emitted so far"
+// is a binary search per earlier sub-run.
+type vpnUnion struct {
 	out  []uint64
+	ends []int // end offset in out of each sealed sub-run
 }
 
-func (s *vpnSet) grow(capacity int) {
-	s.seen = make(map[uint64]struct{}, capacity)
-	s.out = make([]uint64, 0, capacity)
+func (u *vpnUnion) reset(capacity int) {
+	if cap(u.out) < capacity {
+		u.out = make([]uint64, 0, capacity)
+	} else {
+		u.out = u.out[:0]
+	}
+	u.ends = u.ends[:0]
 }
 
-func (s *vpnSet) add(vpn uint64) {
-	if _, ok := s.seen[vpn]; !ok {
-		s.seen[vpn] = struct{}{}
-		s.out = append(s.out, vpn)
+// seen reports whether vpn was emitted by any sealed run.
+func (u *vpnUnion) seen(vpn uint64) bool {
+	start := 0
+	for _, end := range u.ends {
+		if _, ok := slices.BinarySearch(u.out[start:end], vpn); ok {
+			return true
+		}
+		start = end
+	}
+	return false
+}
+
+// seal closes the current run; later additions dedup against it.
+func (u *vpnUnion) seal() {
+	if n := len(u.out); len(u.ends) == 0 || u.ends[len(u.ends)-1] != n {
+		u.ends = append(u.ends, n)
 	}
 }
 
-func (s *vpnSet) addList(l []uint64) {
+// addRun appends the novel elements of one sorted, internally-unique list.
+func (u *vpnUnion) addRun(l []uint64) {
 	for _, v := range l {
-		s.add(v)
-	}
-}
-
-// addAllMapped adds every mapped page of an address space in VMA order.
-func (s *vpnSet) addAllMapped(as *mem.AddressSpace) {
-	for _, v := range as.VMAs() {
-		for vpn := v.Base / as.PageSize(); vpn < v.End()/as.PageSize(); vpn++ {
-			s.add(vpn)
+		if !u.seen(v) {
+			u.out = append(u.out, v)
 		}
 	}
+	u.seal()
+}
+
+// addAllMapped adds every mapped page of an address space to the union in
+// VMA order (ascending, since VMAs are sorted and disjoint), snapshotting
+// the mapping list into the Comparator's reusable VMA buffer.
+func (c *Comparator) addAllMapped(as *mem.AddressSpace) {
+	u := &c.union
+	c.vmaBuf = as.AppendVMAs(c.vmaBuf[:0])
+	for _, v := range c.vmaBuf {
+		for vpn := v.Base / as.PageSize(); vpn < v.End()/as.PageSize(); vpn++ {
+			if !u.seen(vpn) {
+				u.out = append(u.out, vpn)
+			}
+		}
+	}
+	u.seal()
 }
 
 // hashJobs hashes every job and returns the minimal dirty-set index (and
 // its vpn) among content mismatches, or -1. Counters accumulate into res.
-func hashJobs(seed uint64, jobs []hashJob, workers int, res *Result) (int, uint64) {
+func (c *Comparator) hashJobs(seed uint64, jobs []hashJob, workers int, res *Result) (int, uint64) {
 	if len(jobs) == 0 {
 		return -1, 0
 	}
-	if workers <= 1 {
+	if workers <= 1 || len(jobs) < workers {
+		// Serial path: too few jobs to pay for goroutines (workerCount
+		// bounds workers by the job count, so this also catches callers
+		// handing a worker count straight to this function).
 		return hashChunk(seed, jobs, res)
 	}
 
 	// Contiguous chunks keep per-worker results independent of scheduling;
 	// merging by minimal index makes the reported mismatch deterministic.
-	type chunkResult struct {
-		idx int
-		vpn uint64
-		sub Result
-	}
 	chunkLen := (len(jobs) + workers - 1) / workers
-	results := make([]chunkResult, workers)
+	if cap(c.chunks) < workers {
+		c.chunks = make([]chunkResult, workers)
+	}
+	results := c.chunks[:workers]
+	for i := range results {
+		results[i] = chunkResult{}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunkLen
@@ -324,12 +412,20 @@ func hashPair(seed uint64, ref, chk *mem.Frame, res *Result) bool {
 	return refSum != chkSum
 }
 
+// defaultWorkers is the pool size when the request leaves Workers at 0.
+const defaultWorkers = 4
+
 // workerCount resolves the pool size: bounded by the request, GOMAXPROCS,
-// and the number of jobs that make a worker worthwhile.
+// and the number of jobs that make a worker worthwhile. A negative request
+// is a caller bug; it degrades to the serial path rather than silently
+// getting a bigger pool than an explicit "1" would.
 func workerCount(requested, jobs int) int {
 	w := requested
-	if w <= 0 {
-		w = 4
+	switch {
+	case w < 0:
+		return 1
+	case w == 0:
+		w = defaultWorkers
 	}
 	if p := runtime.GOMAXPROCS(0); w > p {
 		w = p

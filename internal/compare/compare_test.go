@@ -238,16 +238,116 @@ func TestWorkerCount(t *testing.T) {
 	cases := []struct {
 		requested, jobs, max int
 	}{
-		{0, 0, 1},    // no jobs: one worker (inline)
-		{0, 31, 1},   // below threshold: stay sequential
+		{0, 0, 1},  // no jobs: one worker (inline)
+		{0, 31, 1}, // below threshold: stay sequential
 		{1, 10_000, 1},
-		{8, 64, 2},   // load-bounded
+		{8, 64, 2}, // load-bounded
 		{2, 10_000, 2},
 	}
 	for _, tc := range cases {
 		if got := workerCount(tc.requested, tc.jobs); got > tc.max || got < 1 {
 			t.Errorf("workerCount(%d, %d) = %d, want in [1,%d]",
 				tc.requested, tc.jobs, got, tc.max)
+		}
+	}
+}
+
+// TestWorkerCountDegenerateRequests is the satellite regression for the
+// pool-size resolution: zero (the documented default) and negative
+// (a caller bug) requests, and worker counts exceeding the job count, must
+// degrade toward the serial path rather than spawning idle goroutines.
+func TestWorkerCountDegenerateRequests(t *testing.T) {
+	for _, n := range []int{-1, -3, -100} {
+		if got := workerCount(n, 10_000); got != 1 {
+			t.Errorf("workerCount(%d, 10000) = %d, want 1 (serial)", n, got)
+		}
+	}
+	// Workers never exceed the jobs that justify them.
+	for _, tc := range []struct{ req, jobs int }{
+		{0, 0}, {0, 31}, {16, 5}, {7, 0}, {100, 64},
+	} {
+		got := workerCount(tc.req, tc.jobs)
+		if got < 1 {
+			t.Fatalf("workerCount(%d, %d) = %d < 1", tc.req, tc.jobs, got)
+		}
+		if got > 1 && got > tc.jobs/concurrencyThreshold {
+			t.Errorf("workerCount(%d, %d) = %d exceeds the per-worker load bound",
+				tc.req, tc.jobs, got)
+		}
+	}
+}
+
+// TestResultDeterministicAcrossWorkerRequests runs one comparison shape
+// under worker requests {0, 1, -3, jobs, jobs+7} and requires bit-identical
+// results: same CacheHits bookkeeping and the mismatch chosen by minimal
+// dirty-set index no matter how the jobs were chunked.
+func TestResultDeterministicAcrossWorkerRequests(t *testing.T) {
+	const pages = 160
+	// Diverge most pages so the parallel path genuinely engages (jobs is
+	// well past concurrencyThreshold), with the earliest divergence at a
+	// known index.
+	diverged := make([]uint64, 0, pages-3)
+	for i := uint64(3); i < pages; i++ {
+		diverged = append(diverged, i)
+	}
+	mkReq := func() Request {
+		main := mem.NewAddressSpace(pg)
+		mustMap(t, main, 0x10000, pages*pg)
+		ref := main.Fork()
+		chk := main.Fork()
+		chk.ClearSoftDirty()
+		for _, i := range diverged {
+			mustStore(t, chk, 0x10000+i*pg, 0xbad0+i)
+		}
+		return Request{Ref: ref, Chk: chk, Discovery: FullMemory,
+			CheckerMode: mem.DirtySoft, Seed: seed}
+	}
+	jobs := len(diverged)
+	want := Run(mkReq())
+	if want.Mismatch == nil || want.Mismatch.Kind != MismatchContent ||
+		want.Mismatch.VPN != 0x10000/pg+3 {
+		t.Fatalf("mismatch = %+v, want content at the minimal diverged index", want.Mismatch)
+	}
+	for _, w := range []int{0, 1, -3, jobs, jobs + 7} {
+		req := mkReq()
+		req.Workers = w
+		if got := Run(req); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: result %+v (mismatch %+v) != %+v (mismatch %+v)",
+				w, got, got.Mismatch, want, want.Mismatch)
+		}
+	}
+}
+
+// TestComparatorScratchReuse runs several different comparisons through one
+// Comparator and checks each against a fresh one-shot Run: reused union,
+// discovery and job buffers must never leak state between calls.
+func TestComparatorScratchReuse(t *testing.T) {
+	var c Comparator
+	mk := func(pages int, divergeAt []uint64) Request {
+		main := mem.NewAddressSpace(pg)
+		mustMap(t, main, 0x10000, uint64(pages)*pg)
+		ref := main.Fork()
+		chk := main.Fork()
+		chk.ClearSoftDirty()
+		for _, i := range divergeAt {
+			mustStore(t, chk, 0x10000+i*pg, 0xfeed+i)
+		}
+		return Request{Ref: ref, Chk: chk, Discovery: FullMemory,
+			CheckerMode: mem.DirtySoft, Seed: seed}
+	}
+	cases := [][]uint64{
+		{5, 9},    // two mismatches
+		{},        // clean
+		{0},       // first page
+		{1, 2, 3}, // shrinking then growing candidate sets
+	}
+	sizes := []int{12, 40, 3, 7}
+	for i, div := range cases {
+		reqA, reqB := mk(sizes[i], div), mk(sizes[i], div)
+		got := c.Run(reqA)
+		want := Run(reqB)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: reused comparator %+v != fresh %+v", i, got, want)
 		}
 	}
 }

@@ -175,7 +175,7 @@ func (r *Runtime) compareAgainstEndCP(seg *Segment, chk *proc.Process) compareRe
 		mismatch(ErrRegMismatch, "pc %d differs from checkpoint pc %d", chk.PC, ref.PC)
 	}
 
-	cres := compare.Run(r.compareRequest(seg, chk))
+	cres := r.comparator.Run(r.compareRequest(seg, chk))
 	res.dirtyPages = cres.DirtyPages
 	res.hashedBytes = cres.HashedBytes
 	res.identitySkips = cres.IdentitySkips

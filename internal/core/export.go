@@ -3,7 +3,9 @@ package core
 import (
 	"sort"
 
+	"parallaft/internal/mem"
 	"parallaft/internal/packet"
+	"parallaft/internal/pagestore"
 	"parallaft/internal/proc"
 )
 
@@ -93,12 +95,20 @@ func exportStartState(st *packet.StartState, cp *proc.Process, exp *packet.Expor
 		})
 	}
 
+	// Batch the whole checkpoint into one store operation: hashes happen
+	// outside the store lock, and the map inserts take it once instead of
+	// once per page.
 	refs := cp.AS.FrameRefs()
-	st.Pages = make([]packet.PageRef, 0, len(refs))
+	frames := make([]*mem.Frame, 0, len(refs))
 	for _, fr := range refs {
+		frames = append(frames, fr.Frame)
+	}
+	keys := exp.Store.PutFrames(frames, make([]pagestore.Key, 0, len(frames)))
+	st.Pages = make([]packet.PageRef, 0, len(refs))
+	for i, fr := range refs {
 		st.Pages = append(st.Pages, packet.PageRef{
 			VPN:  fr.VPN,
-			Key:  exp.Store.PutFrame(fr.Frame),
+			Key:  keys[i],
 			Prot: uint8(fr.Prot),
 		})
 	}

@@ -31,8 +31,8 @@ func (r *Runtime) Run(prog *asm.Program) (*RunStats, error) {
 
 	for {
 		for r.detected == nil {
-			actor := r.pickActor()
-			if actor == nil {
+			actor, ok := r.pickActor()
+			if !ok {
 				break // everything finished
 			}
 			if actor.seg == nil {
@@ -62,12 +62,14 @@ type actorRef struct {
 	seg  *Segment
 }
 
-func (r *Runtime) pickActor() *actorRef {
-	var best *actorRef
+func (r *Runtime) pickActor() (actorRef, bool) {
+	var best actorRef
+	found := false
 	bestClock := 0.0
-	consider := func(a *actorRef, clock float64) {
-		if best == nil || clock < bestClock {
+	consider := func(a actorRef, clock float64) {
+		if !found || clock < bestClock {
 			best = a
+			found = true
 			bestClock = clock
 		}
 	}
@@ -75,7 +77,7 @@ func (r *Runtime) pickActor() *actorRef {
 		if r.mainBlocked() {
 			r.mainStalled = true
 		} else {
-			consider(&actorRef{task: r.mainTask}, r.mainTask.Clock)
+			consider(actorRef{task: r.mainTask}, r.mainTask.Clock)
 		}
 	}
 	for _, seg := range r.segments {
@@ -88,14 +90,14 @@ func (r *Runtime) pickActor() *actorRef {
 		if r.checkerAheadOfMain(seg) {
 			continue // must not outrun the main architecturally
 		}
-		consider(&actorRef{task: seg.Task, seg: seg}, seg.Task.Clock)
+		consider(actorRef{task: seg.Task, seg: seg}, seg.Task.Clock)
 	}
-	if best == nil && !r.main.Exited && r.mainBlocked() {
+	if !found && !r.main.Exited && r.mainBlocked() {
 		// Deadlock guard: the main is stalled on MaxLiveSegments but no
 		// checker can run. Should not happen; surface it.
 		panic("core: scheduler deadlock: main stalled with no runnable checker")
 	}
-	return best
+	return best, found
 }
 
 // liveSegmentsExceeded reports whether the live-segment bound blocks the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"parallaft/internal/compare"
 	"parallaft/internal/machine"
 	"parallaft/internal/mem"
 	"parallaft/internal/packet"
@@ -399,6 +400,7 @@ type Runtime struct {
 
 	stats        RunStats
 	tm           coreMetrics
+	comparator   compare.Comparator // reused across every boundary comparison
 	nextSampleNs float64
 	detected     *DetectedError
 	segCounter   int

@@ -11,6 +11,7 @@ package hashx
 import (
 	"encoding/binary"
 	"math/bits"
+	"sync"
 )
 
 const (
@@ -105,6 +106,24 @@ func New(seed uint64) *Hasher {
 	return h
 }
 
+var hasherPool = sync.Pool{New: func() any { return new(Hasher) }}
+
+// AcquireHasher returns a streaming hasher initialised with seed, drawing
+// from a shared pool so transient hashing (seed derivation, packet
+// checksums) does not allocate a fresh state per call. Pair with
+// ReleaseHasher once the hash has been read.
+func AcquireHasher(seed uint64) *Hasher {
+	h := hasherPool.Get().(*Hasher)
+	h.Reset(seed)
+	return h
+}
+
+// ReleaseHasher returns a hasher obtained from AcquireHasher to the pool.
+// The hasher must not be used after release.
+func ReleaseHasher(h *Hasher) {
+	hasherPool.Put(h)
+}
+
 // Reset reinitialises the hasher with a new seed, discarding buffered input.
 func (h *Hasher) Reset(seed uint64) {
 	h.seed = seed
@@ -148,6 +167,17 @@ func (h *Hasher) consumeBlock(b []byte) {
 	h.v2 = round(h.v2, binary.LittleEndian.Uint64(b[8:16]))
 	h.v3 = round(h.v3, binary.LittleEndian.Uint64(b[16:24]))
 	h.v4 = round(h.v4, binary.LittleEndian.Uint64(b[24:32]))
+}
+
+// WriteString absorbs s without converting it to a heap []byte: the bytes
+// stream through a small stack buffer instead.
+func (h *Hasher) WriteString(s string) {
+	var b [64]byte
+	for len(s) > 0 {
+		n := copy(b[:], s)
+		h.Write(b[:n]) //nolint:errcheck // never fails
+		s = s[n:]
+	}
 }
 
 // WriteUint64 absorbs a single little-endian 64-bit value.

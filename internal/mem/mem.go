@@ -24,6 +24,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -166,6 +167,20 @@ type Stats struct {
 	PagesAlloc uint64 // fresh frames allocated (zero-fill or explicit map)
 }
 
+// tlbSize is the number of entries in each host-side translation cache.
+// Purely a host optimisation: the TLB has no simulated cost or state — the
+// cache hierarchy model in internal/cache is what the timing sees.
+const tlbSize = 256
+
+// tlbEntry caches one vpn→pte translation. A slot is live only when its gen
+// matches the address space's current tlbGen, so invalidation is a counter
+// bump instead of a memclr of both arrays.
+type tlbEntry struct {
+	vpn uint64
+	p   *pte
+	gen uint32
+}
+
 // AddressSpace is one guest process's virtual memory.
 type AddressSpace struct {
 	pageSize  uint64
@@ -176,11 +191,10 @@ type AddressSpace struct {
 	brkBase   uint64
 	stats     Stats
 
-	// one-entry TLBs; invalidated on any page-table mutation
-	tlbReadVPN  uint64
-	tlbRead     *pte
-	tlbWriteVPN uint64
-	tlbWrite    *pte
+	// direct-mapped host TLBs; invalidated on any page-table mutation
+	tlbRead  [tlbSize]tlbEntry
+	tlbWrite [tlbSize]tlbEntry
+	tlbGen   uint32
 }
 
 // NewAddressSpace creates an empty address space with the given page size,
@@ -218,8 +232,14 @@ func (as *AddressSpace) PageBase(addr uint64) uint64 {
 }
 
 func (as *AddressSpace) invalidateTLB() {
-	as.tlbRead = nil
-	as.tlbWrite = nil
+	as.tlbGen++
+	if as.tlbGen == 0 {
+		// Generation counter wrapped: hard-clear both arrays so entries
+		// filled under an ancient generation cannot come back to life.
+		as.tlbRead = [tlbSize]tlbEntry{}
+		as.tlbWrite = [tlbSize]tlbEntry{}
+		as.tlbGen = 1
+	}
 }
 
 // Map maps [base, base+length) with the given protection, allocating fresh
@@ -361,9 +381,14 @@ func (as *AddressSpace) findVMA(addr uint64) *VMA {
 
 // VMAs returns a copy of the current mapping list, sorted by base address.
 func (as *AddressSpace) VMAs() []VMA {
-	out := make([]VMA, len(as.vmas))
-	copy(out, as.vmas)
-	return out
+	return as.AppendVMAs(nil)
+}
+
+// AppendVMAs appends the current mapping list, sorted by base address, to
+// buf and returns the extended slice. The allocation-free variant of VMAs
+// for callers with a reusable buffer.
+func (as *AddressSpace) AppendVMAs(buf []VMA) []VMA {
+	return append(buf, as.vmas...)
 }
 
 // FindFree returns the lowest page-aligned base >= hint where a region of
@@ -400,9 +425,15 @@ func (as *AddressSpace) Fork() *AddressSpace {
 		brkBase:   as.brkBase,
 	}
 	copy(child.vmas, as.vmas)
+	// One pte slab for the whole child page table: a fork is O(pages) map
+	// inserts plus a single allocation, not an allocation per page. The
+	// capacity is exact, so the slab never reallocates and the stored
+	// pointers stay valid.
+	slab := make([]pte, 0, len(as.pages))
 	for vpn, p := range as.pages {
 		p.frame.ref++
-		child.pages[vpn] = &pte{frame: p.frame, prot: p.prot, softDirty: p.softDirty}
+		slab = append(slab, pte{frame: p.frame, prot: p.prot, softDirty: p.softDirty})
+		child.pages[vpn] = &slab[len(slab)-1]
 	}
 	as.invalidateTLB()
 	return child
@@ -412,18 +443,19 @@ func (as *AddressSpace) Fork() *AddressSpace {
 // Release the address space must not be used. It exists so that discarded
 // checkpoints and dead checkers stop inflating map counts.
 func (as *AddressSpace) Release() {
-	for vpn, p := range as.pages {
+	for _, p := range as.pages {
 		p.frame.ref--
-		delete(as.pages, vpn)
 	}
+	clear(as.pages)
 	as.vmas = nil
 	as.invalidateTLB()
 }
 
 func (as *AddressSpace) lookupRead(addr uint64) (*pte, *Fault) {
 	vpn := addr >> as.pageShift
-	if as.tlbRead != nil && vpn == as.tlbReadVPN {
-		return as.tlbRead, nil
+	e := &as.tlbRead[vpn&(tlbSize-1)]
+	if e.gen == as.tlbGen && e.vpn == vpn && e.p != nil {
+		return e.p, nil
 	}
 	p, ok := as.pages[vpn]
 	if !ok {
@@ -432,7 +464,7 @@ func (as *AddressSpace) lookupRead(addr uint64) (*pte, *Fault) {
 	if p.prot&ProtRead == 0 {
 		return nil, &Fault{Addr: addr, Kind: FaultProt}
 	}
-	as.tlbReadVPN, as.tlbRead = vpn, p
+	e.vpn, e.p, e.gen = vpn, p, as.tlbGen
 	return p, nil
 }
 
@@ -441,10 +473,13 @@ func (as *AddressSpace) lookupRead(addr uint64) (*pte, *Fault) {
 // so the interpreter can charge the page-copy cost to the faulting process.
 func (as *AddressSpace) lookupWrite(addr uint64) (*pte, bool, *Fault) {
 	vpn := addr >> as.pageShift
-	if as.tlbWrite != nil && vpn == as.tlbWriteVPN {
-		as.tlbWrite.softDirty = true
-		as.tlbWrite.frame.noteWrite()
-		return as.tlbWrite, false, nil
+	e := &as.tlbWrite[vpn&(tlbSize-1)]
+	if e.gen == as.tlbGen && e.vpn == vpn && e.p != nil {
+		// A cached write translation is never COW-shared: any Fork since
+		// the fill invalidated the TLB.
+		e.p.softDirty = true
+		e.p.frame.noteWrite()
+		return e.p, false, nil
 	}
 	p, ok := as.pages[vpn]
 	if !ok {
@@ -465,7 +500,7 @@ func (as *AddressSpace) lookupWrite(addr uint64) (*pte, bool, *Fault) {
 	}
 	p.softDirty = true
 	p.frame.noteWrite()
-	as.tlbWriteVPN, as.tlbWrite = vpn, p
+	e.vpn, e.p, e.gen = vpn, p, as.tlbGen
 	return p, cow, nil
 }
 
@@ -585,7 +620,14 @@ const (
 // DirtyPages returns the sorted virtual page numbers considered modified
 // under the given mode.
 func (as *AddressSpace) DirtyPages(mode DirtyMode) []uint64 {
-	var out []uint64
+	return as.AppendDirtyPages(mode, nil)
+}
+
+// AppendDirtyPages appends the modified page numbers under the given mode to
+// buf and returns the extended slice, sorted within the appended region.
+// Passing a reused buf[:0] makes steady-state dirty discovery allocation-free.
+func (as *AddressSpace) AppendDirtyPages(mode DirtyMode, buf []uint64) []uint64 {
+	out := buf
 	for vpn, p := range as.pages {
 		switch mode {
 		case DirtySoft:
@@ -598,7 +640,7 @@ func (as *AddressSpace) DirtyPages(mode DirtyMode) []uint64 {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out[len(buf):])
 	return out
 }
 
@@ -609,7 +651,14 @@ func (as *AddressSpace) DirtyPages(mode DirtyMode) []uint64 {
 // (COW gave them new frames), created, or unmapped during the segment —
 // the page-level diff Parallaft's AArch64 map-count technique computes.
 func DiffFrames(a, b *AddressSpace) []uint64 {
-	var out []uint64
+	return AppendDiffFrames(a, b, nil)
+}
+
+// AppendDiffFrames appends the frame-diff page numbers to buf and returns
+// the extended slice, sorted within the appended region. The allocation-free
+// variant of DiffFrames for callers with a reusable buffer.
+func AppendDiffFrames(a, b *AddressSpace, buf []uint64) []uint64 {
+	out := buf
 	for vpn, pa := range a.pages {
 		pb, ok := b.pages[vpn]
 		if !ok || pb.frame != pa.frame {
@@ -621,7 +670,7 @@ func DiffFrames(a, b *AddressSpace) []uint64 {
 			out = append(out, vpn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out[len(buf):])
 	return out
 }
 

@@ -93,6 +93,25 @@ func (s *Store) PutFrame(f *mem.Frame) Key {
 	return k
 }
 
+// PutFrames interns a batch of page frames under a single lock acquisition,
+// appending each frame's key to keys and returning the extended slice. The
+// content hashes — the expensive part — are computed before the lock is
+// taken, so a large checkpoint export serialises only the map inserts.
+// Accounting is identical to calling PutFrame per frame.
+func (s *Store) PutFrames(frames []*mem.Frame, keys []Key) []Key {
+	base := len(keys)
+	for _, f := range frames {
+		sum, _ := f.ContentHash(s.seed)
+		keys = append(keys, Key(sum))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range frames {
+		s.intern(keys[base+i], f.Data(), true)
+	}
+	return keys
+}
+
 // Insert interns a chunk under a sender-computed key (the socket transport
 // trusts the client's content addressing; a wrong key only harms the
 // sender's own verdicts). Resident chunks take a reference instead.

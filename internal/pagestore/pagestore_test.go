@@ -215,3 +215,51 @@ func TestReadFromRejectsCorruptInput(t *testing.T) {
 		}
 	}
 }
+
+// TestPutFramesMatchesPutFrame interns the same checkpoint through the
+// batch API and the per-frame API into two stores and requires identical
+// keys, contents, and accounting.
+func TestPutFramesMatchesPutFrame(t *testing.T) {
+	const base = 0x20000
+	as := mem.NewAddressSpace(testPageSize)
+	if err := as.Map(base, 6*testPageSize, mem.ProtRW, "data"); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 6; i++ {
+		// Pages 4 and 5 repeat page 0's content so the batch path also
+		// exercises dedup hits.
+		tag := 0x4000 + i%4
+		fillPage(t, as, base+i*testPageSize, tag)
+	}
+
+	perFrame := New(9)
+	wantKeys := internCheckpoint(perFrame, as)
+
+	batch := New(9)
+	refs := as.FrameRefs()
+	frames := make([]*mem.Frame, 0, len(refs))
+	for _, fr := range refs {
+		frames = append(frames, fr.Frame)
+	}
+	gotKeys := batch.PutFrames(frames, nil)
+
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("PutFrames returned %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Errorf("key %d: batch %#x != per-frame %#x", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	if bs, ps := batch.Stats(), perFrame.Stats(); bs != ps {
+		t.Errorf("stats diverge: batch %+v, per-frame %+v", bs, ps)
+	}
+	for _, k := range wantKeys {
+		if !bytes.Equal(batch.Get(k), perFrame.Get(k)) {
+			t.Errorf("chunk %#x contents diverge between batch and per-frame", k)
+		}
+		if batch.Refs(k) != perFrame.Refs(k) {
+			t.Errorf("chunk %#x refs: batch %d != per-frame %d", k, batch.Refs(k), perFrame.Refs(k))
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package proc
+
+import (
+	"parallaft/internal/cache"
+	"parallaft/internal/isa"
+	"parallaft/internal/machine"
+)
+
+// This file implements the interpreter's predecode cache and per-run cost
+// tables. Both exist to keep the Run hot loop free of per-step opcode
+// classification: decoding facts (cost class, access size, branch/store/trap
+// flags) are computed once per program, and per-(core, contention) timing is
+// computed once per Run call, so the loop is reduced to table lookups.
+//
+// Program text is immutable by construction (Process.Code is shared across
+// forks and never written — the guest ISA has no code stores and loaders
+// build a fresh slice per program), so the predecoded program needs no
+// invalidation: forks inherit it like they inherit Code, and two processes
+// running the same text share one predecoded copy.
+
+// pflags is a predecoded per-instruction property bitmask.
+type pflags uint8
+
+const (
+	pfMem    pflags = 1 << iota // reads or writes data memory
+	pfBranch                    // increments the retired-branch counter
+	pfTrap                      // stops before executing (syscall/nondet/halt)
+)
+
+// pinstr is one predecoded instruction: the raw operands plus every derived
+// fact the hot loop would otherwise recompute per step. 16 bytes.
+type pinstr struct {
+	op     isa.Op
+	rd     uint8
+	ra     uint8
+	rb     uint8
+	flags  pflags
+	memIdx uint8 // index into costTables.mem: bit0 = store, bit1 = vector
+	size   uint8 // data-memory access size in bytes (0 for non-memory ops)
+	class  uint8 // isa.CostClass, for the non-memory cost table
+	imm    int64
+}
+
+// program is a predecoded instruction sequence, shared like the source text.
+type program struct {
+	code []pinstr
+}
+
+// predecode classifies every instruction once.
+func predecode(src []isa.Instr) *program {
+	code := make([]pinstr, len(src))
+	for i := range src {
+		ins := &src[i]
+		op := ins.Op
+		pi := pinstr{
+			op:    op,
+			rd:    ins.Rd,
+			ra:    ins.Ra,
+			rb:    ins.Rb,
+			class: uint8(op.Class()),
+			imm:   ins.Imm,
+		}
+		if size := op.AccessSize(); size != 0 {
+			pi.flags |= pfMem
+			pi.size = uint8(size)
+			if op.IsStore() {
+				pi.memIdx |= 1
+			}
+			if op.Class() == isa.CostMemVec {
+				pi.memIdx |= 2
+			}
+		}
+		if op.IsBranch() {
+			pi.flags |= pfBranch
+		}
+		switch op {
+		case isa.OpSyscall, isa.OpRdtsc, isa.OpMrs, isa.OpHalt:
+			pi.flags |= pfTrap
+		}
+		code[i] = pi
+	}
+	return &program{code: code}
+}
+
+// ensurePredecode returns the process's predecoded program, building it on
+// first use. Forks inherit the cache, so a program is predecoded once no
+// matter how many checkpoints and checkers execute it.
+func (p *Process) ensurePredecode() *program {
+	if p.pre == nil {
+		p.pre = predecode(p.Code)
+	}
+	return p.pre
+}
+
+// costTables caches InstrTimeNs for every (class, level, store, vector)
+// combination under one (cost model, core kind, frequency, contention)
+// environment. Every entry is produced by the same InstrTimeNs call the
+// per-step path used to make, so summing table entries accumulates
+// bit-identical simulated nanoseconds.
+type costTables struct {
+	cost       *machine.CostModel
+	kind       machine.CoreKind
+	freq       float64
+	contention float64
+	valid      bool
+
+	// class is the cost of a non-memory instruction per cost class.
+	class [isa.NumCostClasses]float64
+	// mem is the cost of a memory instruction by [store | vector<<1] and
+	// the cache level that satisfied the access.
+	mem [4][cache.NumLevels]float64
+}
+
+// ensure rebuilds the tables when the execution environment changed (core
+// migration, DVFS step, contention update). A rebuild is ~30 InstrTimeNs
+// calls — noise against the thousands of steps in one Run quantum.
+func (t *costTables) ensure(cost *machine.CostModel, kind machine.CoreKind, freq, contention float64) {
+	if t.valid && t.cost == cost && t.kind == kind && t.freq == freq && t.contention == contention {
+		return
+	}
+	t.cost, t.kind, t.freq, t.contention, t.valid = cost, kind, freq, contention, true
+	for cl := isa.CostClass(0); cl < isa.NumCostClasses; cl++ {
+		t.class[cl] = cost.InstrTimeNs(kind, freq, cl, cache.L1Hit, false, false, contention)
+	}
+	for lvl := cache.Level(0); lvl < cache.NumLevels; lvl++ {
+		t.mem[0][lvl] = cost.InstrTimeNs(kind, freq, isa.CostMem, lvl, true, false, contention)
+		t.mem[1][lvl] = cost.InstrTimeNs(kind, freq, isa.CostMem, lvl, true, true, contention)
+		t.mem[2][lvl] = cost.InstrTimeNs(kind, freq, isa.CostMemVec, lvl, true, false, contention)
+		t.mem[3][lvl] = cost.InstrTimeNs(kind, freq, isa.CostMemVec, lvl, true, true, contention)
+	}
+}

@@ -187,7 +187,12 @@ type Process struct {
 	maxSkid         uint64
 
 	breakpoints map[uint64]struct{}
-	skipBPOnce  bool // resume past a just-hit breakpoint
+	// bpBits mirrors the in-code breakpoints as a bitmap indexed by PC, so
+	// the hot loop tests a breakpoint with one shift-and-mask instead of a
+	// map probe. Breakpoints past the end of code live only in the map —
+	// the PC bound check fires before they could ever be consulted.
+	bpBits     []uint64
+	skipBPOnce bool // resume past a just-hit breakpoint
 
 	// InstrLimit, when nonzero, kills the run with StopInstrLimit once the
 	// exact instruction count reaches it (the supervisor derives it from
@@ -212,7 +217,16 @@ type Process struct {
 	ExitCode int64
 	KilledBy Signal
 
-	rng *rand.Rand
+	// pre is the predecoded program, built lazily on first Run and shared
+	// across forks exactly like Code (see predecode.go).
+	pre *program
+	// ct caches per-environment instruction timing tables across Run calls.
+	ct costTables
+
+	// rngSeed seeds the PMU noise source; rng is created on first draw, so
+	// checkpoint forks (which never execute) skip math/rand state setup.
+	rngSeed int64
+	rng     *rand.Rand
 }
 
 // HandlerLinkReg is the GPR that receives the interrupted PC on signal
@@ -231,8 +245,19 @@ func New(pid int, asid uint64, name string, code []isa.Instr, as *mem.AddressSpa
 		breakpoints: make(map[uint64]struct{}),
 		Handlers:    make(map[Signal]uint64),
 		maxSkid:     defaultMaxSkid,
-		rng:         rand.New(rand.NewSource(seed)),
+		rngSeed:     seed,
 	}
+}
+
+// rand returns the PMU noise source, created on first draw. The state
+// depends only on the seed and the draw sequence, so lazy creation is
+// invisible to determinism; it exists because most forks are checkpoints
+// that never execute, and math/rand seeding is costly relative to a fork.
+func (p *Process) rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.rngSeed))
+	}
+	return p.rng
 }
 
 // defaultMaxSkid bounds counter-overflow skid in retired instructions.
@@ -252,6 +277,7 @@ func (p *Process) Fork(pid int, asid uint64, name string, seed int64) *Process {
 	child.Regs = p.Regs
 	child.PC = p.PC
 	child.maxSkid = p.maxSkid
+	child.pre = p.pre // the predecoded program is shared like the text
 	for sig, h := range p.Handlers {
 		child.Handlers[sig] = h
 	}
@@ -284,19 +310,37 @@ func (p *Process) ReadInstrCounter() uint64 { return p.Instrs + p.instrNoise }
 // supervisor (interrupt/exception returns overcount instructions-retired on
 // real hardware).
 func (p *Process) supervisorStop() {
-	p.instrNoise += uint64(p.rng.Intn(3))
+	p.instrNoise += uint64(p.rand().Intn(3))
 }
 
 // --- breakpoints -----------------------------------------------------------
 
 // SetBreakpoint installs a code breakpoint at the instruction index.
-func (p *Process) SetBreakpoint(pc uint64) { p.breakpoints[pc] = struct{}{} }
+func (p *Process) SetBreakpoint(pc uint64) {
+	p.breakpoints[pc] = struct{}{}
+	if pc < uint64(len(p.Code)) {
+		if p.bpBits == nil {
+			p.bpBits = make([]uint64, (len(p.Code)+63)/64)
+		}
+		p.bpBits[pc>>6] |= 1 << (pc & 63)
+	}
+}
 
 // ClearBreakpoint removes a code breakpoint.
-func (p *Process) ClearBreakpoint(pc uint64) { delete(p.breakpoints, pc) }
+func (p *Process) ClearBreakpoint(pc uint64) {
+	delete(p.breakpoints, pc)
+	if p.bpBits != nil && pc < uint64(len(p.Code)) {
+		p.bpBits[pc>>6] &^= 1 << (pc & 63)
+	}
+}
 
 // ClearAllBreakpoints removes every breakpoint.
-func (p *Process) ClearAllBreakpoints() { p.breakpoints = make(map[uint64]struct{}) }
+func (p *Process) ClearAllBreakpoints() {
+	clear(p.breakpoints)
+	for i := range p.bpBits {
+		p.bpBits[i] = 0
+	}
+}
 
 // HasBreakpoint reports whether a breakpoint is set at pc.
 func (p *Process) HasBreakpoint(pc uint64) bool {
@@ -336,7 +380,6 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 	if p.Exited {
 		return Stop{Reason: StopHalt}
 	}
-	cost := &env.Machine.Cost
 	hier := env.Machine.Caches
 	kind := env.Core.Kind
 	freq := env.Core.FreqGHz()
@@ -349,11 +392,38 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 	if fabric < 1 {
 		fabric = 1
 	}
+	p.ct.ensure(&env.Machine.Cost, kind, freq, contention)
+	ct := &p.ct
+	code := p.ensurePredecode().code
+	codeLen := uint64(len(code))
 
 	var ns float64
 	stop := Stop{Reason: StopBudget}
 
+	// The hot-loop state lives in locals; the deferred epilogue writes it
+	// back on every exit path, of which the loop has many.
+	pc := p.PC
+	instrs := p.Instrs
+	branches := p.Branches
+	armed := p.counterArmed
+	target := p.counterTarget
+	ovf := p.overflowPending
+	skid := p.skidRemaining
+	skipBP := p.skipBPOnce
+	limit := p.InstrLimit
+	r := &p.Regs
+	as := p.AS
+	hasBP := len(p.breakpoints) != 0 && p.bpBits != nil
+	bpBits := p.bpBits
+
 	defer func() {
+		p.PC = pc
+		p.Instrs = instrs
+		p.Branches = branches
+		p.counterArmed = armed
+		p.overflowPending = ovf
+		p.skidRemaining = skid
+		p.skipBPOnce = skipBP
 		ns *= fabric
 		p.UserNs += ns
 		p.UserCycles += ns * freq
@@ -363,171 +433,166 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 		}
 	}()
 
-	code := p.Code
-	codeLen := uint64(len(code))
-
 	for executed := uint64(0); executed < budget; executed++ {
 		// Deliver a pending counter overflow once the skid has elapsed.
-		if p.overflowPending && p.skidRemaining == 0 {
-			p.overflowPending = false
-			p.counterArmed = false
+		if ovf && skid == 0 {
+			ovf = false
+			armed = false
 			stop = Stop{Reason: StopCounter}
 			return stop
 		}
-		if p.InstrLimit != 0 && p.Instrs >= p.InstrLimit {
+		if limit != 0 && instrs >= limit {
 			stop = Stop{Reason: StopInstrLimit}
 			return stop
 		}
-		if p.PC >= codeLen {
+		if pc >= codeLen {
 			stop = Stop{Reason: StopSignal, Sig: SIGSEGV}
 			return stop
 		}
-		if len(p.breakpoints) != 0 && !p.skipBPOnce {
-			if _, hit := p.breakpoints[p.PC]; hit {
-				p.skipBPOnce = true
+		if hasBP && !skipBP {
+			if bpBits[pc>>6]&(1<<(pc&63)) != 0 {
+				skipBP = true
 				stop = Stop{Reason: StopBreakpoint}
 				return stop
 			}
 		}
-		p.skipBPOnce = false
+		skipBP = false
 
-		ins := &code[p.PC]
-		op := ins.Op
+		ins := &code[pc]
+		fl := ins.flags
 
 		// Trapped instructions stop *before* executing.
-		switch op {
-		case isa.OpSyscall:
-			stop = Stop{Reason: StopSyscall}
-			return stop
-		case isa.OpRdtsc, isa.OpMrs:
-			stop = Stop{Reason: StopNondet}
-			return stop
-		case isa.OpHalt:
-			p.Exited = true
-			p.Instrs++
-			stop = Stop{Reason: StopHalt}
+		if fl&pfTrap != 0 {
+			switch ins.op {
+			case isa.OpSyscall:
+				stop = Stop{Reason: StopSyscall}
+			case isa.OpRdtsc, isa.OpMrs:
+				stop = Stop{Reason: StopNondet}
+			default: // OpHalt
+				p.Exited = true
+				instrs++
+				stop = Stop{Reason: StopHalt}
+			}
 			return stop
 		}
 
 		// Timing: base class cost, plus the memory hierarchy for accesses.
-		lvl := cache.L1Hit
-		hasMem := false
 		var memAddr uint64
-		if size := op.AccessSize(); size != 0 {
-			hasMem = true
-			memAddr = p.Regs.X[ins.Ra] + uint64(ins.Imm)
-			lvl = hier.AccessRange(coreID, p.ASID, memAddr, size)
+		if fl&pfMem != 0 {
+			memAddr = r.X[ins.ra] + uint64(ins.imm)
+			lvl := hier.AccessRange(coreID, p.ASID, memAddr, int(ins.size))
 			if lvl == cache.DRAM {
 				env.Machine.CountDRAMAccess()
 				p.DRAMAccesses++
 			}
+			ns += ct.mem[ins.memIdx][lvl]
+		} else {
+			ns += ct.class[ins.class]
 		}
-		ns += cost.InstrTimeNs(kind, freq, op.Class(), lvl, hasMem, op.IsStore(), contention)
 
-		nextPC := p.PC + 1
-		r := &p.Regs
+		nextPC := pc + 1
 
-		switch op {
+		switch ins.op {
 		case isa.OpNop:
 		case isa.OpMov:
-			r.X[ins.Rd] = r.X[ins.Ra]
+			r.X[ins.rd] = r.X[ins.ra]
 		case isa.OpAdd:
-			r.X[ins.Rd] = r.X[ins.Ra] + r.X[ins.Rb]
+			r.X[ins.rd] = r.X[ins.ra] + r.X[ins.rb]
 		case isa.OpSub:
-			r.X[ins.Rd] = r.X[ins.Ra] - r.X[ins.Rb]
+			r.X[ins.rd] = r.X[ins.ra] - r.X[ins.rb]
 		case isa.OpMul:
-			r.X[ins.Rd] = r.X[ins.Ra] * r.X[ins.Rb]
+			r.X[ins.rd] = r.X[ins.ra] * r.X[ins.rb]
 		case isa.OpDiv:
-			if r.X[ins.Rb] == 0 {
+			if r.X[ins.rb] == 0 {
 				stop = Stop{Reason: StopSignal, Sig: SIGFPE}
 				return stop
 			}
-			r.X[ins.Rd] = uint64(int64(r.X[ins.Ra]) / int64(r.X[ins.Rb]))
+			r.X[ins.rd] = uint64(int64(r.X[ins.ra]) / int64(r.X[ins.rb]))
 		case isa.OpRem:
-			if r.X[ins.Rb] == 0 {
+			if r.X[ins.rb] == 0 {
 				stop = Stop{Reason: StopSignal, Sig: SIGFPE}
 				return stop
 			}
-			r.X[ins.Rd] = uint64(int64(r.X[ins.Ra]) % int64(r.X[ins.Rb]))
+			r.X[ins.rd] = uint64(int64(r.X[ins.ra]) % int64(r.X[ins.rb]))
 		case isa.OpAnd:
-			r.X[ins.Rd] = r.X[ins.Ra] & r.X[ins.Rb]
+			r.X[ins.rd] = r.X[ins.ra] & r.X[ins.rb]
 		case isa.OpOr:
-			r.X[ins.Rd] = r.X[ins.Ra] | r.X[ins.Rb]
+			r.X[ins.rd] = r.X[ins.ra] | r.X[ins.rb]
 		case isa.OpXor:
-			r.X[ins.Rd] = r.X[ins.Ra] ^ r.X[ins.Rb]
+			r.X[ins.rd] = r.X[ins.ra] ^ r.X[ins.rb]
 		case isa.OpShl:
-			r.X[ins.Rd] = r.X[ins.Ra] << (r.X[ins.Rb] & 63)
+			r.X[ins.rd] = r.X[ins.ra] << (r.X[ins.rb] & 63)
 		case isa.OpShr:
-			r.X[ins.Rd] = r.X[ins.Ra] >> (r.X[ins.Rb] & 63)
+			r.X[ins.rd] = r.X[ins.ra] >> (r.X[ins.rb] & 63)
 		case isa.OpSlt:
-			r.X[ins.Rd] = b2u(int64(r.X[ins.Ra]) < int64(r.X[ins.Rb]))
+			r.X[ins.rd] = b2u(int64(r.X[ins.ra]) < int64(r.X[ins.rb]))
 
 		case isa.OpMovI:
-			r.X[ins.Rd] = uint64(ins.Imm)
+			r.X[ins.rd] = uint64(ins.imm)
 		case isa.OpAddI:
-			r.X[ins.Rd] = r.X[ins.Ra] + uint64(ins.Imm)
+			r.X[ins.rd] = r.X[ins.ra] + uint64(ins.imm)
 		case isa.OpMulI:
-			r.X[ins.Rd] = r.X[ins.Ra] * uint64(ins.Imm)
+			r.X[ins.rd] = r.X[ins.ra] * uint64(ins.imm)
 		case isa.OpAndI:
-			r.X[ins.Rd] = r.X[ins.Ra] & uint64(ins.Imm)
+			r.X[ins.rd] = r.X[ins.ra] & uint64(ins.imm)
 		case isa.OpOrI:
-			r.X[ins.Rd] = r.X[ins.Ra] | uint64(ins.Imm)
+			r.X[ins.rd] = r.X[ins.ra] | uint64(ins.imm)
 		case isa.OpXorI:
-			r.X[ins.Rd] = r.X[ins.Ra] ^ uint64(ins.Imm)
+			r.X[ins.rd] = r.X[ins.ra] ^ uint64(ins.imm)
 		case isa.OpShlI:
-			r.X[ins.Rd] = r.X[ins.Ra] << (uint64(ins.Imm) & 63)
+			r.X[ins.rd] = r.X[ins.ra] << (uint64(ins.imm) & 63)
 		case isa.OpShrI:
-			r.X[ins.Rd] = r.X[ins.Ra] >> (uint64(ins.Imm) & 63)
+			r.X[ins.rd] = r.X[ins.ra] >> (uint64(ins.imm) & 63)
 		case isa.OpSltI:
-			r.X[ins.Rd] = b2u(int64(r.X[ins.Ra]) < ins.Imm)
+			r.X[ins.rd] = b2u(int64(r.X[ins.ra]) < ins.imm)
 
 		case isa.OpFMov:
-			r.F[ins.Rd] = r.F[ins.Ra]
+			r.F[ins.rd] = r.F[ins.ra]
 		case isa.OpFMovI:
-			r.F[ins.Rd] = math.Float64frombits(uint64(ins.Imm))
+			r.F[ins.rd] = math.Float64frombits(uint64(ins.imm))
 		case isa.OpFAdd:
-			r.F[ins.Rd] = r.F[ins.Ra] + r.F[ins.Rb]
+			r.F[ins.rd] = r.F[ins.ra] + r.F[ins.rb]
 		case isa.OpFSub:
-			r.F[ins.Rd] = r.F[ins.Ra] - r.F[ins.Rb]
+			r.F[ins.rd] = r.F[ins.ra] - r.F[ins.rb]
 		case isa.OpFMul:
-			r.F[ins.Rd] = r.F[ins.Ra] * r.F[ins.Rb]
+			r.F[ins.rd] = r.F[ins.ra] * r.F[ins.rb]
 		case isa.OpFDiv:
-			r.F[ins.Rd] = r.F[ins.Ra] / r.F[ins.Rb]
+			r.F[ins.rd] = r.F[ins.ra] / r.F[ins.rb]
 		case isa.OpFSqrt:
-			r.F[ins.Rd] = math.Sqrt(r.F[ins.Ra])
+			r.F[ins.rd] = math.Sqrt(r.F[ins.ra])
 		case isa.OpCvtIF:
-			r.F[ins.Rd] = float64(int64(r.X[ins.Ra]))
+			r.F[ins.rd] = float64(int64(r.X[ins.ra]))
 		case isa.OpCvtFI:
-			r.X[ins.Rd] = uint64(int64(r.F[ins.Ra]))
+			r.X[ins.rd] = uint64(int64(r.F[ins.ra]))
 		case isa.OpFCmpLt:
-			r.X[ins.Rd] = b2u(r.F[ins.Ra] < r.F[ins.Rb])
+			r.X[ins.rd] = b2u(r.F[ins.ra] < r.F[ins.rb])
 
 		case isa.OpVAdd:
 			for l := 0; l < isa.VLanes; l++ {
-				r.V[ins.Rd][l] = r.V[ins.Ra][l] + r.V[ins.Rb][l]
+				r.V[ins.rd][l] = r.V[ins.ra][l] + r.V[ins.rb][l]
 			}
 		case isa.OpVXor:
 			for l := 0; l < isa.VLanes; l++ {
-				r.V[ins.Rd][l] = r.V[ins.Ra][l] ^ r.V[ins.Rb][l]
+				r.V[ins.rd][l] = r.V[ins.ra][l] ^ r.V[ins.rb][l]
 			}
 		case isa.OpVMul:
 			for l := 0; l < isa.VLanes; l++ {
-				r.V[ins.Rd][l] = r.V[ins.Ra][l] * r.V[ins.Rb][l]
+				r.V[ins.rd][l] = r.V[ins.ra][l] * r.V[ins.rb][l]
 			}
 		case isa.OpVSplat:
 			for l := 0; l < isa.VLanes; l++ {
-				r.V[ins.Rd][l] = r.X[ins.Ra]
+				r.V[ins.rd][l] = r.X[ins.ra]
 			}
 
 		case isa.OpLd:
-			v, f := p.AS.LoadU64(memAddr)
+			v, f := as.LoadU64(memAddr)
 			if f != nil {
 				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 				return stop
 			}
-			r.X[ins.Rd] = v
+			r.X[ins.rd] = v
 		case isa.OpSt:
-			cow, f := p.AS.StoreU64(memAddr, r.X[ins.Rb])
+			cow, f := as.StoreU64(memAddr, r.X[ins.rb])
 			if f != nil {
 				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 				return stop
@@ -536,14 +601,14 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 				p.chargeCOW(env)
 			}
 		case isa.OpLdB:
-			v, f := p.AS.LoadByte(memAddr)
+			v, f := as.LoadByte(memAddr)
 			if f != nil {
 				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 				return stop
 			}
-			r.X[ins.Rd] = uint64(v)
+			r.X[ins.rd] = uint64(v)
 		case isa.OpStB:
-			cow, f := p.AS.StoreByte(memAddr, byte(r.X[ins.Rb]))
+			cow, f := as.StoreByte(memAddr, byte(r.X[ins.rb]))
 			if f != nil {
 				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 				return stop
@@ -552,14 +617,14 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 				p.chargeCOW(env)
 			}
 		case isa.OpFLd:
-			v, f := p.AS.LoadU64(memAddr)
+			v, f := as.LoadU64(memAddr)
 			if f != nil {
 				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 				return stop
 			}
-			r.F[ins.Rd] = math.Float64frombits(v)
+			r.F[ins.rd] = math.Float64frombits(v)
 		case isa.OpFSt:
-			cow, f := p.AS.StoreU64(memAddr, math.Float64bits(r.F[ins.Rb]))
+			cow, f := as.StoreU64(memAddr, math.Float64bits(r.F[ins.rb]))
 			if f != nil {
 				stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 				return stop
@@ -569,16 +634,16 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 			}
 		case isa.OpVLd:
 			for l := 0; l < isa.VLanes; l++ {
-				v, f := p.AS.LoadU64(memAddr + uint64(l*8))
+				v, f := as.LoadU64(memAddr + uint64(l*8))
 				if f != nil {
 					stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 					return stop
 				}
-				r.V[ins.Rd][l] = v
+				r.V[ins.rd][l] = v
 			}
 		case isa.OpVSt:
 			for l := 0; l < isa.VLanes; l++ {
-				cow, f := p.AS.StoreU64(memAddr+uint64(l*8), r.V[ins.Rb][l])
+				cow, f := as.StoreU64(memAddr+uint64(l*8), r.V[ins.rb][l])
 				if f != nil {
 					stop = Stop{Reason: StopSignal, Sig: SIGSEGV, Fault: f}
 					return stop
@@ -589,47 +654,47 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 			}
 
 		case isa.OpBeq:
-			if r.X[ins.Ra] == r.X[ins.Rb] {
-				nextPC = uint64(ins.Imm)
+			if r.X[ins.ra] == r.X[ins.rb] {
+				nextPC = uint64(ins.imm)
 			}
 		case isa.OpBne:
-			if r.X[ins.Ra] != r.X[ins.Rb] {
-				nextPC = uint64(ins.Imm)
+			if r.X[ins.ra] != r.X[ins.rb] {
+				nextPC = uint64(ins.imm)
 			}
 		case isa.OpBlt:
-			if int64(r.X[ins.Ra]) < int64(r.X[ins.Rb]) {
-				nextPC = uint64(ins.Imm)
+			if int64(r.X[ins.ra]) < int64(r.X[ins.rb]) {
+				nextPC = uint64(ins.imm)
 			}
 		case isa.OpBge:
-			if int64(r.X[ins.Ra]) >= int64(r.X[ins.Rb]) {
-				nextPC = uint64(ins.Imm)
+			if int64(r.X[ins.ra]) >= int64(r.X[ins.rb]) {
+				nextPC = uint64(ins.imm)
 			}
 		case isa.OpJmp:
-			nextPC = uint64(ins.Imm)
+			nextPC = uint64(ins.imm)
 		case isa.OpJal:
-			r.X[isa.RegLR] = p.PC + 1
-			nextPC = uint64(ins.Imm)
+			r.X[isa.RegLR] = pc + 1
+			nextPC = uint64(ins.imm)
 		case isa.OpJr:
-			nextPC = r.X[ins.Ra]
+			nextPC = r.X[ins.ra]
 
 		default:
 			stop = Stop{Reason: StopSignal, Sig: SIGILL}
 			return stop
 		}
 
-		p.PC = nextPC
-		p.Instrs++
+		pc = nextPC
+		instrs++
 
-		if op.IsBranch() {
-			p.Branches++
-			if p.counterArmed && !p.overflowPending && p.Branches >= p.counterTarget {
-				p.overflowPending = true
+		if fl&pfBranch != 0 {
+			branches++
+			if armed && !ovf && branches >= target {
+				ovf = true
 				if p.maxSkid > 0 {
-					p.skidRemaining = uint64(p.rng.Intn(int(p.maxSkid + 1)))
+					skid = uint64(p.rand().Intn(int(p.maxSkid + 1)))
 				}
 			}
-		} else if p.overflowPending && p.skidRemaining > 0 {
-			p.skidRemaining--
+		} else if ovf && skid > 0 {
+			skid--
 		}
 	}
 	return stop
