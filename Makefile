@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden telemetry-golden fuzz-smoke offload-roundtrip
+.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden nmr-golden telemetry-golden fuzz-smoke offload-roundtrip
 
-check: vet golden telemetry-golden alloc-guard trajectory-check fuzz-smoke race
+check: vet golden nmr-golden telemetry-golden alloc-guard trajectory-check fuzz-smoke race
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ race-short:
 # `go test <pkg> -run Golden -update` after an intentional model change.
 golden:
 	$(GO) test ./internal/core ./internal/stats ./internal/packet ./internal/checkd -run 'Golden'
+
+# The main+3 NMR demonstration campaign, pinned byte for byte: the clean run
+# is unanimous, an injected checker SEU is absorbed in place, and an
+# injected main fault is repaired by a forward state copy — all with zero
+# rollbacks charged and the program output intact. Regenerate with
+# `go test ./internal/stats -run GoldenNMR -update`.
+nmr-golden:
+	$(GO) test ./internal/stats -run 'GoldenNMR'
 
 # Telemetry must be as deterministic as the simulation it observes: the
 # snapshot for one fixed workload is pinned byte for byte, alongside the

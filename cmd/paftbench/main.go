@@ -7,7 +7,9 @@
 //	paftbench -experiment fig5            # figures: fig5 fig6 fig7 fig8 fig9a fig9b fig9c fig10
 //	paftbench -experiment fig9            # alias: all three fig9 panels at once
 //	paftbench -experiment table1          # tables: table1 table2
+//	paftbench -experiment nmr             # main+3 NMR voting-outcome table
 //	paftbench -experiment stress          # §5.7 syscall/signal stress
+//	paftbench -checkers 3 -experiment fig7  # energy cost of N-way replication
 //	paftbench -experiment intel           # §5.8 Intel platform
 //	paftbench -experiment all             # everything
 //	paftbench -workloads 429.mcf,470.lbm  # restrict the suite
@@ -28,23 +30,35 @@ import (
 	"runtime"
 	"strings"
 
+	"parallaft/internal/core"
 	"parallaft/internal/stats"
 	"parallaft/internal/telemetry"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 stress intel all")
+		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 nmr stress intel all")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
 		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
 		seed       = flag.Int64("seed", 12345, "simulation seed")
 		trials     = flag.Int("trials", 5, "fault-injection trials per segment (fig10)")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "campaign worker count (1 = serial; output is identical for any value)")
 		progress   = flag.Bool("progress", false, "print progress/ETA lines to stderr")
+		checkers   = flag.Int("checkers", 1, "checker replicas per segment for Parallaft sessions (N > 1 = NMR majority voting)")
+		diversity  = flag.String("diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
 	)
 	flag.Parse()
 
 	if err := validateParallel(*parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "paftbench:", err)
+		os.Exit(1)
+	}
+	if err := validateCheckers(*checkers); err != nil {
+		fmt.Fprintln(os.Stderr, "paftbench:", err)
+		os.Exit(1)
+	}
+	presets := splitPresets(*diversity)
+	if err := core.ValidateDiversity(presets); err != nil {
 		fmt.Fprintln(os.Stderr, "paftbench:", err)
 		os.Exit(1)
 	}
@@ -63,6 +77,17 @@ func main() {
 	runner.Telemetry = telemetry.NewRegistry()
 	if *progress {
 		runner.Progress = os.Stderr
+	}
+	if *checkers > 1 || len(presets) > 0 {
+		n, d := *checkers, presets
+		runner.ConfigTweak = func(c *core.Config) {
+			// RAFT sessions compare at syscalls only, so they cannot vote:
+			// the NMR knobs apply to state-comparing (Parallaft) configs.
+			if c.CompareStates {
+				c.Checkers = n
+				c.Diversity = d
+			}
+		}
 	}
 
 	if err := run(runner, *experiment, names, *trials, *scale); err != nil {
@@ -83,9 +108,27 @@ func validateParallel(n int) error {
 	return nil
 }
 
+// validateCheckers rejects nonsensical replica counts the same way: zero or
+// negative replicas cannot vote.
+func validateCheckers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-checkers must be a positive replica count, got %d", n)
+	}
+	return nil
+}
+
+// splitPresets turns the -diversity flag value into a preset list ("" =
+// none).
+func splitPresets(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
 var knownExperiments = []string{
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig9a", "fig9b", "fig9c",
-	"fig10", "table1", "table2", "stress", "intel", "all",
+	"fig10", "table1", "table2", "nmr", "stress", "intel", "all",
 }
 
 func run(runner *stats.Runner, experiment string, names []string, trials int, scale float64) error {
@@ -161,6 +204,16 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 			return err
 		}
 		fmt.Println(stats.FormatTable2(res))
+	}
+
+	if show("nmr") {
+		// The Table-2 extension for NMR mode: always at three replicas
+		// (RunNMR pins Checkers=3 itself), regardless of -checkers.
+		rows, err := runner.RunNMR()
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatNMR(rows))
 	}
 
 	if show("stress") {

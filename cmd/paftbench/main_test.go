@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"parallaft/internal/core"
+)
 
 func TestValidateParallel(t *testing.T) {
 	for _, n := range []int{1, 2, 64} {
@@ -12,5 +16,31 @@ func TestValidateParallel(t *testing.T) {
 		if err := validateParallel(n); err == nil {
 			t.Errorf("validateParallel(%d) = nil, want error", n)
 		}
+	}
+}
+
+func TestValidateCheckers(t *testing.T) {
+	for _, n := range []int{1, 3, 7} {
+		if err := validateCheckers(n); err != nil {
+			t.Errorf("validateCheckers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1} {
+		if err := validateCheckers(n); err == nil {
+			t.Errorf("validateCheckers(%d) = nil, want error", n)
+		}
+	}
+}
+
+// TestDiversityFlagParsing pins the -diversity flag's split+validate path:
+// known preset lists pass, unknown names are rejected with a clear error.
+func TestDiversityFlagParsing(t *testing.T) {
+	for _, s := range []string{"", "none", "none,skid4x,bigcore", "quantum,coldcache"} {
+		if err := core.ValidateDiversity(splitPresets(s)); err != nil {
+			t.Errorf("ValidateDiversity(%q) = %v, want nil", s, err)
+		}
+	}
+	if err := core.ValidateDiversity(splitPresets("none,warp-core")); err == nil {
+		t.Error("ValidateDiversity accepted an unknown preset")
 	}
 }

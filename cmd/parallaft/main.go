@@ -10,6 +10,8 @@
 //	parallaft -period 2000000 prog.pasm    # slicing period in sim cycles
 //	parallaft -workload 429.mcf -export-packets dir/   # emit check packets
 //	parallaft -workload 429.mcf -stats-json            # machine-readable stats
+//	parallaft -checkers 3 prog.pasm        # main+3 NMR: majority voting
+//	parallaft -checkers 3 -diversity none,skid4x,bigcore prog.pasm  # diverse replicas
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"parallaft/internal/asm"
 	"parallaft/internal/core"
@@ -49,6 +52,30 @@ type options struct {
 	exportDir string
 	statsJSON bool
 	spansFile string
+	checkers  int
+	diversity string
+}
+
+// splitPresets turns the -diversity flag value into a preset list ("" =
+// none; empty elements mean "none" and are validated as such).
+func splitPresets(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// validateNMR rejects bad replica counts and unknown diversity presets
+// before a run starts, mirroring the unknown-workload check: bad input is a
+// clear usage error (exit 2), not a mid-run panic.
+func validateNMR(o options) error {
+	if o.checkers < 1 {
+		return fmt.Errorf("-checkers must be a positive replica count, got %d", o.checkers)
+	}
+	if o.checkers > 1 && o.mode != "parallaft" {
+		return fmt.Errorf("-checkers %d requires -mode parallaft (the NMR vote is a state comparison)", o.checkers)
+	}
+	return core.ValidateDiversity(splitPresets(o.diversity))
 }
 
 // run is the testable entry point: parses argv against a fresh FlagSet,
@@ -69,7 +96,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.exportDir, "export-packets", "", "export one check packet per sealed segment into this directory (paftcheckd -verify re-checks them)")
 	fs.BoolVar(&o.statsJSON, "stats-json", false, "emit one compact JSON stats object per program instead of the text block")
 	fs.StringVar(&o.spansFile, "spans", "", "write one JSONL segment-lifecycle span per retired segment to this file")
+	fs.IntVar(&o.checkers, "checkers", 1, "checker replicas per segment (N > 1 enables NMR majority voting; parallaft mode only)")
+	fs.StringVar(&o.diversity, "diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if err := validateNMR(o); err != nil {
+		fmt.Fprintln(stderr, "parallaft:", err)
 		return 2
 	}
 
@@ -187,6 +221,8 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			cfg.SlicePeriodCycles = o.period
 			cfg.SlicePeriodInstrs = uint64(o.period)
 		}
+		cfg.Checkers = o.checkers
+		cfg.Diversity = splitPresets(o.diversity)
 		var rec *trace.Recorder
 		if o.traceFile != "" {
 			rec = trace.New(o.traceCap)
@@ -271,6 +307,13 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 		fmt.Fprintf(stdout, "counter.identity_skips:          %d\n", st.IdentitySkips)
 		fmt.Fprintf(stdout, "counter.hash_cache_hits:         %d\n", st.HashCacheHits)
 		fmt.Fprintf(stdout, "checker.big_work_fraction:       %.1f%%\n", st.BigWorkFraction()*100)
+		if o.checkers > 1 {
+			fmt.Fprintf(stdout, "vote.unanimous:                  %d\n", st.VoteUnanimous)
+			fmt.Fprintf(stdout, "vote.absorbed_replicas:          %d\n", st.VoteAbsorbed)
+			fmt.Fprintf(stdout, "vote.outvoted_reference:         %d\n", st.VoteOutvotedReplicas)
+			fmt.Fprintf(stdout, "vote.forward_repairs:            %d\n", st.ForwardRepairs)
+			fmt.Fprintf(stdout, "vote.no_quorum:                  %d\n", st.VoteNoQuorum)
+		}
 		fmt.Fprintf(stdout, "exit_code:                       %d\n", st.ExitCode)
 		if st.Detected != nil {
 			fmt.Fprintf(stdout, "DETECTED ERROR: %v\n", st.Detected)

@@ -104,3 +104,46 @@ func TestUnknownWorkloadFails(t *testing.T) {
 		t.Errorf("stderr = %q", stderr.String())
 	}
 }
+
+// TestBadNMRFlagsFail mirrors the unknown-workload check for the NMR knobs:
+// nonsensical replica counts, unknown diversity presets, and NMR outside
+// parallaft mode are usage errors (exit 2), not mid-run panics.
+func TestBadNMRFlagsFail(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-checkers", "0", "-workload", "stress.getpid"}, "-checkers must be a positive replica count"},
+		{[]string{"-checkers", "-3", "-workload", "stress.getpid"}, "-checkers must be a positive replica count"},
+		{[]string{"-diversity", "none,warp-core", "-workload", "stress.getpid"}, "unknown diversity preset"},
+		{[]string{"-checkers", "3", "-mode", "raft", "-workload", "stress.getpid"}, "requires -mode parallaft"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit code %d, want 2 (stderr %q)", tc.args, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: stderr = %q, want it to mention %q", tc.args, stderr.String(), tc.want)
+		}
+	}
+}
+
+// TestNMRRun drives a short main+3 run end to end through the CLI and
+// checks the vote block appears with every segment unanimous.
+func TestNMRRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checkers", "3", "-diversity", "none,skid4x,bigcore",
+		"-workload", "stress.getpid", "-scale", "0.05"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "vote.unanimous:") {
+		t.Errorf("stats block missing the vote counters:\n%s", out)
+	}
+	if strings.Contains(out, "DETECTED ERROR") {
+		t.Errorf("clean NMR run flagged an error:\n%s", out)
+	}
+}

@@ -438,4 +438,3 @@ func workerCount(requested, jobs int) int {
 	}
 	return w
 }
-

@@ -25,6 +25,7 @@ const hashSeed = 0x9a7a11af7
 // charged from compare's HashedBytes book, which is independent of any
 // host-side shortcut the subsystem took.
 func (r *Runtime) compareSegment(seg *Segment) {
+	rep := seg.chk()
 	var dirtyPages uint64
 	defer func() {
 		if r.detected != nil && r.cfg.EnableRecovery && r.detected.Segment == seg.Index {
@@ -36,18 +37,18 @@ func (r *Runtime) compareSegment(seg *Segment) {
 		r.stats.Segments = append(r.stats.Segments, SegmentStat{
 			Index:        seg.Index,
 			MainNs:       seg.mainEndNs - seg.mainStartNs,
-			CheckerNs:    seg.doneNs - seg.startNs,
-			CheckerOnBig: seg.bigNs > 0,
-			BigNs:        seg.bigNs,
-			LittleNs:     seg.littleNs,
+			CheckerNs:    rep.doneNs - rep.startNs,
+			CheckerOnBig: rep.bigNs > 0,
+			BigNs:        rep.bigNs,
+			LittleNs:     rep.littleNs,
 			Events:       len(seg.Log.Events),
 			DirtyPages:   int(dirtyPages),
 		})
-		r.stats.CheckerBigNs += seg.bigNs
-		r.stats.CheckerLittleNs += seg.littleNs
-		r.stats.CheckerBigInstrs += seg.bigInstrs
-		r.stats.CheckerLittleInstrs += seg.littleInstrs
-		if seg.bigNs > 0 {
+		r.stats.CheckerBigNs += rep.bigNs
+		r.stats.CheckerLittleNs += rep.littleNs
+		r.stats.CheckerBigInstrs += rep.bigInstrs
+		r.stats.CheckerLittleInstrs += rep.littleInstrs
+		if rep.bigNs > 0 {
 			r.stats.SegmentsOnBig++
 		}
 		r.retireSegment(seg)
@@ -58,29 +59,19 @@ func (r *Runtime) compareSegment(seg *Segment) {
 			outcome = telemetry.OutcomeDetected
 		}
 		r.emitSpan(seg, outcome, seg.compareNs)
-
-		// Un-stall the main: the wall time it spent gated (live-segment
-		// bound or containment barrier) elapses until this comparison
-		// finished.
-		if r.mainStalled && !r.main.Exited && !r.mainBlocked() {
-			if r.mainTask.Clock < seg.compareNs {
-				r.stats.MainStallNs += seg.compareNs - r.mainTask.Clock
-				r.mainTask.Clock = seg.compareNs
-			}
-			r.mainStalled = false
-		}
+		r.unstallMain(seg.compareNs)
 	}()
 
 	if !r.cfg.CompareStates {
 		// RAFT model (§5.1): no state comparison at segment ends.
-		seg.compareNs = seg.doneNs
+		seg.compareNs = rep.doneNs
 		if seg.compareNs > r.maxCompareNs {
 			r.maxCompareNs = seg.compareNs
 		}
 		return
 	}
 
-	result := r.compareAgainstEndCP(seg, seg.Checker)
+	result := r.compareAgainstEndCP(seg, rep.Checker)
 	dirtyPages = result.dirtyPages
 	seg.dirtyPages = result.dirtyPages
 	if result.err != nil {
@@ -90,7 +81,7 @@ func (r *Runtime) compareSegment(seg *Segment) {
 	if result.err != nil {
 		verdict = result.err.Kind.String()
 	}
-	r.cfg.Trace.Emit(seg.doneNs, trace.Compare, seg.Index,
+	r.cfg.Trace.Emit(rep.doneNs, trace.Compare, seg.Index,
 		"%d dirty pages (%d identity-skipped, %d hash-cache hits), %s",
 		result.dirtyPages, result.identitySkips, result.cacheHits, verdict)
 	r.stats.DirtyPagesHashed += result.dirtyPages
@@ -106,7 +97,7 @@ func (r *Runtime) compareSegment(seg *Segment) {
 	// The comparison can only start once both the checker has finished and
 	// the end checkpoint exists (the later of the two times).
 	hashNs := float64(hashedBytes) * r.cfg.HashByteNs
-	start := seg.doneNs
+	start := rep.doneNs
 	if seg.mainEndNs > start {
 		start = seg.mainEndNs
 	}
@@ -115,8 +106,21 @@ func (r *Runtime) compareSegment(seg *Segment) {
 		r.maxCompareNs = seg.compareNs
 	}
 	// Energy for the injected hashers, charged to the checker's last core.
-	if seg.Task != nil {
-		seg.Task.Core.AccountActive(hashNs)
+	if rep.Task != nil {
+		rep.Task.Core.AccountActive(hashNs)
+	}
+}
+
+// unstallMain lets a main gated on the live-segment bound (or a containment
+// barrier) resume: the wall time it spent stalled elapses until the
+// releasing comparison finished.
+func (r *Runtime) unstallMain(untilNs float64) {
+	if r.mainStalled && !r.main.Exited && !r.mainBlocked() {
+		if r.mainTask.Clock < untilNs {
+			r.stats.MainStallNs += untilNs - r.mainTask.Clock
+			r.mainTask.Clock = untilNs
+		}
+		r.mainStalled = false
 	}
 }
 
@@ -204,13 +208,15 @@ func (r *Runtime) retireSegment(seg *Segment) {
 // cleaning up after a completed checker, while a rollback discards the
 // machine state wholesale and charges no per-checker flush.
 func (r *Runtime) releaseSegment(seg *Segment, flushASID bool) {
-	if seg.Task != nil {
-		r.e.Retire(seg.Task)
-	}
-	if seg.Checker != nil && seg.Checker != r.main {
-		r.e.L.Reap(seg.Checker)
-		if flushASID {
-			r.e.M.Caches.FlushASID(seg.Checker.ASID)
+	for _, rep := range seg.Replicas {
+		if rep.Task != nil {
+			r.e.Retire(rep.Task)
+		}
+		if rep.Checker != nil && rep.Checker != r.main {
+			r.e.L.Reap(rep.Checker)
+			if flushASID {
+				r.e.M.Caches.FlushASID(rep.Checker.ASID)
+			}
 		}
 	}
 	r.releaseCP(seg.StartCP)
@@ -245,25 +251,35 @@ func (r *Runtime) finish() {
 	// Drain remaining checkers (last-checker sync, §5.2.1). On detection
 	// the application is terminated instead, mirroring §4.4.
 	for r.detected == nil {
-		var seg *Segment
+		var pick *replica
 		for _, s := range r.segments {
-			if s.Task != nil && !s.compared && !s.Checker.Exited && s.phase != phaseReached && !s.waiting {
-				if seg == nil || s.Task.Clock < seg.Task.Clock {
-					seg = s
+			if s.compared {
+				continue
+			}
+			for _, rep := range s.Replicas {
+				if rep.Task != nil && !rep.Checker.Exited && !rep.terminal() && !rep.waiting {
+					if pick == nil || rep.Task.Clock < pick.Task.Clock {
+						pick = rep
+					}
 				}
 			}
 		}
-		if seg == nil {
+		if pick == nil {
 			break
 		}
-		r.stepChecker(seg)
+		r.stepChecker(pick)
 	}
 
 	for _, s := range append([]*Segment(nil), r.segments...) {
 		if r.detected != nil {
 			break
 		}
-		if !s.compared && s.phase == phaseReached {
+		if s.compared {
+			continue
+		}
+		if len(s.Replicas) > 1 {
+			r.maybeVote(s)
+		} else if s.chk().phase == phaseReached {
 			r.compareSegment(s)
 		}
 	}

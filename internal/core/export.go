@@ -48,11 +48,11 @@ func (r *Runtime) exportSegment(seg *Segment) error {
 		Segment:      seg.Index,
 		End:          packet.ExecPoint{Branches: seg.End.Branches, PC: seg.End.PC},
 		EndIsExit:    seg.EndIsExit,
-		InstrLimit:   seg.Checker.InstrLimit,
+		InstrLimit:   seg.chk().Checker.InstrLimit,
 		MainInstrs:   seg.MainInstrs,
-		CheckerPID:   seg.Checker.PID,
-		PMUSeed:      r.e.L.PMUSeed(seg.Checker.PID),
-		MaxSkid:      int(seg.Checker.MaxSkid()),
+		CheckerPID:   seg.chk().Checker.PID,
+		PMUSeed:      r.e.L.PMUSeed(seg.chk().Checker.PID),
+		MaxSkid:      int(seg.chk().Checker.MaxSkid()),
 		// Program text is content-addressed like any page: interning it
 		// per segment costs one hash and dedups to a single stored copy.
 		CodeKey: exp.Store.Put(packet.EncodeCode(r.main.Code)),

@@ -35,12 +35,12 @@ func (r *Runtime) Run(prog *asm.Program) (*RunStats, error) {
 			if !ok {
 				break // everything finished
 			}
-			if actor.seg == nil {
+			if actor.rep == nil {
 				if err := r.stepMain(); err != nil {
 					return nil, err
 				}
 			} else {
-				r.stepChecker(actor.seg)
+				r.stepChecker(actor.rep)
 			}
 		}
 		if r.detected != nil && r.cfg.EnableRecovery && r.tryRecover() {
@@ -56,10 +56,10 @@ func (r *Runtime) Run(prog *asm.Program) (*RunStats, error) {
 	return &r.stats, nil
 }
 
-// actorRef is either the main task or a checker's segment.
+// actorRef is either the main task or a checker replica.
 type actorRef struct {
 	task *sim.Task
-	seg  *Segment
+	rep  *replica
 }
 
 func (r *Runtime) pickActor() (actorRef, bool) {
@@ -81,16 +81,21 @@ func (r *Runtime) pickActor() (actorRef, bool) {
 		}
 	}
 	for _, seg := range r.segments {
-		if seg.Task == nil || seg.phase == phaseReached || seg.compared || seg.Checker.Exited {
+		if seg.compared {
 			continue
 		}
-		if seg.waiting {
-			continue // blocked on the main recording more events
+		for _, rep := range seg.Replicas {
+			if rep.Task == nil || rep.terminal() || rep.Checker.Exited {
+				continue
+			}
+			if rep.waiting {
+				continue // blocked on the main recording more events
+			}
+			if r.checkerAheadOfMain(rep) {
+				continue // must not outrun the main architecturally
+			}
+			consider(actorRef{task: rep.Task, rep: rep}, rep.Task.Clock)
 		}
-		if r.checkerAheadOfMain(seg) {
-			continue // must not outrun the main architecturally
-		}
-		consider(actorRef{task: seg.Task, seg: seg}, seg.Task.Clock)
 	}
 	if !found && !r.main.Exited && r.mainBlocked() {
 		// Deadlock guard: the main is stalled on MaxLiveSegments but no
@@ -133,16 +138,16 @@ func (r *Runtime) mainBlocked() bool {
 	return r.containWait && r.uncomparedOthers() > 0
 }
 
-// checkerAheadOfMain prevents a checker in an unsealed segment from running
-// architecturally past the main's current position (its segment end is not
-// yet known, so overtaking could overshoot the eventual boundary).
-func (r *Runtime) checkerAheadOfMain(seg *Segment) bool {
-	if seg.sealed {
+// checkerAheadOfMain prevents a checker replica in an unsealed segment from
+// running architecturally past the main's current position (its segment end
+// is not yet known, so overtaking could overshoot the eventual boundary).
+func (r *Runtime) checkerAheadOfMain(rep *replica) bool {
+	if rep.seg.sealed {
 		return false
 	}
-	mainRel := r.main.Branches - seg.mainStartBranches
+	mainRel := r.main.Branches - rep.seg.mainStartBranches
 	margin := uint64(r.cfg.Quantum) // conservative: one quantum of branches
-	return seg.relBranches()+margin >= mainRel
+	return rep.relBranches()+margin >= mainRel
 }
 
 // stepMain dispatches the main process for one quantum and handles its stop.
@@ -210,12 +215,21 @@ func (r *Runtime) startSegmentWith(cp *checkpoint) {
 	r.segCounter++
 	cp.refs++ // the segment holds a start reference
 
-	// Fork the checker (same point, fresh PMU). Fork cost is on the
-	// critical path, like the checkpoint's (§5.2.1).
-	r.e.ChargeSys(r.mainTask, r.cfg.ForkBaseNs+float64(r.main.AS.PageCount())*r.cfg.ForkPerPageNs)
-	seg.Checker = r.e.L.Fork(r.main, fmt.Sprintf("checker%d", seg.Index))
-	seg.Checker.AS.ClearSoftDirty()
-	seg.forkNs = r.mainTask.Clock
+	// Fork the checker replicas (same point, fresh PMU). Each fork cost is
+	// on the critical path, like the checkpoint's (§5.2.1). Replica 0 keeps
+	// the paper's "checker%d" identity; extra NMR replicas are suffixed.
+	for i := 0; i < r.cfg.checkerCount(); i++ {
+		name := fmt.Sprintf("checker%d", seg.Index)
+		if i > 0 {
+			name = fmt.Sprintf("checker%d.%d", seg.Index, i)
+		}
+		r.e.ChargeSys(r.mainTask, r.cfg.ForkBaseNs+float64(r.main.AS.PageCount())*r.cfg.ForkPerPageNs)
+		rep := &replica{seg: seg, idx: i, Checker: r.e.L.Fork(r.main, name)}
+		rep.Checker.AS.ClearSoftDirty()
+		rep.forkNs = r.mainTask.Clock
+		r.applyDiversity(rep)
+		seg.Replicas = append(seg.Replicas, rep)
+	}
 
 	// Dirty-tracking epoch: clear the main's soft-dirty bits *after* the
 	// previous segment's end checkpoint inherited them.
@@ -235,7 +249,9 @@ func (r *Runtime) startSegmentWith(cp *checkpoint) {
 	}
 	r.observeLiveSegments()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.SegmentStart, seg.Index, "%d pages mapped", r.main.AS.PageCount())
-	r.sched.place(seg, r.mainTask.Clock)
+	for _, rep := range seg.Replicas {
+		r.sched.place(rep, r.mainTask.Clock)
+	}
 }
 
 // startSegment is startSegmentWith on a freshly forked checkpoint.
@@ -307,23 +323,33 @@ func (r *Runtime) sealFinal() {
 	r.sched.onMainExit()
 }
 
-// onSeal arms the sealed segment's checker for end-point replay and the
-// timeout budget (§4.2.2), and — when packet export is configured — emits
-// the segment as a portable check packet, now that its end point, budget,
-// end checkpoint and event log are all final.
+// onSeal arms the sealed segment's checker replicas for end-point replay
+// and the timeout budget (§4.2.2), and — when packet export is configured —
+// emits the segment as a portable check packet, now that its end point,
+// budget, end checkpoint and event log are all final.
 func (r *Runtime) onSeal(seg *Segment) {
 	limit := uint64(float64(seg.MainInstrs) * r.cfg.TimeoutScale)
 	if limit < 64 {
 		limit = 64
 	}
-	seg.Checker.InstrLimit = seg.checkerInstrs + limit
-	seg.waiting = false
-	r.ensureTarget(seg)
+	for _, rep := range seg.Replicas {
+		if rep.terminal() {
+			continue
+		}
+		rep.Checker.InstrLimit = rep.checkerInstrs + limit
+		rep.waiting = false
+		r.ensureTarget(rep)
+	}
 
 	if r.cfg.Export != nil && !seg.arb {
 		if err := r.exportSegment(seg); err != nil && r.exportErr == nil {
 			r.exportErr = err
 		}
+	}
+	if len(seg.Replicas) > 1 {
+		// Every replica may already be terminal (e.g. all dissented while
+		// the segment was still open); the vote needed the end checkpoint.
+		r.maybeVote(seg)
 	}
 }
 
@@ -501,14 +527,16 @@ func (r *Runtime) InjectExternalSignal(sig proc.Signal) {
 	}
 }
 
-// wakeChecker clears a checker's wait-for-events state.
+// wakeChecker clears the segment replicas' wait-for-events state.
 func (r *Runtime) wakeChecker(seg *Segment) {
-	if seg.waiting {
-		seg.waiting = false
-		// The checker idled while the main recorded; move its clock
-		// forward so it does not replay "in the past".
-		if seg.Task != nil && seg.Task.Clock < r.mainTask.Clock {
-			seg.Task.Clock = r.mainTask.Clock
+	for _, rep := range seg.Replicas {
+		if rep.waiting {
+			rep.waiting = false
+			// The checker idled while the main recorded; move its clock
+			// forward so it does not replay "in the past".
+			if rep.Task != nil && rep.Task.Clock < r.mainTask.Clock {
+				rep.Task.Clock = r.mainTask.Clock
+			}
 		}
 	}
 }
@@ -522,8 +550,13 @@ func (r *Runtime) samplePSS() {
 	r.nextSampleNs = r.mainTask.Clock + r.cfg.SampleIntervalNs
 	pss := r.main.AS.PSSBytes()
 	for _, seg := range r.segments {
-		if seg.Checker != nil && !seg.Checker.Exited && !seg.compared {
-			pss += seg.Checker.AS.PSSBytes()
+		if seg.compared {
+			continue
+		}
+		for _, rep := range seg.Replicas {
+			if rep.Checker != nil && !rep.Checker.Exited {
+				pss += rep.Checker.AS.PSSBytes()
+			}
 		}
 	}
 	r.stats.pssAccum += pss

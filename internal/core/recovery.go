@@ -80,17 +80,19 @@ func (r *Runtime) tryRecover() bool {
 		r.tm.recoveredChecker.Inc()
 		r.cfg.Trace.Emit(r.mainTask.Clock, trace.Recover, seg.Index, "checker fault absorbed; segment verified by referee")
 		if !seg.compared {
-			if seg.doneNs == 0 {
-				seg.doneNs = r.mainTask.Clock
+			doneNs := seg.checkerDoneNs()
+			if doneNs == 0 {
+				doneNs = r.mainTask.Clock
+				seg.chk().doneNs = doneNs // spans report the absorb time
 			}
-			seg.compareNs = seg.doneNs
+			seg.compareNs = doneNs
 			if seg.compareNs > r.maxCompareNs {
 				r.maxCompareNs = seg.compareNs
 			}
 			seg.compared = true
 			r.stats.Segments = append(r.stats.Segments, SegmentStat{
 				Index: seg.Index, MainNs: seg.mainEndNs - seg.mainStartNs,
-				CheckerNs: seg.doneNs - seg.startNs,
+				CheckerNs: doneNs - seg.checkerStartNs(),
 			})
 			r.sched.drop(seg)
 			r.retireSegment(seg)
@@ -127,7 +129,6 @@ func (r *Runtime) arbitrate(seg *Segment) arbVerdict {
 		Index:      seg.Index,
 		StartCP:    seg.StartCP,
 		EndCP:      seg.EndCP,
-		Checker:    referee,
 		Log:        seg.Log,
 		End:        seg.End,
 		EndIsExit:  seg.EndIsExit,
@@ -136,15 +137,17 @@ func (r *Runtime) arbitrate(seg *Segment) arbVerdict {
 		arb:        true,
 		pos:        -1, // never on the live list
 	}
+	ref := &replica{seg: shadow, Checker: referee, skid: r.cfg.SkidBuffer}
+	shadow.Replicas = []*replica{ref}
 	// Run on a big core at the current wall position; arbitration is rare
 	// and latency matters more than energy here.
 	core := r.mainCore
 	if bigs := r.e.M.BigCores(); len(bigs) > 1 {
 		core = bigs[1]
 	}
-	shadow.Task = r.e.NewTask(referee, core, r.mainTask.Clock)
+	ref.Task = r.e.NewTask(referee, core, r.mainTask.Clock)
 	defer func() {
-		r.e.Retire(shadow.Task)
+		r.e.Retire(ref.Task)
 		r.e.L.Reap(referee)
 	}()
 
@@ -154,13 +157,13 @@ func (r *Runtime) arbitrate(seg *Segment) arbVerdict {
 
 	// The instruction limit bounds the referee's execution; the iteration
 	// cap is a belt-and-braces guard against replay-state livelock.
-	for i := 0; r.arbErr == nil && !shadow.arbDone && shadow.phase != phaseReached; i++ {
+	for i := 0; r.arbErr == nil && !shadow.arbDone && ref.phase != phaseReached; i++ {
 		if i > 1_000_000 {
 			r.arbErr = &DetectedError{Kind: ErrCheckerTimeout, Segment: seg.Index,
 				Detail: "arbitration referee made no progress"}
 			break
 		}
-		r.stepChecker(shadow)
+		r.stepChecker(ref)
 	}
 	if r.arbErr != nil {
 		// The clean referee also diverged from the record/end point: the
@@ -190,8 +193,10 @@ func (r *Runtime) rollback() {
 	// Wall time when the rollback happens: everything observed so far.
 	wall := r.mainTask.Clock
 	for _, s := range r.segments {
-		if s.Task != nil && s.Task.Clock > wall {
-			wall = s.Task.Clock
+		for _, rep := range s.Replicas {
+			if rep.Task != nil && rep.Task.Clock > wall {
+				wall = rep.Task.Clock
+			}
 		}
 	}
 

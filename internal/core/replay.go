@@ -5,7 +5,7 @@ import (
 	"parallaft/internal/proc"
 )
 
-// ensureTarget keeps the checker's execution-point steering machinery
+// ensureTarget keeps a checker replica's execution-point steering machinery
 // (§4.2.2) pointed at the right place. Targets, in priority order:
 //
 //  1. the delivery point of the next recorded external signal (§4.3.3) —
@@ -15,108 +15,116 @@ import (
 //
 // Arming: branch-counter overflow a skid buffer short of the target, then
 // a breakpoint on the target PC until the branch count matches.
-func (r *Runtime) ensureTarget(seg *Segment) {
+func (r *Runtime) ensureTarget(rep *replica) {
+	seg := rep.seg
 	var want ExecPoint
 	var isEnd, active bool
-	if ev := seg.nextEvent(); ev != nil && ev.Kind == EvSignalExternal {
+	if ev := rep.nextEvent(); ev != nil && ev.Kind == EvSignalExternal {
 		want, isEnd, active = ev.Signal.Point, false, true
 	} else if seg.sealed && !seg.EndIsExit {
 		want, isEnd, active = seg.End, true, true
 	}
 	if !active {
-		if seg.targetActive {
-			seg.Checker.DisarmBranchCounter()
-			seg.Checker.ClearAllBreakpoints()
-			seg.targetActive = false
-			seg.phase = phaseEvents
+		if rep.targetActive {
+			rep.Checker.DisarmBranchCounter()
+			rep.Checker.ClearAllBreakpoints()
+			rep.targetActive = false
+			rep.phase = phaseEvents
 		}
 		return
 	}
-	if seg.targetActive && seg.target == want && seg.targetIsEnd == isEnd {
+	if rep.targetActive && rep.target == want && rep.targetIsEnd == isEnd {
 		return // already armed at this target
 	}
-	seg.target = want
-	seg.targetIsEnd = isEnd
-	seg.targetActive = true
+	rep.target = want
+	rep.targetIsEnd = isEnd
+	rep.targetActive = true
 
-	c := seg.Checker
+	c := rep.Checker
 	c.DisarmBranchCounter()
 	c.ClearAllBreakpoints()
-	rel := seg.relBranches()
-	if want.Branches > rel && want.Branches-rel > r.cfg.SkidBuffer {
-		c.ArmBranchCounter(want.Branches - r.cfg.SkidBuffer)
-		seg.phase = phaseCounted
+	rel := rep.relBranches()
+	if want.Branches > rel && want.Branches-rel > rep.skid {
+		c.ArmBranchCounter(want.Branches - rep.skid)
+		rep.phase = phaseCounted
 	} else {
 		// within the buffer (or already at/past the count): breakpoint
 		// directly; the per-hit check decides reached vs overrun
 		c.SetBreakpoint(want.PC)
-		seg.phase = phaseStepped
+		rep.phase = phaseStepped
 	}
-	r.chargeRuntimeChecker(seg, r.cfg.CounterSetupNs)
+	r.chargeRuntimeChecker(rep, r.cfg.CounterSetupNs)
 }
 
 // enterStepped switches from counting to breakpointing on the current
 // target's PC.
-func (r *Runtime) enterStepped(seg *Segment) {
-	seg.Checker.DisarmBranchCounter()
-	seg.Checker.SetBreakpoint(seg.target.PC)
-	seg.phase = phaseStepped
-	r.chargeRuntimeChecker(seg, r.cfg.CounterSetupNs)
+func (r *Runtime) enterStepped(rep *replica) {
+	rep.Checker.DisarmBranchCounter()
+	rep.Checker.SetBreakpoint(rep.target.PC)
+	rep.phase = phaseStepped
+	r.chargeRuntimeChecker(rep, r.cfg.CounterSetupNs)
 }
 
-// atTarget reports whether the checker is exactly at the active target.
-func (seg *Segment) atTarget() bool {
-	return seg.targetActive &&
-		seg.relBranches() == seg.target.Branches &&
-		seg.Checker.PC == seg.target.PC
+// atTarget reports whether the replica is exactly at the active target.
+func (rep *replica) atTarget() bool {
+	return rep.targetActive &&
+		rep.relBranches() == rep.target.Branches &&
+		rep.Checker.PC == rep.target.PC
 }
 
 // reachedTarget consumes the active target: deliver an external signal and
 // re-arm, or finish the segment.
-func (r *Runtime) reachedTarget(seg *Segment) {
-	if seg.targetIsEnd {
-		if seg.replayIdx < len(seg.Log.Events) {
-			r.fail(seg.Index, ErrEventOrderMismatch,
+func (r *Runtime) reachedTarget(rep *replica) {
+	seg := rep.seg
+	if rep.targetIsEnd {
+		if rep.replayIdx < len(seg.Log.Events) {
+			r.replicaFail(rep, ErrEventOrderMismatch,
 				"checker reached segment end with %d unreplayed events",
-				len(seg.Log.Events)-seg.replayIdx)
+				len(seg.Log.Events)-rep.replayIdx)
 			return
 		}
-		r.checkerReached(seg)
+		r.checkerReached(rep)
 		return
 	}
 	// Deliver the external signal at the recorded point (§4.3.3).
-	ev := seg.nextEvent()
-	seg.replayIdx++
-	seg.targetActive = false
-	seg.Checker.DisarmBranchCounter()
-	seg.Checker.ClearAllBreakpoints()
-	r.chargeRuntimeChecker(seg, r.cfg.tracerStopNs())
-	alive := seg.Checker.DeliverSignal(ev.Signal.Sig)
+	ev := rep.nextEvent()
+	rep.replayIdx++
+	rep.targetActive = false
+	rep.Checker.DisarmBranchCounter()
+	rep.Checker.ClearAllBreakpoints()
+	r.chargeRuntimeChecker(rep, r.cfg.tracerStopNs())
+	alive := rep.Checker.DeliverSignal(ev.Signal.Sig)
 	if ev.Signal.Fatal == alive {
-		r.failSig(seg.Index, ev.Signal.Sig, "checker signal disposition differs from main's")
+		r.replicaFailSig(rep, ev.Signal.Sig, "checker signal disposition differs from main's")
 		return
 	}
 	if !alive {
-		r.checkerHalted(seg)
+		r.checkerHalted(rep)
 		return
 	}
-	r.ensureTarget(seg)
+	r.ensureTarget(rep)
 }
 
-// stepChecker dispatches a checker for one quantum and interprets its stop
-// against the record/replay log.
-func (r *Runtime) stepChecker(seg *Segment) {
-	c := seg.Checker
-	if seg.startNs == 0 {
-		seg.startNs = seg.Task.Clock
+// stepChecker dispatches a checker replica for one quantum and interprets
+// its stop against the record/replay log.
+func (r *Runtime) stepChecker(rep *replica) {
+	seg := rep.seg
+	c := rep.Checker
+	if rep.startNs == 0 {
+		rep.startNs = rep.Task.Clock
 	}
-	if r.cfg.CheckerHook != nil && !seg.arb {
-		r.cfg.CheckerHook(seg.Index, c, seg.Task.Clock-seg.startNs)
+	if !seg.arb {
+		if r.cfg.CheckerHook != nil && rep.idx == 0 {
+			r.cfg.CheckerHook(seg.Index, c, rep.Task.Clock-rep.startNs)
+		}
+		if r.cfg.ReplicaHook != nil {
+			r.cfg.ReplicaHook(seg.Index, rep.idx, c, rep.Task.Clock-rep.startNs)
+		}
 	}
-	r.ensureTarget(seg)
-	if seg.atTarget() {
+	r.ensureTarget(rep)
+	if rep.atTarget() {
 		// already positioned (e.g. a signal point right at a prior stop)
-		r.reachedTarget(seg)
+		r.reachedTarget(rep)
 		return
 	}
 
@@ -127,21 +135,21 @@ func (r *Runtime) stepChecker(seg *Segment) {
 	// never has to do its job. Real checkers get no such alignment.
 	before := c.UserNs + c.SysNs
 	beforeInstrs := c.Instrs
-	stop := r.e.Run(seg.Task, r.cfg.Quantum+37)
+	stop := r.e.Run(rep.Task, r.cfg.Quantum+37+rep.quantumOff)
 	delta := c.UserNs + c.SysNs - before
-	if seg.onBig {
-		seg.bigNs += delta
-		seg.bigInstrs += c.Instrs - beforeInstrs
+	if rep.onBig {
+		rep.bigNs += delta
+		rep.bigInstrs += c.Instrs - beforeInstrs
 	} else {
-		seg.littleNs += delta
-		seg.littleInstrs += c.Instrs - beforeInstrs
+		rep.littleNs += delta
+		rep.littleInstrs += c.Instrs - beforeInstrs
 	}
-	seg.checkerInstrs = c.Instrs
+	rep.checkerInstrs = c.Instrs
 
 	// Reaching the active target takes precedence over whatever the stop
 	// reason says (e.g. the target lands exactly on a syscall).
-	if seg.atTarget() {
-		r.reachedTarget(seg)
+	if rep.atTarget() {
+		r.reachedTarget(rep)
 		return
 	}
 
@@ -150,79 +158,80 @@ func (r *Runtime) stepChecker(seg *Segment) {
 		// keep going
 
 	case proc.StopSyscall:
-		r.replaySyscall(seg)
-		r.ensureTarget(seg)
+		r.replaySyscall(rep)
+		r.ensureTarget(rep)
 
 	case proc.StopNondet:
-		r.replayNondet(seg)
-		r.ensureTarget(seg)
+		r.replayNondet(rep)
+		r.ensureTarget(rep)
 
 	case proc.StopSignal:
-		r.replayFault(seg, stop.Sig)
-		r.ensureTarget(seg)
+		r.replayFault(rep, stop.Sig)
+		r.ensureTarget(rep)
 
 	case proc.StopCounter:
 		// Undershoot phase done; switch to breakpointing (§4.2.2).
-		r.chargeRuntimeChecker(seg, r.cfg.BreakpointHitNs)
-		r.enterStepped(seg)
+		r.chargeRuntimeChecker(rep, r.cfg.BreakpointHitNs)
+		r.enterStepped(rep)
 
 	case proc.StopBreakpoint:
-		r.chargeRuntimeChecker(seg, r.cfg.BreakpointHitNs)
-		rel := seg.relBranches()
+		r.chargeRuntimeChecker(rep, r.cfg.BreakpointHitNs)
+		rel := rep.relBranches()
 		switch {
-		case seg.atTarget():
-			r.reachedTarget(seg)
-		case seg.targetActive && rel > seg.target.Branches:
-			r.fail(seg.Index, ErrExecPointOverrun,
-				"checker at %d branches, target %d", rel, seg.target.Branches)
+		case rep.atTarget():
+			r.reachedTarget(rep)
+		case rep.targetActive && rel > rep.target.Branches:
+			r.replicaFail(rep, ErrExecPointOverrun,
+				"checker at %d branches, target %d", rel, rep.target.Branches)
 		default:
 			// Same PC, earlier iteration: continue to the next hit.
 		}
 
 	case proc.StopInstrLimit:
-		r.fail(seg.Index, ErrCheckerTimeout,
+		r.replicaFail(rep, ErrCheckerTimeout,
 			"checker executed %d instructions, budget %d (main %d x %.2f)",
 			c.Instrs, c.InstrLimit, seg.MainInstrs, r.cfg.TimeoutScale)
 
 	case proc.StopHalt:
-		r.checkerHalted(seg)
+		r.checkerHalted(rep)
 	}
 }
 
-// nextEvent returns the next unconsumed log event, or nil.
-func (seg *Segment) nextEvent() *Event {
-	if seg.replayIdx >= len(seg.Log.Events) {
+// nextEvent returns the replica's next unconsumed log event, or nil.
+func (rep *replica) nextEvent() *Event {
+	if rep.replayIdx >= len(rep.seg.Log.Events) {
 		return nil
 	}
-	return &seg.Log.Events[seg.replayIdx]
+	return &rep.seg.Log.Events[rep.replayIdx]
 }
 
-// replaySyscall validates the checker's syscall against the record and
+// replaySyscall validates the replica's syscall against the record and
 // applies the class-appropriate behaviour (§4.3.1).
-func (r *Runtime) replaySyscall(seg *Segment) {
-	c := seg.Checker
-	r.chargeRuntimeChecker(seg, 2*r.cfg.tracerStopNs())
+func (r *Runtime) replaySyscall(rep *replica) {
+	seg := rep.seg
+	c := rep.Checker
+	r.chargeRuntimeChecker(rep, 2*r.cfg.tracerStopNs())
 
-	ev := seg.nextEvent()
+	ev := rep.nextEvent()
 	if ev == nil {
 		if !seg.sealed {
 			// The main has not recorded this far yet; wait for it.
-			seg.waiting = true
+			rep.waiting = true
 			return
 		}
-		r.fail(seg.Index, ErrSyscallMismatch,
+		r.replicaFail(rep, ErrSyscallMismatch,
 			"checker issued syscall %v past the end of the record", oskernel.Decode(c).Nr)
 		return
 	}
 	if ev.Kind != EvSyscall {
-		r.fail(seg.Index, ErrEventOrderMismatch,
+		r.replicaFail(rep, ErrEventOrderMismatch,
 			"checker at a syscall, record expects %v", ev.Kind)
 		return
 	}
 	rec := ev.Syscall
 	info := oskernel.Decode(c)
 	if info != rec.Info {
-		r.fail(seg.Index, ErrSyscallMismatch,
+		r.replicaFail(rep, ErrSyscallMismatch,
 			"checker %v%v vs recorded %v%v", info.Nr, info.Args, rec.Info.Nr, rec.Info.Args)
 		return
 	}
@@ -230,13 +239,13 @@ func (r *Runtime) replaySyscall(seg *Segment) {
 	// Compare input data (e.g. the bytes passed to write) byte-for-byte.
 	model := oskernel.ModelOf(info.Nr)
 	chkIn := captureRegions(c, model.In(r.e.K, c, info.Args))
-	r.chargeRuntimeChecker(seg, float64(bytesIn(chkIn))*r.cfg.RecordByteNs)
+	r.chargeRuntimeChecker(rep, float64(bytesIn(chkIn))*r.cfg.RecordByteNs)
 	if !regionsEqual(chkIn, rec.In) {
-		r.fail(seg.Index, ErrSyscallMismatch, "%v input data differs", info.Nr)
+		r.replicaFail(rep, ErrSyscallMismatch, "%v input data differs", info.Nr)
 		return
 	}
 
-	seg.replayIdx++
+	rep.replayIdx++
 
 	switch rec.Class {
 	case oskernel.ClassLocal:
@@ -249,9 +258,9 @@ func (r *Runtime) replaySyscall(seg *Segment) {
 			info.Args[0] = rec.MmapFixedAddr
 			info.Args[3] |= oskernel.MapFixed
 		}
-		res := r.e.ExecSyscall(seg.Task, info)
+		res := r.e.ExecSyscall(rep.Task, info)
 		if res.Ret != rec.Ret {
-			r.fail(seg.Index, ErrSyscallMismatch,
+			r.replicaFail(rep, ErrSyscallMismatch,
 				"%v local result %d differs from recorded %d", info.Nr, res.Ret, rec.Ret)
 			return
 		}
@@ -262,7 +271,7 @@ func (r *Runtime) replaySyscall(seg *Segment) {
 		oskernel.Finish(c, res.Ret)
 		if res.SelfSignal != proc.SigNone {
 			if !c.DeliverSignal(res.SelfSignal) {
-				r.checkerHalted(seg)
+				r.checkerHalted(rep)
 			}
 		}
 
@@ -272,13 +281,13 @@ func (r *Runtime) replaySyscall(seg *Segment) {
 		if info.Nr == oskernel.SysExit {
 			c.Exited = true
 			c.ExitCode = int64(info.Args[0])
-			r.checkerHalted(seg)
+			r.checkerHalted(rep)
 			return
 		}
 		for _, out := range rec.Out {
-			r.chargeRuntimeChecker(seg, float64(len(out.Data))*r.cfg.RecordByteNs)
+			r.chargeRuntimeChecker(rep, float64(len(out.Data))*r.cfg.RecordByteNs)
 			if f := c.AS.Write(out.Addr, out.Data); f != nil {
-				r.fail(seg.Index, ErrSyscallMismatch,
+				r.replicaFail(rep, ErrSyscallMismatch,
 					"replaying %v output into checker faulted at %#x", info.Nr, f.Addr)
 				return
 			}
@@ -298,28 +307,28 @@ func bytesIn(regions []RegionData) int {
 // replayNondet feeds the recorded value of a nondeterministic instruction
 // to the checker (§4.3.4) — even when the checker runs on a different core
 // type whose real MIDR would differ.
-func (r *Runtime) replayNondet(seg *Segment) {
-	c := seg.Checker
-	r.chargeRuntimeChecker(seg, r.cfg.tracerStopNs())
-	ev := seg.nextEvent()
+func (r *Runtime) replayNondet(rep *replica) {
+	c := rep.Checker
+	r.chargeRuntimeChecker(rep, r.cfg.tracerStopNs())
+	ev := rep.nextEvent()
 	if ev == nil {
-		if !seg.sealed {
-			seg.waiting = true
+		if !rep.seg.sealed {
+			rep.waiting = true
 			return
 		}
-		r.fail(seg.Index, ErrEventOrderMismatch, "checker nondet instruction past end of record")
+		r.replicaFail(rep, ErrEventOrderMismatch, "checker nondet instruction past end of record")
 		return
 	}
 	if ev.Kind != EvNondet {
-		r.fail(seg.Index, ErrEventOrderMismatch, "checker at nondet instruction, record expects %v", ev.Kind)
+		r.replicaFail(rep, ErrEventOrderMismatch, "checker at nondet instruction, record expects %v", ev.Kind)
 		return
 	}
 	if ev.Nondet.PC != c.PC {
-		r.fail(seg.Index, ErrEventOrderMismatch,
+		r.replicaFail(rep, ErrEventOrderMismatch,
 			"nondet at pc %d, recorded pc %d", c.PC, ev.Nondet.PC)
 		return
 	}
-	seg.replayIdx++
+	rep.replayIdx++
 	// sim.FinishNondet equivalent, with the recorded value.
 	ins := c.CurrentInstr()
 	c.Regs.X[ins.Rd] = ev.Nondet.Value
@@ -330,75 +339,82 @@ func (r *Runtime) replayNondet(seg *Segment) {
 // replayFault checks a checker fault against the record: the main must have
 // taken the identical signal at the identical PC, otherwise the fault is an
 // error manifestation (the §5.6 Exception class).
-func (r *Runtime) replayFault(seg *Segment, sig proc.Signal) {
-	c := seg.Checker
-	r.chargeRuntimeChecker(seg, r.cfg.tracerStopNs())
-	ev := seg.nextEvent()
-	if ev == nil && !seg.sealed {
+func (r *Runtime) replayFault(rep *replica, sig proc.Signal) {
+	c := rep.Checker
+	r.chargeRuntimeChecker(rep, r.cfg.tracerStopNs())
+	ev := rep.nextEvent()
+	if ev == nil && !rep.seg.sealed {
 		// Could be a fault the main will also take; but a fault the main
 		// has not yet reached cannot be distinguished from divergence
 		// without waiting — and the checker cannot be architecturally
 		// ahead of the main (guarded in pickActor), so a fault here with
 		// no record is divergence.
-		r.failSig(seg.Index, sig, "checker fault %v at pc %d with no recorded event", sig, c.PC)
+		r.replicaFailSig(rep, sig, "checker fault %v at pc %d with no recorded event", sig, c.PC)
 		return
 	}
 	if ev == nil || ev.Kind != EvSignalInternal || ev.Signal.Sig != sig || ev.Signal.PC != c.PC {
-		r.failSig(seg.Index, sig, "checker fault %v at pc %d diverges from record", sig, c.PC)
+		r.replicaFailSig(rep, sig, "checker fault %v at pc %d diverges from record", sig, c.PC)
 		return
 	}
-	seg.replayIdx++
+	rep.replayIdx++
 	alive := c.DeliverSignal(sig)
 	if ev.Signal.Fatal != !alive {
-		r.failSig(seg.Index, sig, "checker signal disposition differs from main's")
+		r.replicaFailSig(rep, sig, "checker signal disposition differs from main's")
 		return
 	}
 	if !alive {
-		r.checkerHalted(seg)
+		r.checkerHalted(rep)
 	}
 }
 
-// checkerHalted handles the checker finishing execution (exit syscall,
+// checkerHalted handles the replica finishing execution (exit syscall,
 // halt, or fatal signal). For the final segment this is the expected end;
 // anywhere else it is a divergence.
-func (r *Runtime) checkerHalted(seg *Segment) {
+func (r *Runtime) checkerHalted(rep *replica) {
+	seg := rep.seg
 	if !seg.sealed {
-		seg.waiting = true // main still running this segment; wait to decide
-		if seg.Checker.Exited {
+		rep.waiting = true // main still running this segment; wait to decide
+		if rep.Checker.Exited {
 			// An exited checker cannot resume; if the main does not also
 			// exit in this segment, the comparison below will fail.
-			seg.waiting = false
-			r.fail(seg.Index, ErrCheckerExited, "checker finished before the segment was sealed")
+			rep.waiting = false
+			r.replicaFail(rep, ErrCheckerExited, "checker finished before the segment was sealed")
 		}
 		return
 	}
 	if !seg.EndIsExit {
-		r.fail(seg.Index, ErrCheckerExited, "checker exited mid-segment")
+		r.replicaFail(rep, ErrCheckerExited, "checker exited mid-segment")
 		return
 	}
-	if seg.replayIdx < len(seg.Log.Events) {
-		r.fail(seg.Index, ErrEventOrderMismatch,
-			"checker exited with %d unreplayed events", len(seg.Log.Events)-seg.replayIdx)
+	if rep.replayIdx < len(seg.Log.Events) {
+		r.replicaFail(rep, ErrEventOrderMismatch,
+			"checker exited with %d unreplayed events", len(seg.Log.Events)-rep.replayIdx)
 		return
 	}
-	r.checkerReached(seg)
+	r.checkerReached(rep)
 }
 
-// checkerReached marks the checker at the segment end point and runs the
-// comparison if the end checkpoint is available (it always is: sealing
-// created it). Arbitration shadows stop here; their comparison belongs to
-// the arbitration driver.
-func (r *Runtime) checkerReached(seg *Segment) {
-	c := seg.Checker
+// checkerReached marks the replica at the segment end point. With a single
+// replica the comparison runs immediately (the end checkpoint is always
+// available: sealing created it); under NMR the segment votes once every
+// replica is terminal. Arbitration shadows stop here; their comparison
+// belongs to the arbitration driver.
+func (r *Runtime) checkerReached(rep *replica) {
+	seg := rep.seg
+	c := rep.Checker
 	c.DisarmBranchCounter()
 	c.ClearAllBreakpoints()
-	seg.phase = phaseReached
-	seg.doneNs = seg.Task.Clock
+	rep.phase = phaseReached
+	rep.doneNs = rep.Task.Clock
 	if seg.arb {
 		seg.arbDone = true
 		return
 	}
-	r.sched.observeCheckerDone(seg)
-	r.sched.onCheckerDone(seg)
+	r.sched.observeCheckerDone(rep)
+	r.sched.onCheckerDone(rep)
+	if len(seg.Replicas) > 1 {
+		r.maybeVote(seg)
+		return
+	}
 	r.compareSegment(seg)
 }

@@ -98,14 +98,41 @@ type Config struct {
 	// every experiment output are identical for any value.
 	CompareWorkers int
 
-	// CheckerHook, when set, is invoked before every checker dispatch with
-	// the segment index, the checker process, and the checker's elapsed
-	// segment time. The fault injector uses it to flip register bits at a
-	// chosen instant (§5.6). Arbitration referees are exempt.
+	// CheckerHook, when set, is invoked before every dispatch of replica 0
+	// with the segment index, the checker process, and the checker's
+	// elapsed segment time. The fault injector uses it to flip register
+	// bits at a chosen instant (§5.6). Only the first replica fires the
+	// hook, so a single-checker injector keeps its exact semantics under
+	// NMR (the injected SEU lands in one replica); use ReplicaHook to
+	// observe every replica. Arbitration referees are exempt.
 	CheckerHook func(segment int, checker *proc.Process, elapsedNs float64)
+	// ReplicaHook is the replica-aware counterpart of CheckerHook: it is
+	// invoked before every dispatch of every checker replica, carrying the
+	// replica index. Both hooks may be set; CheckerHook fires first.
+	ReplicaHook func(segment, replica int, checker *proc.Process, elapsedNs float64)
 	// MainHook is the main-process counterpart, used to model faults in
 	// the main execution for the recovery experiments.
 	MainHook func(main *proc.Process, nowNs float64)
+
+	// Checkers is the number of checker replicas forked per segment. The
+	// default (0, treated as 1) is the paper's main+1-checker design and is
+	// byte-identical to it. With N > 1 the run becomes N-way modular
+	// redundant: the N replicas plus the segment-end checkpoint form an
+	// (N+1)-voter quorum at every segment end (see vote.go) — a dissenting
+	// checker is absorbed in place, and a main-side fault is repaired by
+	// copying the agreed replica state forward instead of rolling back.
+	// NMR requires CompareStates (the vote is a state comparison).
+	Checkers int
+	// Diversity names per-replica substrate presets; replica i runs under
+	// Diversity[i%len(Diversity)]. Presets: "none" (default substrate),
+	// "skid2x"/"skid4x" (wider counter skid buffer), "quantum" (offset
+	// dispatch quantum), "bigcore" (prefer big-core placement), and
+	// "coldcache" (start with a cold cache footprint). Diverse substrates
+	// decorrelate replica failure modes; page-size and cache-geometry
+	// diversity is available through the packet-export path (a checkd
+	// daemon on a differently configured machine re-checks the same
+	// segments). See ValidateDiversity.
+	Diversity []string
 
 	// EnableRecovery turns on rollback-based error recovery (the paper's
 	// table-2 future work): detections are arbitrated by re-executing the
@@ -236,6 +263,55 @@ const (
 	phaseReached                     // at the end point, awaiting comparison
 )
 
+// replica is one checker replica's replay state. The paper's design has
+// exactly one per segment; under NMR (Config.Checkers > 1) each segment
+// carries a replica set and the segment verdict is decided by majority vote
+// over the replicas plus the end checkpoint.
+type replica struct {
+	seg *Segment
+	idx int
+
+	Checker *proc.Process
+	Task    *sim.Task
+
+	// End-point steering state (§4.2.2).
+	replayIdx    int
+	phase        checkerPhase
+	target       ExecPoint // active steering target (signal point or segment end)
+	targetIsEnd  bool
+	targetActive bool
+
+	forkNs  float64 // when the checker was forked (main clock)
+	startNs float64 // when the checker began executing
+	doneNs  float64 // when the checker reached the end point (or failed)
+
+	queued  bool
+	waiting bool // waiting for the main to record more events
+	onBig   bool
+
+	littleNs      float64
+	bigNs         float64
+	littleInstrs  uint64
+	bigInstrs     uint64
+	checkerInstrs uint64
+
+	// failed marks a replica-scoped replay divergence under NMR: the
+	// replica becomes a dissenting voter instead of terminating the run.
+	failed *DetectedError
+
+	// Diversity substrate (per-replica; defaults match the config).
+	skid       uint64 // effective skid buffer
+	quantumOff uint64 // dispatch-quantum offset
+	preferBig  bool   // placement prefers a big core
+}
+
+// relBranches reports the replica's segment-relative branch count.
+func (rep *replica) relBranches() uint64 { return rep.Checker.Branches }
+
+// terminal reports whether the replica has nothing left to execute: it
+// reached the segment end point, or it failed replay (NMR dissent).
+func (rep *replica) terminal() bool { return rep.phase == phaseReached || rep.failed != nil }
+
 // Segment is one slice of the main execution and its replay state.
 type Segment struct {
 	Index int
@@ -243,8 +319,9 @@ type Segment struct {
 	StartCP *checkpoint
 	EndCP   *checkpoint
 
-	Checker *proc.Process
-	Task    *sim.Task
+	// Replicas is the segment's checker replica set, replica 0 first. A
+	// single-checker run (the default) has exactly one entry.
+	Replicas []*replica
 
 	Log RRLog
 
@@ -261,37 +338,77 @@ type Segment struct {
 	mainEndNs         float64
 	sealed            bool
 
-	// Checker-side bookkeeping.
-	replayIdx     int
-	phase         checkerPhase
-	target        ExecPoint // active steering target (signal point or segment end)
-	targetIsEnd   bool
-	targetActive  bool
-	recoveries    int     // recovery attempts consumed (EnableRecovery)
-	arb           bool    // this is an arbitration shadow, not a real segment
-	arbDone       bool    // the referee reached the end point
-	forkNs        float64 // when the checker was forked (main clock)
-	startNs       float64 // when the checker began executing
-	doneNs        float64 // when the checker reached the end point
-	compareNs     float64 // when the comparison completed
-	queued        bool
-	waiting       bool // waiting for the main to record more events
-	onBig         bool
-	littleNs      float64
-	bigNs         float64
-	littleInstrs  uint64
-	bigInstrs     uint64
-	compared      bool
-	checkerInstrs uint64
-	pos           int // index in Runtime.segments; -1 when not live
+	recoveries int     // recovery attempts consumed (EnableRecovery)
+	arb        bool    // this is an arbitration shadow, not a real segment
+	arbDone    bool    // the referee reached the end point
+	compareNs  float64 // when the comparison (or vote) completed
+	compared   bool
+	voted      bool // NMR: the majority vote has run for this segment
+	pos        int  // index in Runtime.segments; -1 when not live
 
 	// Telemetry-only bookkeeping (observation-only; never feeds the model).
 	dirtyPages uint64    // pages hashed at comparison, for the span record
 	wallStart  time.Time // host time at segment start (set only when Spans on)
 }
 
-// LiveAhead reports the checker's segment-relative branch count.
-func (s *Segment) relBranches() uint64 { return s.Checker.Branches }
+// chk is the segment's first (and in the single-checker design, only)
+// replica.
+func (s *Segment) chk() *replica { return s.Replicas[0] }
+
+// checkerStartNs is the earliest time any replica began executing (zero if
+// none has).
+func (s *Segment) checkerStartNs() float64 {
+	start := 0.0
+	for _, rep := range s.Replicas {
+		if rep.startNs != 0 && (start == 0 || rep.startNs < start) {
+			start = rep.startNs
+		}
+	}
+	return start
+}
+
+// checkerDoneNs is the latest time any replica became terminal.
+func (s *Segment) checkerDoneNs() float64 {
+	done := 0.0
+	for _, rep := range s.Replicas {
+		if rep.doneNs > done {
+			done = rep.doneNs
+		}
+	}
+	return done
+}
+
+func (s *Segment) sumBigNs() float64 {
+	v := 0.0
+	for _, rep := range s.Replicas {
+		v += rep.bigNs
+	}
+	return v
+}
+
+func (s *Segment) sumLittleNs() float64 {
+	v := 0.0
+	for _, rep := range s.Replicas {
+		v += rep.littleNs
+	}
+	return v
+}
+
+func (s *Segment) sumBigInstrs() uint64 {
+	var v uint64
+	for _, rep := range s.Replicas {
+		v += rep.bigInstrs
+	}
+	return v
+}
+
+func (s *Segment) sumLittleInstrs() uint64 {
+	var v uint64
+	for _, rep := range s.Replicas {
+		v += rep.littleInstrs
+	}
+	return v
+}
 
 // SegmentStat is the per-segment summary exposed in RunStats.
 type SegmentStat struct {
@@ -368,6 +485,13 @@ type RunStats struct {
 	ReexecutedEffects      int  // global syscalls whose effects escaped twice
 	UnrecoverableFault     bool // retry budget exhausted (permanent fault)
 
+	// NMR vote accounting (Config.Checkers > 1).
+	VoteUnanimous        int // segments where every voter agreed
+	VoteAbsorbed         int // dissenting replicas absorbed by a ref-side quorum
+	VoteOutvotedReplicas int // segments where a replica quorum outvoted the reference
+	ForwardRepairs       int // mains repaired by forward state copy (no rollback)
+	VoteNoQuorum         int // segments with no majority (fell back to detection)
+
 	Detected *DetectedError
 	ExitCode int64
 	KilledBy proc.Signal
@@ -401,6 +525,7 @@ type Runtime struct {
 	stats        RunStats
 	tm           coreMetrics
 	comparator   compare.Comparator // reused across every boundary comparison
+	voter        compare.Voter      // reused across every NMR vote (Checkers > 1)
 	nextSampleNs float64
 	detected     *DetectedError
 	segCounter   int
@@ -439,14 +564,69 @@ func NewRuntime(e *sim.Engine, cfg Config) *Runtime {
 	if cfg.RecoveryMaxRollbacks == 0 {
 		cfg.RecoveryMaxRollbacks = 8
 	}
+	if cfg.Checkers > 1 && !cfg.CompareStates {
+		panic("core: Checkers > 1 requires CompareStates (the NMR vote is a state comparison)")
+	}
+	if err := ValidateDiversity(cfg.Diversity); err != nil {
+		panic("core: " + err.Error())
+	}
 	bigs := e.M.BigCores()
 	if len(bigs) == 0 {
 		panic("core: machine has no big cores")
 	}
 	r := &Runtime{cfg: cfg, e: e, mainCore: bigs[0]}
-	r.tm = newCoreMetrics(cfg.Metrics)
+	r.tm = newCoreMetrics(cfg.Metrics, cfg.Checkers)
 	r.sched = newScheduler(r)
 	return r
+}
+
+// checkerCount is Config.Checkers with the zero default resolved.
+func (c *Config) checkerCount() int {
+	if c.Checkers < 1 {
+		return 1
+	}
+	return c.Checkers
+}
+
+// DiversityPresets lists the recognised per-replica substrate presets.
+var DiversityPresets = []string{"none", "skid2x", "skid4x", "quantum", "bigcore", "coldcache"}
+
+// ValidateDiversity checks a Config.Diversity preset list, returning a
+// descriptive error on the first unknown name. The CLIs use it to reject
+// bad -diversity values before a run starts.
+func ValidateDiversity(presets []string) error {
+	for _, p := range presets {
+		switch p {
+		case "", "none", "skid2x", "skid4x", "quantum", "bigcore", "coldcache":
+		default:
+			return fmt.Errorf("unknown diversity preset %q (known: %v)", p, DiversityPresets)
+		}
+	}
+	return nil
+}
+
+// applyDiversity configures a freshly forked replica's substrate from the
+// preset assigned to its index. Replica substrates only shape *how* a
+// replica re-executes (skid width, dispatch phase, placement, cache
+// warmth); the replayed instruction stream and the voted end state are
+// substrate-independent, which is what makes diverse replicas comparable.
+func (r *Runtime) applyDiversity(rep *replica) {
+	rep.skid = r.cfg.SkidBuffer
+	if len(r.cfg.Diversity) == 0 {
+		return
+	}
+	switch r.cfg.Diversity[rep.idx%len(r.cfg.Diversity)] {
+	case "skid2x":
+		rep.skid = 2 * r.cfg.SkidBuffer
+	case "skid4x":
+		rep.skid = 4 * r.cfg.SkidBuffer
+	case "quantum":
+		rep.quantumOff = r.cfg.Quantum / 3
+	case "bigcore":
+		rep.preferBig = true
+	case "coldcache":
+		r.e.M.Caches.FlushASID(rep.Checker.ASID)
+	}
 }
 
 // Config returns the active configuration.
@@ -458,10 +638,10 @@ func (r *Runtime) chargeRuntimeMain(ns float64) {
 	r.stats.RuntimeNs += ns
 }
 
-// chargeRuntimeChecker charges tracer work to a checker's clock.
-func (r *Runtime) chargeRuntimeChecker(seg *Segment, ns float64) {
-	if seg.Task != nil {
-		r.e.ChargeRuntime(seg.Task, ns)
+// chargeRuntimeChecker charges tracer work to a checker replica's clock.
+func (r *Runtime) chargeRuntimeChecker(rep *replica, ns float64) {
+	if rep.Task != nil {
+		r.e.ChargeRuntime(rep.Task, ns)
 	}
 }
 
@@ -493,6 +673,51 @@ func (r *Runtime) failSig(seg int, sig proc.Signal, format string, args ...any) 
 		r.detected = d
 		r.tm.detections.Inc()
 	}
+}
+
+// replicaFail records a replay divergence for one replica. With a single
+// replica (the paper's design, and arbitration referees) this is exactly
+// the global detection path; under NMR the replica becomes a dissenting
+// voter instead — the segment's verdict waits for the majority vote.
+func (r *Runtime) replicaFail(rep *replica, kind ErrorKind, format string, args ...any) {
+	seg := rep.seg
+	if seg.arb || len(seg.Replicas) <= 1 {
+		r.fail(seg.Index, kind, format, args...)
+		return
+	}
+	r.markDissent(rep, &DetectedError{Kind: kind, Segment: seg.Index,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+// replicaFailSig is the signal-carrying counterpart of replicaFail.
+func (r *Runtime) replicaFailSig(rep *replica, sig proc.Signal, format string, args ...any) {
+	seg := rep.seg
+	if seg.arb || len(seg.Replicas) <= 1 {
+		r.failSig(seg.Index, sig, format, args...)
+		return
+	}
+	r.markDissent(rep, &DetectedError{Kind: ErrCheckerException, Segment: seg.Index,
+		Sig: sig, Detail: fmt.Sprintf(format, args...)})
+}
+
+// markDissent retires a diverged NMR replica as a dissenting voter: it is
+// taken off its core, its clock frozen, and the segment votes once every
+// sibling is terminal.
+func (r *Runtime) markDissent(rep *replica, d *DetectedError) {
+	if rep.failed != nil || rep.phase == phaseReached {
+		return
+	}
+	rep.failed = d
+	if rep.Task != nil {
+		rep.doneNs = rep.Task.Clock
+		rep.Checker.DisarmBranchCounter()
+		rep.Checker.ClearAllBreakpoints()
+		r.cfg.Trace.Emit(rep.Task.Clock, trace.Vote, rep.seg.Index,
+			"replica %d dissents: %s: %s", rep.idx, d.Kind, d.Detail)
+		r.sched.observeCheckerDone(rep)
+		r.sched.onCheckerDone(rep)
+	}
+	r.maybeVote(rep.seg)
 }
 
 // releaseCP drops one reference to a checkpoint, reaping it at zero.

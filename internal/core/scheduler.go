@@ -5,18 +5,18 @@ import (
 	"parallaft/internal/trace"
 )
 
-// scheduler is the checker scheduler and pacer (§4.5). It places checkers
-// on the little-core pool, migrates the oldest checker to a big core when
-// the pool is exhausted (so the newest can start, fig. 4), queues checkers
-// when every core is busy, and scales the little cores' DVFS point so their
-// combined throughput just keeps up with the main execution.
+// scheduler is the checker scheduler and pacer (§4.5). It places checker
+// replicas on the little-core pool, migrates the oldest checker to a big
+// core when the pool is exhausted (so the newest can start, fig. 4), queues
+// checkers when every core is busy, and scales the little cores' DVFS point
+// so their combined throughput just keeps up with the main execution.
 type scheduler struct {
 	r       *Runtime
 	littles []*machine.Core
 	bigs    []*machine.Core // big cores available to checkers (not the main's)
 
-	occ   map[int]*Segment // core ID -> running segment
-	queue []*Segment
+	occ   map[int]*replica // core ID -> running checker replica
+	queue []*replica
 
 	// DVFS controller state: EWMAs of segment durations.
 	ewmaCheckerNorm float64 // checker time per segment, normalised to fmax
@@ -26,7 +26,7 @@ type scheduler struct {
 }
 
 func newScheduler(r *Runtime) *scheduler {
-	s := &scheduler{r: r, occ: make(map[int]*Segment), lastMigration: -100}
+	s := &scheduler{r: r, occ: make(map[int]*replica), lastMigration: -100}
 	for _, c := range r.e.M.LittleCores() {
 		s.littles = append(s.littles, c)
 	}
@@ -54,11 +54,19 @@ func (s *scheduler) freeCore(cores []*machine.Core) *machine.Core {
 	return nil
 }
 
-// place assigns a newly forked checker to a core, migrating or queueing if
-// necessary.
-func (s *scheduler) place(seg *Segment, nowNs float64) {
+// place assigns a newly forked checker replica to a core, migrating or
+// queueing if necessary. A "bigcore"-diversity replica tries the big pool
+// first (Döbel-style resource-aware placement: the diverse replica's demand
+// is pinned to the other core type).
+func (s *scheduler) place(rep *replica, nowNs float64) {
+	if rep.preferBig {
+		if big := s.freeCore(s.bigs); big != nil {
+			s.assign(rep, big, nowNs)
+			return
+		}
+	}
 	if c := s.freeCore(s.pool()); c != nil {
-		s.assign(seg, c, nowNs)
+		s.assign(rep, c, nowNs)
 		return
 	}
 	if len(s.pool()) == 0 {
@@ -66,7 +74,7 @@ func (s *scheduler) place(seg *Segment, nowNs float64) {
 		// with an empty pool there is never a migration victim, so without
 		// this fallback every checker would queue forever.
 		if big := s.freeCore(s.bigs); big != nil {
-			s.assign(seg, big, nowNs)
+			s.assign(rep, big, nowNs)
 			return
 		}
 	}
@@ -81,46 +89,46 @@ func (s *scheduler) place(seg *Segment, nowNs float64) {
 				// Checkers are falling behind: run the pool flat out.
 				s.setLittleFreqMax()
 				if c := s.freeCore(s.littles); c != nil {
-					s.assign(seg, c, nowNs)
+					s.assign(rep, c, nowNs)
 					return
 				}
 			}
 		}
 	}
-	seg.queued = true
+	rep.queued = true
 	s.r.stats.Queued++
 	s.r.tm.queued.Inc()
-	s.r.cfg.Trace.Emit(nowNs, trace.Queue, seg.Index, "no core free")
-	s.queue = append(s.queue, seg)
+	s.r.cfg.Trace.Emit(nowNs, trace.Queue, rep.seg.Index, "no core free")
+	s.queue = append(s.queue, rep)
 }
 
 // pickMigrationVictim selects which running little-core checker to move:
 // the oldest by default (§4.5), the newest under the footnote-11 ablation.
-func (s *scheduler) pickMigrationVictim() *Segment {
-	var victim *Segment
+func (s *scheduler) pickMigrationVictim() *replica {
+	var victim *replica
 	for _, c := range s.littles {
-		seg := s.occ[c.ID]
-		if seg == nil {
+		rep := s.occ[c.ID]
+		if rep == nil {
 			continue
 		}
 		if victim == nil ||
-			(!s.r.cfg.MigrateNewest && seg.Index < victim.Index) ||
-			(s.r.cfg.MigrateNewest && seg.Index > victim.Index) {
-			victim = seg
+			(!s.r.cfg.MigrateNewest && rep.seg.Index < victim.seg.Index) ||
+			(s.r.cfg.MigrateNewest && rep.seg.Index > victim.seg.Index) {
+			victim = rep
 		}
 	}
 	return victim
 }
 
-func (s *scheduler) assign(seg *Segment, c *machine.Core, nowNs float64) {
+func (s *scheduler) assign(rep *replica, c *machine.Core, nowNs float64) {
 	start := nowNs
-	if seg.forkNs > start {
-		start = seg.forkNs
+	if rep.forkNs > start {
+		start = rep.forkNs
 	}
-	seg.Task = s.r.e.NewTask(seg.Checker, c, start)
-	seg.onBig = c.Kind == machine.Big
-	seg.queued = false
-	s.occ[c.ID] = seg
+	rep.Task = s.r.e.NewTask(rep.Checker, c, start)
+	rep.onBig = c.Kind == machine.Big
+	rep.queued = false
+	s.occ[c.ID] = rep
 }
 
 // migrate moves a running checker to another core (its clock is
@@ -129,50 +137,52 @@ func (s *scheduler) assign(seg *Segment, c *machine.Core, nowNs float64) {
 // runs one DVFS point below maximum: the checker only has to keep up with
 // the main, not outrun it, and the paper's energy numbers depend on not
 // burning peak big-core power on verification (§4.5).
-func (s *scheduler) migrate(seg *Segment, to *machine.Core) {
-	if seg.Task == nil {
+func (s *scheduler) migrate(rep *replica, to *machine.Core) {
+	if rep.Task == nil {
 		return
 	}
-	from := seg.Task.Core
+	from := rep.Task.Core
 	delete(s.occ, from.ID)
-	seg.Task.Core = to
-	seg.onBig = to.Kind == machine.Big
+	rep.Task.Core = to
+	rep.onBig = to.Kind == machine.Big
 	to.SetFreqIndex(len(to.Ladder) - 2)
-	s.occ[to.ID] = seg
-	s.r.cfg.Trace.Emit(seg.Task.Clock, trace.Migrate, seg.Index, "core %d (%s) -> core %d (%s)", from.ID, from.Kind, to.ID, to.Kind)
+	s.occ[to.ID] = rep
+	s.r.cfg.Trace.Emit(rep.Task.Clock, trace.Migrate, rep.seg.Index, "core %d (%s) -> core %d (%s)", from.ID, from.Kind, to.ID, to.Kind)
 }
 
-// drop removes a segment from all scheduler structures (rollback teardown).
+// drop removes every replica of a segment from all scheduler structures
+// (rollback and forward-repair teardown).
 func (s *scheduler) drop(seg *Segment) {
 	for id, occ := range s.occ {
-		if occ == seg {
+		if occ.seg == seg {
 			delete(s.occ, id)
 		}
 	}
-	for i, q := range s.queue {
-		if q == seg {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			break
+	kept := s.queue[:0]
+	for _, q := range s.queue {
+		if q.seg != seg {
+			kept = append(kept, q)
 		}
 	}
+	s.queue = kept
 }
 
-// onCheckerDone releases the checker's core and dispatches a queued
-// checker onto it. Idempotent: a second call for the same segment is a
-// no-op (its core has moved on).
-func (s *scheduler) onCheckerDone(seg *Segment) {
-	if seg.Task == nil {
+// onCheckerDone releases the replica's core and dispatches a queued checker
+// onto it. Idempotent: a second call for the same replica is a no-op (its
+// core has moved on).
+func (s *scheduler) onCheckerDone(rep *replica) {
+	if rep.Task == nil {
 		return
 	}
-	core := seg.Task.Core
-	if s.occ[core.ID] != seg {
+	core := rep.Task.Core
+	if s.occ[core.ID] != rep {
 		return
 	}
 	delete(s.occ, core.ID)
 	if len(s.queue) > 0 {
 		next := s.queue[0]
 		s.queue = s.queue[1:]
-		s.assign(next, core, seg.doneNs)
+		s.assign(next, core, rep.doneNs)
 	}
 }
 
@@ -252,18 +262,18 @@ func (s *scheduler) onBoundary() {
 }
 
 // observeCheckerDone feeds the pacer's checker-duration estimate; called
-// when a checker reaches its end point.
-func (s *scheduler) observeCheckerDone(seg *Segment) {
-	if seg.onBig || seg.Task == nil {
+// when a checker replica reaches its end point.
+func (s *scheduler) observeCheckerDone(rep *replica) {
+	if rep.onBig || rep.Task == nil {
 		return
 	}
-	dur := seg.doneNs - seg.startNs
+	dur := rep.doneNs - rep.startNs
 	if dur <= 0 {
 		return
 	}
 	// Normalise to the little cores' maximum frequency (compute-bound
 	// approximation: time scales inversely with frequency).
-	c := seg.Task.Core
+	c := rep.Task.Core
 	norm := dur * c.FreqGHz() / c.MaxGHz()
 	const alpha = 0.4
 	if s.ewmaCheckerNorm == 0 {
@@ -329,15 +339,15 @@ func (s *scheduler) onMainExit() {
 		return
 	}
 	for _, lc := range s.littles {
-		seg := s.occ[lc.ID]
-		if seg == nil {
+		rep := s.occ[lc.ID]
+		if rep == nil {
 			continue
 		}
 		big := s.freeCore(s.bigs)
 		if big == nil {
 			break
 		}
-		s.migrate(seg, big)
+		s.migrate(rep, big)
 		s.r.stats.ExitMigrated++
 		s.r.tm.exitMigrations.Inc()
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"parallaft/internal/telemetry"
@@ -41,9 +42,18 @@ type coreMetrics struct {
 
 	liveSegments *telemetry.Gauge
 	checkerSlack *telemetry.Gauge
+
+	// NMR vote instruments (registered only when checkers > 1, so the
+	// telemetry snapshot of a single-checker run stays byte-identical).
+	voteUnanimous  *telemetry.Counter
+	voteAbsorbed   *telemetry.Counter
+	voteOutvoted   *telemetry.Counter
+	voteForwardRep *telemetry.Counter
+	voteNoQuorum   *telemetry.Counter
+	replicaSlack   []*telemetry.Gauge // per-replica slack, index-aligned
 }
 
-func newCoreMetrics(reg *telemetry.Registry) coreMetrics {
+func newCoreMetrics(reg *telemetry.Registry, checkers int) coreMetrics {
 	var m coreMetrics
 	if reg == nil {
 		return m
@@ -94,6 +104,23 @@ func newCoreMetrics(reg *telemetry.Registry) coreMetrics {
 		"unverified segments currently outstanding")
 	m.checkerSlack = reg.Gauge("paft_core_checker_slack_simns",
 		"simulated ns between the main's clock and the oldest unverified segment's start")
+	if checkers > 1 {
+		m.voteUnanimous = reg.Counter("paft_core_vote_unanimous_total",
+			"NMR votes where every replica agreed with the end checkpoint")
+		m.voteAbsorbed = reg.Counter("paft_core_vote_absorbed_total",
+			"dissenting replicas absorbed in place by a reference-side quorum")
+		m.voteOutvoted = reg.Counter("paft_core_vote_outvoted_replicas_total",
+			"NMR votes where a replica quorum outvoted the end checkpoint")
+		m.voteForwardRep = reg.Counter("paft_core_vote_forward_repairs_total",
+			"mains repaired by copying the agreed replica state forward")
+		m.voteNoQuorum = reg.Counter("paft_core_vote_no_quorum_total",
+			"NMR votes with no majority: fell back to detection and rollback")
+		for i := 0; i < checkers; i++ {
+			m.replicaSlack = append(m.replicaSlack, reg.Gauge(
+				fmt.Sprintf("paft_core_replica%d_slack_simns", i),
+				fmt.Sprintf("simulated ns replica %d of the oldest live segment trails the main", i)))
+		}
+	}
 	return m
 }
 
@@ -121,6 +148,21 @@ func (r *Runtime) observeLiveSegments() {
 	}
 	r.tm.liveSegments.Set(float64(live))
 	r.tm.checkerSlack.Set(slack)
+	if len(r.tm.replicaSlack) > 0 && len(r.segments) > 0 && !r.segments[0].compared {
+		for i, rep := range r.segments[0].Replicas {
+			if i >= len(r.tm.replicaSlack) {
+				break
+			}
+			rs := 0.0
+			if rep.Task != nil {
+				rs = r.mainTask.Clock - rep.Task.Clock
+				if rs < 0 {
+					rs = 0
+				}
+			}
+			r.tm.replicaSlack[i].Set(rs)
+		}
+	}
 }
 
 // emitSpan closes a segment's lifecycle span. endNs is the simulated time
@@ -135,13 +177,13 @@ func (r *Runtime) emitSpan(seg *Segment, outcome string, endNs float64) {
 		Outcome:        outcome,
 		ForkNs:         seg.mainStartNs,
 		SealNs:         seg.mainEndNs,
-		CheckerStartNs: seg.startNs,
-		CheckerDoneNs:  seg.doneNs,
+		CheckerStartNs: seg.checkerStartNs(),
+		CheckerDoneNs:  seg.checkerDoneNs(),
 		CompareNs:      seg.compareNs,
 		EndNs:          endNs,
 		Events:         len(seg.Log.Events),
 		DirtyPages:     int(seg.dirtyPages),
-		OnBig:          seg.bigNs > 0,
+		OnBig:          seg.sumBigNs() > 0,
 	}
 	if !seg.wallStart.IsZero() {
 		sp.WallNs = time.Since(seg.wallStart).Nanoseconds()

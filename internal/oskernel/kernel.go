@@ -332,6 +332,16 @@ func (k *Kernel) ForkState(parentPID, childPID int) {
 // Unregister drops a process's kernel state.
 func (k *Kernel) Unregister(pid int) { delete(k.procs, pid) }
 
+// AppendStdout appends bytes to a process's stdout buffer. Forward repair
+// uses it to carry the faulty main's already-escaped output over to the
+// repaired main (replicas replay global writes without re-executing them,
+// so a fork of a replica starts with an empty buffer).
+func (k *Kernel) AppendStdout(pid int, data []byte) {
+	if st, ok := k.procs[pid]; ok {
+		st.stdout.Write(data)
+	}
+}
+
 // Stdout returns the bytes the process has written to fd 1.
 func (k *Kernel) Stdout(pid int) []byte {
 	if st, ok := k.procs[pid]; ok {

@@ -65,6 +65,26 @@ func TestGoldenFig9Output(t *testing.T) {
 	goldenCompare(t, "golden_fig9.txt", FormatFig9(points))
 }
 
+// TestGoldenNMROutput pins the Checkers=3 voting-outcome table: the clean
+// run is unanimous, the injected checker SEU is absorbed in place with zero
+// rollbacks charged, and the injected main fault is repaired by a forward
+// state copy — both with the program's output intact.
+func TestGoldenNMROutput(t *testing.T) {
+	rows, err := goldenRunner().RunNMR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.RolledBack != 0 {
+			t.Errorf("%s: %d rollbacks charged; NMR must absorb or repair forward", row.Scenario, row.RolledBack)
+		}
+		if !row.OutputIntact {
+			t.Errorf("%s: exit code or stdout diverged from the fault-free baseline", row.Scenario)
+		}
+	}
+	goldenCompare(t, "golden_nmr.txt", FormatNMR(rows))
+}
+
 // TestGoldenTable2Output pins the detection-guarantee table, which exercises
 // the comparison path's error reporting (detected segment index and all).
 func TestGoldenTable2Output(t *testing.T) {

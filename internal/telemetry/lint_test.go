@@ -50,6 +50,9 @@ func fullyInstrumentedRegistry(t *testing.T) *telemetry.Registry {
 	l := oskernel.NewLoader(k, m.PageSize, 1)
 	cfg := core.DefaultConfig()
 	cfg.Metrics = reg
+	// Three checkers so the NMR vote instruments (paft_core_vote_*,
+	// per-replica slack gauges) are registered and linted too.
+	cfg.Checkers = 3
 	rt := core.NewRuntime(sim.New(m, k, l), cfg)
 	if _, err := rt.Run(lintProgram()); err != nil {
 		t.Fatalf("instrumented run: %v", err)
@@ -142,23 +145,25 @@ func TestTraceKindHelpIsTotal(t *testing.T) {
 
 	// Map constant names to their runtime values via the package itself.
 	byName := map[string]trace.Kind{
-		"SegmentStart": trace.SegmentStart,
-		"SegmentSeal":  trace.SegmentSeal,
-		"Syscall":      trace.Syscall,
-		"Nondet":       trace.Nondet,
-		"Signal":       trace.Signal,
-		"CheckerDone":  trace.CheckerDone,
-		"Compare":      trace.Compare,
-		"Migrate":      trace.Migrate,
-		"DVFS":         trace.DVFS,
-		"Queue":        trace.Queue,
-		"Detect":       trace.Detect,
-		"Arbitrate":    trace.Arbitrate,
-		"Recover":      trace.Recover,
-		"Rollback":     trace.Rollback,
-		"Barrier":      trace.Barrier,
-		"Stall":        trace.Stall,
-		"Truncated":    trace.Truncated,
+		"SegmentStart":  trace.SegmentStart,
+		"SegmentSeal":   trace.SegmentSeal,
+		"Syscall":       trace.Syscall,
+		"Nondet":        trace.Nondet,
+		"Signal":        trace.Signal,
+		"CheckerDone":   trace.CheckerDone,
+		"Compare":       trace.Compare,
+		"Migrate":       trace.Migrate,
+		"DVFS":          trace.DVFS,
+		"Queue":         trace.Queue,
+		"Detect":        trace.Detect,
+		"Arbitrate":     trace.Arbitrate,
+		"Recover":       trace.Recover,
+		"Rollback":      trace.Rollback,
+		"Barrier":       trace.Barrier,
+		"Stall":         trace.Stall,
+		"Vote":          trace.Vote,
+		"ForwardRepair": trace.ForwardRepair,
+		"Truncated":     trace.Truncated,
 	}
 	for _, name := range kinds {
 		k, ok := byName[name]

@@ -18,6 +18,10 @@ const (
 	OutcomeRecovered = "recovered"
 	// OutcomeRollback: the segment was discarded by a main-fault rollback.
 	OutcomeRollback = "rollback"
+	// OutcomeForwardRepaired: an NMR replica quorum outvoted the segment's
+	// end checkpoint and the main was repaired forward from the agreed
+	// replica state instead of rolling back.
+	OutcomeForwardRepaired = "forward-repaired"
 )
 
 // Span is one segment's full lifecycle: checkpoint fork → main run →

@@ -21,22 +21,24 @@ type Kind string
 
 // Event kinds emitted by the runtime.
 const (
-	SegmentStart Kind = "segment-start"
-	SegmentSeal  Kind = "segment-seal"
-	Syscall      Kind = "syscall"
-	Nondet       Kind = "nondet"
-	Signal       Kind = "signal"
-	CheckerDone  Kind = "checker-done"
-	Compare      Kind = "compare"
-	Migrate      Kind = "migrate"
-	DVFS         Kind = "dvfs"
-	Queue        Kind = "queue"
-	Detect       Kind = "detect"
-	Arbitrate    Kind = "arbitrate"
-	Recover      Kind = "recover"
-	Rollback     Kind = "rollback"
-	Barrier      Kind = "barrier"
-	Stall        Kind = "stall"
+	SegmentStart  Kind = "segment-start"
+	SegmentSeal   Kind = "segment-seal"
+	Syscall       Kind = "syscall"
+	Nondet        Kind = "nondet"
+	Signal        Kind = "signal"
+	CheckerDone   Kind = "checker-done"
+	Compare       Kind = "compare"
+	Migrate       Kind = "migrate"
+	DVFS          Kind = "dvfs"
+	Queue         Kind = "queue"
+	Detect        Kind = "detect"
+	Arbitrate     Kind = "arbitrate"
+	Recover       Kind = "recover"
+	Rollback      Kind = "rollback"
+	Barrier       Kind = "barrier"
+	Stall         Kind = "stall"
+	Vote          Kind = "vote"
+	ForwardRepair Kind = "forward-repair"
 	// Truncated is a synthetic trailer appended when rendering a recorder
 	// that hit its event limit, so a cut-off trace is never mistaken for a
 	// complete one.
@@ -47,23 +49,25 @@ const (
 // table is total (a new Kind without a help string fails `make check`), so
 // downstream dashboards always have human-readable descriptions.
 var KindHelp = map[Kind]string{
-	SegmentStart: "a new segment began: checkpoint and checker forked",
-	SegmentSeal:  "the main reached a segment end; its record is final",
-	Syscall:      "the main stopped at a syscall and its record was captured",
-	Nondet:       "a nondeterministic instruction's value was recorded",
-	Signal:       "a signal was recorded at the main's execution point",
-	CheckerDone:  "a checker reached its segment end point",
-	Compare:      "an end-of-segment state comparison completed",
-	Migrate:      "a checker migrated between cores",
-	DVFS:         "the pacer changed the little cores' operating point",
-	Queue:        "a checker queued because no core was free",
-	Detect:       "a divergence was detected",
-	Arbitrate:    "recovery re-executed a segment with a clean referee",
-	Recover:      "a checker fault was absorbed without rollback",
-	Rollback:     "the main was restored from a verified checkpoint",
-	Barrier:      "a containment barrier drained outstanding segments",
-	Stall:        "the main stalled on the live-segment bound",
-	Truncated:    "synthetic trailer: the recorder hit its event limit",
+	SegmentStart:  "a new segment began: checkpoint and checker forked",
+	SegmentSeal:   "the main reached a segment end; its record is final",
+	Syscall:       "the main stopped at a syscall and its record was captured",
+	Nondet:        "a nondeterministic instruction's value was recorded",
+	Signal:        "a signal was recorded at the main's execution point",
+	CheckerDone:   "a checker reached its segment end point",
+	Compare:       "an end-of-segment state comparison completed",
+	Migrate:       "a checker migrated between cores",
+	DVFS:          "the pacer changed the little cores' operating point",
+	Queue:         "a checker queued because no core was free",
+	Detect:        "a divergence was detected",
+	Arbitrate:     "recovery re-executed a segment with a clean referee",
+	Recover:       "a checker fault was absorbed without rollback",
+	Rollback:      "the main was restored from a verified checkpoint",
+	Barrier:       "a containment barrier drained outstanding segments",
+	Stall:         "the main stalled on the live-segment bound",
+	Vote:          "an NMR majority vote over a segment's replicas concluded",
+	ForwardRepair: "the main was repaired forward from an agreed replica state",
+	Truncated:     "synthetic trailer: the recorder hit its event limit",
 }
 
 // Kinds returns every event kind in KindHelp, for exhaustiveness checks.
