@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden nmr-golden telemetry-golden fuzz-smoke offload-roundtrip
+.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden nmr-golden telemetry-golden farm-golden farm-soak fuzz-smoke offload-roundtrip
 
-check: vet golden nmr-golden telemetry-golden alloc-guard trajectory-check fuzz-smoke race
+check: vet golden nmr-golden telemetry-golden farm-golden alloc-guard trajectory-check fuzz-smoke race
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,21 @@ nmr-golden:
 telemetry-golden:
 	$(GO) test ./cmd/parallaft -run 'TestTelemetryGolden'
 	$(GO) test ./internal/telemetry -run 'Lint|Total'
+
+# The check farm's acceptance gate: the whole workload suite's packets,
+# sharded over three checkd nodes with one killed and one joined
+# mid-campaign, must match the in-process checker byte for byte with every
+# shared chunk crossing each node's wire at most once. Runs without -race
+# (the full-suite double replay carries a !race build tag); the race-enabled
+# soak below covers the same failover machinery at race-detector size.
+# Regenerate with `go test ./internal/checkfarm -run Golden -update`.
+farm-golden:
+	$(GO) test ./internal/checkfarm -run 'TestGoldenFarmParity'
+
+# Race-enabled kill/restart soak of the farm dispatcher: repeated node
+# crashes and rejoins mid-campaign with exactly-once, in-order verdicts.
+farm-soak:
+	$(GO) test -race ./internal/checkfarm -run 'TestFarmSoak' -count 5
 
 # Short fuzz of the check-packet codec: Decode must never panic, and every
 # accepted input must re-encode byte-identically (canonical wire format).

@@ -9,6 +9,7 @@
 //	paftbench -experiment table1          # tables: table1 table2
 //	paftbench -experiment nmr             # main+3 NMR voting-outcome table
 //	paftbench -experiment stress          # §5.7 syscall/signal stress
+//	paftbench -experiment farm            # distributed check-farm soak (kill + join mid-campaign)
 //	paftbench -checkers 3 -experiment fig7  # energy cost of N-way replication
 //	paftbench -experiment intel           # §5.8 Intel platform
 //	paftbench -experiment all             # everything
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 nmr stress intel all")
+		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 nmr stress farm intel all")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
 		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
 		seed       = flag.Int64("seed", 12345, "simulation seed")
@@ -128,7 +129,7 @@ func splitPresets(s string) []string {
 
 var knownExperiments = []string{
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig9a", "fig9b", "fig9c",
-	"fig10", "table1", "table2", "nmr", "stress", "intel", "all",
+	"fig10", "table1", "table2", "nmr", "stress", "farm", "intel", "all",
 }
 
 func run(runner *stats.Runner, experiment string, names []string, trials int, scale float64) error {
@@ -222,6 +223,14 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 			return err
 		}
 		fmt.Println(stats.FormatStress(rows))
+	}
+
+	if show("farm") {
+		res, err := runner.RunFarm()
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.FormatFarm(res))
 	}
 
 	if show("intel") {

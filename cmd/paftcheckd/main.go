@@ -7,7 +7,9 @@
 //
 //	paftcheckd -verify dir/                 # check an exported directory in-process
 //	paftcheckd -listen /run/paftcheckd.sock # serve the checking service on a Unix socket
+//	paftcheckd -listen tcp:0.0.0.0:9140     # serve over TCP, e.g. as one farm node
 //	paftcheckd -verify dir/ -connect /run/paftcheckd.sock   # check via a running daemon
+//	paftcheckd -verify dir/ -connect tcp:host:9140          # same, over TCP
 //
 // Exit codes for -verify: 0 all segments pass, 1 a divergence was detected,
 // 3 infrastructure failure (missing chunks, protocol errors).
@@ -26,6 +28,7 @@ import (
 	"syscall"
 
 	"parallaft/internal/checkd"
+	"parallaft/internal/checkfarm"
 	"parallaft/internal/packet"
 	"parallaft/internal/telemetry"
 )
@@ -39,8 +42,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		verifyDir = fs.String("verify", "", "check every packet in this exported directory")
-		listen    = fs.String("listen", "", "serve the checking service on this Unix socket path")
-		connect   = fs.String("connect", "", "with -verify: send the packets to a daemon at this Unix socket instead of checking in-process")
+		listen    = fs.String("listen", "", "serve the checking service on this endpoint: a Unix socket path, or tcp:host:port")
+		connect   = fs.String("connect", "", "with -verify: send the packets to a daemon at this endpoint (Unix socket path or tcp:host:port) instead of checking in-process")
 		workers   = fs.Int("workers", 4, "concurrent replay workers")
 		queue     = fs.Int("queue", 0, "intake queue depth (0 = 2x workers); a full queue blocks the producer")
 		retries   = fs.Int("retries", 2, "retries for packets whose chunks have not arrived yet")
@@ -69,17 +72,24 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // signalling the whole process.
 var shutdownHook chan struct{}
 
+// listenHook, when non-nil, receives the bound listener address. Tests use
+// it to learn the port a "tcp:host:0" spec resolved to.
+var listenHook chan net.Addr
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
 // in-flight connections finish their verdict streams before exit. With
 // metricsAddr set, a telemetry registry is shared by every connection's
 // executor and served as Prometheus text on http://metricsAddr/metrics
 // (the same snapshot the transport's 'M' frame returns).
 func serve(sock, metricsAddr string, opts checkd.Options, stderr io.Writer) int {
-	// A stale socket from a previous daemon would block the listen.
-	if _, err := os.Stat(sock); err == nil {
-		os.Remove(sock)
+	// A stale Unix socket from a previous daemon would block the listen;
+	// TCP endpoints have no such residue.
+	if !checkfarm.IsTCP(sock) {
+		if _, err := os.Stat(sock); err == nil {
+			os.Remove(sock)
+		}
 	}
-	ln, err := net.Listen("unix", sock)
+	ln, err := checkfarm.Listen(sock)
 	if err != nil {
 		fmt.Fprintln(stderr, "paftcheckd:", err)
 		return 1
@@ -109,7 +119,11 @@ func serve(sock, metricsAddr string, opts checkd.Options, stderr io.Writer) int 
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	fmt.Fprintf(stderr, "paftcheckd: listening on %s\n", sock)
+	// The resolved address matters for tcp:host:0 specs.
+	fmt.Fprintf(stderr, "paftcheckd: listening on %s\n", ln.Addr())
+	if listenHook != nil {
+		listenHook <- ln.Addr()
+	}
 
 	drain := func(why string) int {
 		fmt.Fprintf(stderr, "paftcheckd: %s, draining\n", why)
@@ -118,7 +132,9 @@ func serve(sock, metricsAddr string, opts checkd.Options, stderr io.Writer) int 
 		if msrv != nil {
 			msrv.Close()
 		}
-		os.Remove(sock)
+		if !checkfarm.IsTCP(sock) {
+			os.Remove(sock)
+		}
 		return 0
 	}
 	select {
@@ -157,7 +173,7 @@ func verify(dir, connect string, opts checkd.Options, quiet bool, stdout, stderr
 		}
 		var verdicts []checkd.Verdict
 		if connect != "" {
-			conn, err := net.Dial("unix", connect)
+			conn, err := checkfarm.Dial(connect)
 			if err != nil {
 				fmt.Fprintln(stderr, "paftcheckd:", err)
 				return 3

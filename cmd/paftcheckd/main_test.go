@@ -108,6 +108,38 @@ func TestVerifyOverSocket(t *testing.T) {
 	}
 }
 
+// TestVerifyOverTCP covers the farm-node transport end to end through the
+// CLI: `-listen tcp:host:0` serves the same framed protocol over TCP, and
+// `-verify -connect tcp:host:port` checks through it.
+func TestVerifyOverTCP(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pkts")
+	exportRun(t, dir)
+
+	shutdownHook = make(chan struct{})
+	listenHook = make(chan net.Addr, 1)
+	defer func() { shutdownHook, listenHook = nil, nil }()
+	serveDone := make(chan int, 1)
+	var serveErr bytes.Buffer
+	go func() {
+		serveDone <- run([]string{"-listen", "tcp:127.0.0.1:0", "-workers", "2"}, &bytes.Buffer{}, &serveErr)
+	}()
+	addr := <-listenHook
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-verify", dir, "-connect", "tcp:" + addr.String(), "-quiet"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "0 diverged") {
+		t.Errorf("summary missing: %q", stdout.String())
+	}
+
+	close(shutdownHook)
+	if code := <-serveDone; code != 0 {
+		t.Fatalf("serve exit %d\nstderr:\n%s", code, serveErr.String())
+	}
+}
+
 func TestVerifyMissingDirFails(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-verify", filepath.Join(t.TempDir(), "nope")}, &stdout, &stderr); code != 3 {

@@ -12,6 +12,8 @@
 //	parallaft -workload 429.mcf -stats-json            # machine-readable stats
 //	parallaft -checkers 3 prog.pasm        # main+3 NMR: majority voting
 //	parallaft -checkers 3 -diversity none,skid4x,bigcore prog.pasm  # diverse replicas
+//	parallaft -workload 429.mcf -farm tcp:host1:9140,tcp:host2:9140 # re-check every
+//	                                        # sealed segment on a checkd fleet
 package main
 
 import (
@@ -19,15 +21,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"parallaft/internal/asm"
+	"parallaft/internal/checkd"
+	"parallaft/internal/checkfarm"
 	"parallaft/internal/core"
 	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/packet"
+	"parallaft/internal/pagestore"
 	"parallaft/internal/sim"
 	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
@@ -54,6 +61,12 @@ type options struct {
 	spansFile string
 	checkers  int
 	diversity string
+	farm      string
+	metrics   string
+
+	// reg, when non-nil, is the shared registry behind -metrics-addr;
+	// otherwise each checking run gets its own.
+	reg *telemetry.Registry
 }
 
 // splitPresets turns the -diversity flag value into a preset list ("" =
@@ -98,6 +111,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.spansFile, "spans", "", "write one JSONL segment-lifecycle span per retired segment to this file")
 	fs.IntVar(&o.checkers, "checkers", 1, "checker replicas per segment (N > 1 enables NMR majority voting; parallaft mode only)")
 	fs.StringVar(&o.diversity, "diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
+	fs.StringVar(&o.farm, "farm", "", "comma-separated checkd node specs (tcp:host:port or Unix socket paths): re-check every sealed segment on the fleet")
+	fs.StringVar(&o.metrics, "metrics-addr", "", "serve Prometheus text metrics on this TCP address at /metrics for the duration of the run")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -105,6 +120,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err := validateNMR(o); err != nil {
 		fmt.Fprintln(stderr, "parallaft:", err)
 		return 2
+	}
+	if o.farm != "" {
+		if o.mode != "parallaft" && o.mode != "raft" {
+			fmt.Fprintln(stderr, "parallaft: -farm requires a checking mode (parallaft or raft)")
+			return 2
+		}
+		if o.exportDir != "" {
+			fmt.Fprintln(stderr, "parallaft: -farm and -export-packets both consume the packet stream; use one")
+			return 2
+		}
 	}
 
 	if o.list {
@@ -137,6 +162,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if o.exportDir != "" && o.mode != "parallaft" && o.mode != "raft" {
 		fmt.Fprintln(stderr, "parallaft: -export-packets requires a checking mode (parallaft or raft)")
 		return 2
+	}
+
+	if o.metrics != "" {
+		o.reg = telemetry.NewRegistry()
+		mln, err := net.Listen("tcp", o.metrics)
+		if err != nil {
+			fmt.Fprintln(stderr, "parallaft:", err)
+			return 2
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", o.reg.Handler())
+		msrv := &http.Server{Handler: mux}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Fprintf(stderr, "parallaft: metrics on http://%s/metrics\n", mln.Addr())
 	}
 
 	for _, prog := range progs {
@@ -230,8 +270,11 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 		}
 		// Telemetry is observation-only (it consumes no simulated time), so
 		// the registry is always on in checking modes; -stats-json carries
-		// its snapshot.
-		reg := telemetry.NewRegistry()
+		// its snapshot and -metrics-addr shares one registry across programs.
+		reg := o.reg
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
 		cfg.Metrics = reg
 		var spans *telemetry.SpanRecorder
 		if o.spansFile != "" {
@@ -247,10 +290,46 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			}
 			cfg.Export = de.Exporter()
 		}
+		var farm *checkfarm.Farm
+		var farmVerdicts func() []checkd.Verdict
+		if o.farm != "" {
+			store := pagestore.New(core.PageHashSeed)
+			farm = checkfarm.New(store, checkfarm.Options{Metrics: reg})
+			for _, spec := range strings.Split(o.farm, ",") {
+				if err := farm.AddNode(strings.TrimSpace(spec)); err != nil {
+					farm.Close()
+					return err
+				}
+			}
+			cfg.Export = &packet.Exporter{
+				Store: store,
+				Sink:  func(p *packet.CheckPacket) error { return farm.Submit(p) },
+			}
+			var vs []checkd.Verdict
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for v := range farm.Verdicts() {
+					vs = append(vs, v)
+				}
+			}()
+			farmVerdicts = func() []checkd.Verdict {
+				farm.Close()
+				<-done
+				return vs
+			}
+		}
 		rt := core.NewRuntime(e, cfg)
 		st, err := rt.Run(prog)
 		if err != nil {
+			if farmVerdicts != nil {
+				farmVerdicts()
+			}
 			return err
+		}
+		var farmSummary *farmResult
+		if farmVerdicts != nil {
+			farmSummary = summarizeFarm(farmVerdicts(), farm.NodeStats())
 		}
 		if de != nil {
 			if err := de.Close(); err != nil {
@@ -284,13 +363,20 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			fmt.Fprintf(stderr, "spans: %d segment spans written to %s\n", spans.Len(), o.spansFile)
 		}
 		if o.statsJSON {
-			return emitJSON(stdout, map[string]any{
+			obj := map[string]any{
 				"benchmark":     st.Benchmark,
 				"mode":          o.mode,
 				"stats":         st,
 				"telemetry":     reg.Snapshot(),
 				"trace_dropped": rec.Dropped(),
-			})
+			}
+			if farmSummary != nil {
+				obj["farm"] = farmSummary
+			}
+			if err := emitJSON(stdout, obj); err != nil {
+				return err
+			}
+			return farmSummary.err()
 		}
 		fmt.Fprintf(stdout, "== %s (%s on %s) ==\n", prog.Name, o.mode, m)
 		fmt.Fprintf(stdout, "timing.all_wall_time:            %.3f ms\n", st.AllWallNs/1e6)
@@ -314,14 +400,68 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			fmt.Fprintf(stdout, "vote.forward_repairs:            %d\n", st.ForwardRepairs)
 			fmt.Fprintf(stdout, "vote.no_quorum:                  %d\n", st.VoteNoQuorum)
 		}
+		if farmSummary != nil {
+			fmt.Fprintf(stdout, "farm.verdicts:                   %d ok=%d diverged=%d infra=%d\n",
+				farmSummary.Verdicts, farmSummary.OK, farmSummary.Diverged, farmSummary.Infra)
+			for _, ns := range farmSummary.Nodes {
+				// The stats print after the farm has drained, so Live is
+				// false for everyone; what matters is whether the node
+				// finished the campaign or was evicted mid-way.
+				state := "ok"
+				if ns.EvictReason != "" {
+					state = "evicted (" + ns.EvictReason + ")"
+				}
+				fmt.Fprintf(stdout, "farm.node %s: %s verdicts=%d uploads=%d cached=%d\n",
+					ns.Addr, state, ns.Verdicts, ns.Uploads, ns.CacheSize)
+			}
+		}
 		fmt.Fprintf(stdout, "exit_code:                       %d\n", st.ExitCode)
 		if st.Detected != nil {
 			fmt.Fprintf(stdout, "DETECTED ERROR: %v\n", st.Detected)
 		}
 		stdout.Write(st.Stdout)
-		return nil
+		return farmSummary.err()
 	}
 	return fmt.Errorf("unknown mode %q", o.mode)
+}
+
+// farmResult is the -farm campaign summary: one verdict per sealed segment,
+// classified, plus the per-node dispatch accounting. It rides the
+// -stats-json object under "farm".
+type farmResult struct {
+	Verdicts int                   `json:"verdicts"`
+	OK       int                   `json:"ok"`
+	Diverged int                   `json:"diverged"`
+	Infra    int                   `json:"infra"`
+	Nodes    []checkfarm.NodeStats `json:"nodes"`
+}
+
+func summarizeFarm(vs []checkd.Verdict, nodes []checkfarm.NodeStats) *farmResult {
+	r := &farmResult{Verdicts: len(vs), Nodes: nodes}
+	for _, v := range vs {
+		switch {
+		case v.Infra != "":
+			r.Infra++
+		case v.OK:
+			r.OK++
+		default:
+			r.Diverged++
+		}
+	}
+	return r
+}
+
+// err reports the campaign-level failure: the run only exits clean when
+// every sealed segment came back with a passing farm verdict.
+func (r *farmResult) err() error {
+	if r == nil {
+		return nil
+	}
+	if r.Diverged > 0 || r.Infra > 0 {
+		return fmt.Errorf("farm: %d of %d segment verdicts failed (%d diverged, %d infrastructure)",
+			r.Diverged+r.Infra, r.Verdicts, r.Diverged, r.Infra)
+	}
+	return nil
 }
 
 // emitJSON writes one compact JSON object per line, the machine-readable

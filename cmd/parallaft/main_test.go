@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"parallaft/internal/checkd"
 	"parallaft/internal/packet"
 )
 
@@ -92,6 +94,114 @@ func TestExportPackets(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "packets written") {
 		t.Errorf("stderr missing export summary: %q", stderr.String())
+	}
+}
+
+// startFarmNode runs a checkd server on loopback TCP and returns its node
+// spec for the -farm flag.
+func startFarmNode(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := checkd.NewServer(checkd.Options{Workers: 2})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }() //nolint:errcheck
+	t.Cleanup(func() {
+		srv.Shutdown()
+		<-done
+	})
+	return "tcp:" + ln.Addr().String()
+}
+
+// TestFarmRun drives -farm end to end through the CLI: every sealed segment
+// is re-checked on a two-node fleet, the stats block gains the farm lines,
+// and the exit is clean only because every farm verdict passed.
+func TestFarmRun(t *testing.T) {
+	a, b := startFarmNode(t), startFarmNode(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-workload", "458.sjeng", "-scale", "0.05",
+		"-farm", a + "," + b}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "farm.verdicts:") {
+		t.Fatalf("stats block missing the farm summary:\n%s", out)
+	}
+	if !strings.Contains(out, "diverged=0 infra=0") {
+		t.Errorf("farm verdicts not clean:\n%s", out)
+	}
+	if strings.Count(out, "farm.node ") != 2 {
+		t.Errorf("want one farm.node line per node:\n%s", out)
+	}
+}
+
+// TestFarmRunStatsJSON pins the machine-readable farm block.
+func TestFarmRunStatsJSON(t *testing.T) {
+	spec := startFarmNode(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-workload", "stress.getpid", "-scale", "0.05",
+		"-farm", spec, "-stats-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	var obj struct {
+		Farm struct {
+			Verdicts int `json:"verdicts"`
+			OK       int `json:"ok"`
+			Diverged int `json:"diverged"`
+			Infra    int `json:"infra"`
+			Nodes    []struct {
+				Addr     string `json:"Addr"`
+				Verdicts int    `json:"Verdicts"`
+			} `json:"nodes"`
+		} `json:"farm"`
+		Telemetry []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value,omitempty"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(stdout.Bytes()), &obj); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if obj.Farm.Verdicts == 0 || obj.Farm.OK != obj.Farm.Verdicts {
+		t.Errorf("farm block = %+v, want all verdicts ok", obj.Farm)
+	}
+	if len(obj.Farm.Nodes) != 1 || obj.Farm.Nodes[0].Addr != spec {
+		t.Errorf("farm nodes = %+v, want the single node %s", obj.Farm.Nodes, spec)
+	}
+	found := false
+	for _, m := range obj.Telemetry {
+		if m.Name == "paft_farm_verdicts_total" && m.Value == float64(obj.Farm.Verdicts) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("telemetry snapshot missing paft_farm_verdicts_total matching the farm block")
+	}
+}
+
+// TestFarmFlagValidation: -farm outside checking modes or combined with
+// -export-packets is a usage error.
+func TestFarmFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-mode", "baseline", "-farm", "tcp:127.0.0.1:1", "-workload", "stress.getpid"}, "requires a checking mode"},
+		{[]string{"-farm", "tcp:127.0.0.1:1", "-export-packets", "x", "-workload", "stress.getpid"}, "use one"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit code %d, want 2 (stderr %q)", tc.args, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: stderr = %q, want it to mention %q", tc.args, stderr.String(), tc.want)
+		}
 	}
 }
 

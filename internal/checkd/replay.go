@@ -52,6 +52,22 @@ type Verdict struct {
 // to ErrMissingChunk.
 func (v Verdict) InfraErr() error { return v.infraErr }
 
+// NewInfraVerdict builds the verdict for a packet that could not be checked
+// at all: the dispatcher-side analogue of the executor's retry-exhausted
+// path. err is kept typed (InfraErr) as well as rendered into Infra, so
+// consumers can errors.Is against sentinels like checkfarm's ErrNoNodes.
+// The caller assigns Seq.
+func NewInfraVerdict(pkt *packet.CheckPacket, err error) Verdict {
+	return Verdict{
+		Benchmark: pkt.Benchmark,
+		ProgName:  pkt.ProgName,
+		Segment:   pkt.Segment,
+		OK:        false,
+		Infra:     err.Error(),
+		infraErr:  err,
+	}
+}
+
 func (v Verdict) String() string {
 	if v.Infra != "" {
 		return fmt.Sprintf("%s seg %d: INFRA: %s", v.ProgName, v.Segment, v.Infra)

@@ -20,9 +20,11 @@ import (
 //	client → server:  'C' chunk (key u64 + bytes)   content-addressed page/code data
 //	                  'P' packet                     one encoded CheckPacket
 //	                  'M' metrics request            ask for a telemetry snapshot
+//	                  'H' heartbeat ping             liveness probe (opaque payload)
 //	                  'D' done                       no more frames; drain and report
 //	server → client:  'V' verdict                    JSON-encoded Verdict, in submit order
 //	                  'M' metrics reply              Prometheus text exposition
+//	                  'H' heartbeat pong             the ping's payload, echoed
 //	                  'E' error                      intake rejection or protocol error (fatal)
 //	                  'D' done                       all verdicts sent
 //
@@ -30,24 +32,36 @@ import (
 // loop tolerates slight reordering). Each connection gets its own store and
 // executor: connections are independent verdict streams. A metrics request
 // is answered immediately with the daemon-wide registry (empty payload when
-// the server runs without one).
+// the server runs without one). Heartbeats are optional — a client that
+// never pings sees exactly the pre-heartbeat protocol — and are echoed
+// verbatim, so round-trip pairing is the client's concern. The same framing
+// runs unchanged over Unix sockets and TCP; internal/checkfarm drives many
+// TCP sessions at once.
 const (
-	frameChunk   = 'C'
-	framePacket  = 'P'
-	frameVerdict = 'V'
-	frameError   = 'E'
-	frameDone    = 'D'
-	frameMetrics = 'M'
+	FrameChunk     = 'C'
+	FramePacket    = 'P'
+	FrameVerdict   = 'V'
+	FrameError     = 'E'
+	FrameDone      = 'D'
+	FrameMetrics   = 'M'
+	FrameHeartbeat = 'H'
 )
 
-// maxFrameLen bounds a single frame so a corrupt length prefix cannot
+// MaxFrameLen bounds a single frame so a corrupt length prefix cannot
 // exhaust host memory.
-const maxFrameLen = 64 << 20
+const MaxFrameLen = 64 << 20
 
 // ErrProtocol reports a malformed or out-of-protocol frame.
 var ErrProtocol = errors.New("checkd: protocol error")
 
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
+// ErrFrameTooLarge reports a frame whose length prefix exceeds MaxFrameLen.
+// It wraps ErrProtocol, so errors.Is matches either sentinel; the typed
+// variant lets transports distinguish a hostile/corrupt length field from
+// other framing damage without string matching.
+var ErrFrameTooLarge = fmt.Errorf("%w: frame exceeds size limit", ErrProtocol)
+
+// WriteFrame writes one protocol frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -58,14 +72,17 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) (byte, []byte, error) {
+// ReadFrame reads one protocol frame, rejecting oversized length prefixes
+// with ErrFrameTooLarge before allocating anything.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrameLen {
-		return 0, nil, fmt.Errorf("%w: frame %q length %d exceeds limit", ErrProtocol, hdr[0], n)
+	if n > MaxFrameLen {
+		return 0, nil, fmt.Errorf("%w: frame %q length %d exceeds %d-byte limit",
+			ErrFrameTooLarge, hdr[0], n, MaxFrameLen)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -166,7 +183,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		defer wmu.Unlock()
 		s.tm.framesWritten.Inc()
 		s.tm.bytesWritten.Add(uint64(5 + len(payload)))
-		return writeFrame(conn, typ, payload)
+		return WriteFrame(conn, typ, payload)
 	}
 
 	writerDone := make(chan struct{})
@@ -177,20 +194,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			if send(frameVerdict, b) != nil {
+			if send(FrameVerdict, b) != nil {
 				return
 			}
 		}
 	}()
 
 	fail := func(msg string) {
-		send(frameError, []byte(msg))
+		send(FrameError, []byte(msg))
 		x.Close()
 		<-writerDone
 	}
 
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := ReadFrame(conn)
 		if err != nil {
 			// A vanished client: drop the session, nothing to report to.
 			x.Close()
@@ -200,14 +217,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.tm.framesRead.Inc()
 		s.tm.bytesRead.Add(uint64(5 + len(payload)))
 		switch typ {
-		case frameChunk:
+		case FrameChunk:
 			if len(payload) < 8 {
 				fail("chunk frame shorter than its key")
 				return
 			}
 			key := pagestore.Key(binary.LittleEndian.Uint64(payload))
 			store.Insert(key, payload[8:])
-		case framePacket:
+		case FramePacket:
 			pkt, err := packet.Decode(payload)
 			if err != nil {
 				fail(fmt.Sprintf("bad packet: %v", err))
@@ -217,7 +234,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				fail(err.Error())
 				return
 			}
-		case frameMetrics:
+		case FrameMetrics:
 			var buf bytes.Buffer
 			if s.opts.Metrics != nil {
 				if err := s.opts.Metrics.WritePrometheus(&buf); err != nil {
@@ -225,15 +242,24 @@ func (s *Server) serveConn(conn net.Conn) {
 					return
 				}
 			}
-			if send(frameMetrics, buf.Bytes()) != nil {
+			if send(FrameMetrics, buf.Bytes()) != nil {
 				x.Close()
 				<-writerDone
 				return
 			}
-		case frameDone:
+		case FrameHeartbeat:
+			// Echo the ping verbatim: liveness is proven by any reply, and
+			// an opaque payload lets the client correlate pings however it
+			// likes (checkfarm sends a monotone sequence number).
+			if send(FrameHeartbeat, payload) != nil {
+				x.Close()
+				<-writerDone
+				return
+			}
+		case FrameDone:
 			x.Close()
 			<-writerDone
-			send(frameDone, nil)
+			send(FrameDone, nil)
 			return
 		default:
 			fail(fmt.Sprintf("unexpected frame type %q", typ))
@@ -243,26 +269,66 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // RemoteError is an 'E' frame from the server: the session was rejected.
+// It is a verdict-level failure — the node is alive and answered, the
+// session's content was refused — as opposed to ConnError, which reports the
+// transport itself failing.
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "checkd: remote: " + e.Msg }
+
+// ConnError is a connection-level transport failure against one node: a
+// write that never arrived or a verdict stream that broke mid-session. It is
+// the retryable class — the packets in flight were (as far as the client
+// knows) never judged, so a dispatcher may safely re-send them elsewhere.
+// Addr names the node ("" when the conn carries no address) and Packet is
+// the index of the packet being sent or awaited when the failure hit (-1
+// when the failure predates packet traffic).
+type ConnError struct {
+	Addr   string
+	Op     string // "send chunk", "send packet", "read verdict", ...
+	Packet int
+	Err    error
+}
+
+func (e *ConnError) Error() string {
+	where := e.Addr
+	if where == "" {
+		where = "conn"
+	}
+	if e.Packet >= 0 {
+		return fmt.Sprintf("checkd: %s: %s (packet %d): %v", where, e.Op, e.Packet, e.Err)
+	}
+	return fmt.Sprintf("checkd: %s: %s: %v", where, e.Op, e.Err)
+}
+
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// connAddr extracts a printable remote address when the transport has one.
+func connAddr(conn io.ReadWriter) string {
+	if c, ok := conn.(interface{ RemoteAddr() net.Addr }); ok {
+		if a := c.RemoteAddr(); a != nil {
+			return a.String()
+		}
+	}
+	return ""
+}
 
 // FetchMetrics asks the server for a telemetry snapshot over a dedicated
 // connection and returns the Prometheus text exposition. Use a fresh
 // connection: on a session with packets in flight, verdict frames may
 // arrive ahead of the metrics reply.
 func FetchMetrics(conn io.ReadWriter) ([]byte, error) {
-	if err := writeFrame(conn, frameMetrics, nil); err != nil {
+	if err := WriteFrame(conn, FrameMetrics, nil); err != nil {
 		return nil, err
 	}
-	typ, payload, err := readFrame(conn)
+	typ, payload, err := ReadFrame(conn)
 	if err != nil {
 		return nil, err
 	}
 	switch typ {
-	case frameMetrics:
+	case FrameMetrics:
 		return payload, nil
-	case frameError:
+	case FrameError:
 		return nil, &RemoteError{Msg: string(payload)}
 	default:
 		return nil, fmt.Errorf("%w: unexpected frame type %q in metrics reply", ErrProtocol, typ)
@@ -271,8 +337,15 @@ func FetchMetrics(conn io.ReadWriter) ([]byte, error) {
 
 // CheckOver runs a full client session on conn: stream every chunk of the
 // store, then every packet, then collect the ordered verdicts. It is the
-// Unix-socket analogue of CheckAll.
+// socket analogue of CheckAll (Unix or TCP — the framing is identical).
+//
+// Failures come back in two distinguishable classes: a *ConnError wraps any
+// transport-level failure with the node's address and the packet index in
+// flight (the dispatcher's cue to evict the node and re-send elsewhere),
+// while a *RemoteError carries the server's own rejection of the session
+// content (re-sending the same packets elsewhere would be rejected again).
 func CheckOver(conn io.ReadWriter, store *pagestore.Store, pkts []*packet.CheckPacket) ([]Verdict, error) {
+	addr := connAddr(conn)
 	var sendErr error
 	store.Each(func(k pagestore.Key, data []byte) {
 		if sendErr != nil {
@@ -281,36 +354,41 @@ func CheckOver(conn io.ReadWriter, store *pagestore.Store, pkts []*packet.CheckP
 		payload := make([]byte, 8+len(data))
 		binary.LittleEndian.PutUint64(payload, uint64(k))
 		copy(payload[8:], data)
-		sendErr = writeFrame(conn, frameChunk, payload)
+		if err := WriteFrame(conn, FrameChunk, payload); err != nil {
+			sendErr = &ConnError{Addr: addr, Op: "send chunk", Packet: -1, Err: err}
+		}
 	})
 	if sendErr != nil {
 		return nil, sendErr
 	}
-	for _, p := range pkts {
-		if err := writeFrame(conn, framePacket, packet.Encode(p)); err != nil {
-			return nil, err
+	for i, p := range pkts {
+		if err := WriteFrame(conn, FramePacket, packet.Encode(p)); err != nil {
+			return nil, &ConnError{Addr: addr, Op: "send packet", Packet: i, Err: err}
 		}
 	}
-	if err := writeFrame(conn, frameDone, nil); err != nil {
-		return nil, err
+	if err := WriteFrame(conn, FrameDone, nil); err != nil {
+		return nil, &ConnError{Addr: addr, Op: "send done", Packet: -1, Err: err}
 	}
 
 	var verdicts []Verdict
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := ReadFrame(conn)
 		if err != nil {
-			return verdicts, fmt.Errorf("checkd: connection lost mid-session: %w", err)
+			// The verdict being awaited is the first one not yet received.
+			return verdicts, &ConnError{Addr: addr, Op: "read verdict", Packet: len(verdicts), Err: err}
 		}
 		switch typ {
-		case frameVerdict:
+		case FrameVerdict:
 			var v Verdict
 			if err := json.Unmarshal(payload, &v); err != nil {
 				return verdicts, fmt.Errorf("%w: bad verdict frame: %v", ErrProtocol, err)
 			}
 			verdicts = append(verdicts, v)
-		case frameError:
+		case FrameHeartbeat:
+			// A pong from an earlier ping on a shared conn; not ours to pair.
+		case FrameError:
 			return verdicts, &RemoteError{Msg: string(payload)}
-		case frameDone:
+		case FrameDone:
 			return verdicts, nil
 		default:
 			return verdicts, fmt.Errorf("%w: unexpected frame type %q", ErrProtocol, typ)

@@ -1,0 +1,40 @@
+package checkfarm
+
+import (
+	"net"
+	"strings"
+)
+
+// Node address specs. A spec of the form "tcp:host:port" names a TCP
+// endpoint; anything else is a Unix socket path (the pre-farm checkd
+// convention, kept byte-compatible: `paftcheckd -listen /run/checkd.sock`
+// still means exactly what it did). The "tcp:" prefix rather than a
+// URL-style scheme keeps specs copy-pasteable between -listen, -connect and
+// -farm flags.
+
+// ParseAddr splits a node spec into the (network, address) pair net.Dial
+// and net.Listen expect.
+func ParseAddr(spec string) (network, addr string) {
+	if rest, ok := strings.CutPrefix(spec, "tcp:"); ok {
+		return "tcp", rest
+	}
+	return "unix", spec
+}
+
+// IsTCP reports whether spec names a TCP endpoint.
+func IsTCP(spec string) bool {
+	_, ok := strings.CutPrefix(spec, "tcp:")
+	return ok
+}
+
+// Dial connects to a checkd node named by spec.
+func Dial(spec string) (net.Conn, error) {
+	network, addr := ParseAddr(spec)
+	return net.Dial(network, addr)
+}
+
+// Listen opens a listener on the endpoint named by spec.
+func Listen(spec string) (net.Listener, error) {
+	network, addr := ParseAddr(spec)
+	return net.Listen(network, addr)
+}

@@ -1,0 +1,594 @@
+// Package checkfarm shards sealed check packets across a fleet of checkd
+// nodes over the framed protocol (Unix or TCP), with per-node
+// content-addressed chunk caches, heartbeat-based liveness, and elastic
+// failover: when a node dies mid-campaign its in-flight packets are
+// re-dispatched to surviving nodes, and verdicts are still delivered to the
+// consumer in submission order, exactly once per packet.
+//
+// The farm is a dispatcher, not a checker: every verdict is produced by a
+// checkd executor on some node, so a healthy farm is byte-identical to the
+// in-process checker. Only when a packet cannot be checked anywhere (every
+// node dead, or a packet evicted more than MaxAttempts times) does the farm
+// synthesise an infrastructure verdict, typed via Verdict.InfraErr.
+package checkfarm
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"parallaft/internal/checkd"
+	"parallaft/internal/packet"
+	"parallaft/internal/pagestore"
+	"parallaft/internal/telemetry"
+)
+
+// ErrNoNodes reports a farm with no live nodes: Submit fails fast with it,
+// and packets stranded in the queue when the last node dies resolve to
+// infrastructure verdicts wrapping it. Either way the campaign sees a clean
+// typed error instead of a hang.
+var ErrNoNodes = errors.New("checkfarm: no live nodes")
+
+// ErrClosed reports use of a farm after Close began.
+var ErrClosed = errors.New("checkfarm: farm closed")
+
+// errHeartbeat is the eviction reason for a node that stopped answering.
+var errHeartbeat = errors.New("checkfarm: heartbeat timeout")
+
+// Options configures a Farm. The zero value is usable: default dialer,
+// half-second heartbeats with a two-second timeout, three dispatch attempts
+// per packet, no telemetry.
+type Options struct {
+	// Dial connects to a node spec ("tcp:host:port" or a Unix socket
+	// path). Defaults to Dial; tests inject failing transports here.
+	Dial func(spec string) (net.Conn, error)
+
+	// HeartbeatInterval is how often each node is pinged; Timeout is how
+	// long the farm tolerates no inbound frames (verdicts count as life)
+	// before evicting the node.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+
+	// WriteTimeout bounds every frame write so a wedged peer surfaces as
+	// an eviction instead of a stuck dispatcher.
+	WriteTimeout time.Duration
+
+	// MaxAttempts caps how many nodes a packet may be dispatched to before
+	// the farm gives up with an infrastructure verdict.
+	MaxAttempts int
+
+	// Metrics receives the paft_farm_* instruments when set.
+	Metrics *telemetry.Registry
+}
+
+func (o *Options) withDefaults() {
+	if o.Dial == nil {
+		o.Dial = Dial
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+}
+
+// flight is one submitted packet's journey: a global sequence number (the
+// delivery order), the packet, and how many nodes it has been tried on.
+type flight struct {
+	seq      int
+	pkt      *packet.CheckPacket
+	attempts int
+	sentAt   time.Time // last dispatch, for the per-node latency histogram
+}
+
+// node is one checkd session. Its executor numbers verdicts from zero in its
+// own submission order, so the farm keeps a local-seq → flight map and
+// rewrites sequence numbers on receipt.
+type node struct {
+	spec string
+	idx  int // stable per-address metric index; survives rejoin
+	conn net.Conn
+
+	wmu sync.Mutex // serialises dispatcher uploads and heartbeat pings
+
+	// Guarded by Farm.mu.
+	bySeq       map[int]*flight
+	localSeq    int
+	cache       map[pagestore.Key]bool // keys this node holds
+	dead        bool
+	draining    bool
+	evictReason error
+	verdicts    int
+	uploads     int
+	uploadBytes uint64
+
+	lastPong   time.Time // guarded by Farm.mu; any inbound frame refreshes it
+	latency    *telemetry.Histogram
+	stopHB     sync.Once
+	hbStop     chan struct{}
+	readerDone chan struct{}
+}
+
+// Farm dispatches packets across nodes. Construct with New, add nodes with
+// AddNode, feed packets with Submit, and read the ordered verdict stream from
+// Verdicts — concurrently with submission, or executor backpressure on the
+// nodes will eventually stall the campaign. Close drains and closes the
+// verdict channel.
+type Farm struct {
+	opts  Options
+	store *pagestore.Store
+	tm    farmMetrics
+
+	mu   sync.Mutex
+	cond *sync.Cond // guards every field below; broadcast on any change
+
+	nodes   []*node        // live
+	all     []*node        // every node ever added, for NodeStats
+	nodeIdx map[string]int // spec → stable metric index
+	rr      int            // round-robin cursor
+
+	pending    []*flight // awaiting dispatch, sorted by seq
+	unresolved int       // submitted but not yet resolved to a verdict
+	resolved   map[int]bool
+	ready      map[int]checkd.Verdict // resolved, awaiting in-order delivery
+	nextSeq    int
+	deliverSeq int
+	closed     bool
+
+	out            chan checkd.Verdict
+	dispatcherDone chan struct{}
+	deliveryDone   chan struct{}
+}
+
+// New creates a farm over the given chunk store (the one the packets'
+// ChunkKeys resolve in) and starts its dispatcher. Add at least one node
+// before submitting.
+func New(store *pagestore.Store, opts Options) *Farm {
+	opts.withDefaults()
+	f := &Farm{
+		opts:           opts,
+		store:          store,
+		tm:             newFarmMetrics(opts.Metrics),
+		nodeIdx:        make(map[string]int),
+		resolved:       make(map[int]bool),
+		ready:          make(map[int]checkd.Verdict),
+		out:            make(chan checkd.Verdict, 64),
+		dispatcherDone: make(chan struct{}),
+		deliveryDone:   make(chan struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	go f.dispatcher()
+	go f.delivery()
+	return f
+}
+
+// Verdicts is the ordered verdict stream: one verdict per submitted packet,
+// in submission order, closed by Close after the last delivery.
+func (f *Farm) Verdicts() <-chan checkd.Verdict { return f.out }
+
+// AddNode dials a node and puts it in the dispatch rotation. Joining is
+// elastic — mid-campaign joins start with a cold chunk cache and pick up the
+// next dispatched packets.
+func (f *Farm) AddNode(spec string) error {
+	conn, err := f.opts.Dial(spec)
+	if err != nil {
+		return fmt.Errorf("checkfarm: dial %s: %w", spec, err)
+	}
+	n := &node{
+		spec:       spec,
+		conn:       conn,
+		bySeq:      make(map[int]*flight),
+		cache:      make(map[pagestore.Key]bool),
+		lastPong:   time.Now(),
+		hbStop:     make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	idx, ok := f.nodeIdx[spec]
+	if !ok {
+		idx = len(f.nodeIdx)
+		f.nodeIdx[spec] = idx
+	}
+	n.idx = idx
+	n.latency = nodeLatency(f.opts.Metrics, idx)
+	f.nodes = append(f.nodes, n)
+	f.all = append(f.all, n)
+	f.tm.joins.Inc()
+	f.tm.liveNodes.Set(float64(len(f.nodes)))
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	go f.reader(n)
+	go f.heartbeater(n)
+	return nil
+}
+
+// Submit queues one sealed packet for checking. It fails fast with ErrNoNodes
+// when the farm has no live nodes and ErrClosed after Close.
+func (f *Farm) Submit(pkt *packet.CheckPacket) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if len(f.nodes) == 0 {
+		return ErrNoNodes
+	}
+	f.pending = append(f.pending, &flight{seq: f.nextSeq, pkt: pkt})
+	f.nextSeq++
+	f.unresolved++
+	f.tm.submitted.Inc()
+	f.tm.inflight.Set(float64(f.unresolved))
+	f.cond.Broadcast()
+	return nil
+}
+
+// Close drains the farm: no new submissions, every already-submitted packet
+// resolves to exactly one verdict (re-dispatching across evictions as
+// needed), the verdict channel is closed, and every node session ends with a
+// clean 'D' exchange. The caller must be consuming Verdicts concurrently.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		<-f.deliveryDone
+		return
+	}
+	f.closed = true
+	f.cond.Broadcast()
+	for f.unresolved > 0 {
+		f.cond.Wait()
+	}
+	live := append([]*node(nil), f.nodes...)
+	for _, n := range live {
+		n.draining = true
+	}
+	f.nodes = nil
+	f.tm.liveNodes.Set(0)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	for _, n := range live {
+		n.stopHB.Do(func() { close(n.hbStop) })
+		n.wmu.Lock()
+		n.conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+		err := checkd.WriteFrame(n.conn, checkd.FrameDone, nil)
+		n.wmu.Unlock()
+		if err == nil {
+			select {
+			case <-n.readerDone:
+			case <-time.After(f.opts.WriteTimeout):
+			}
+		}
+		n.conn.Close()
+	}
+	<-f.dispatcherDone
+	<-f.deliveryDone
+}
+
+// dispatcher is the single goroutine that moves pending flights onto nodes.
+// Keeping it single-threaded makes the per-node chunk cache race-free: only
+// the dispatcher decides what to upload.
+func (f *Farm) dispatcher() {
+	defer close(f.dispatcherDone)
+	var keybuf []pagestore.Key
+	for {
+		f.mu.Lock()
+		for len(f.pending) == 0 && !(f.closed && f.unresolved == 0) {
+			f.cond.Wait()
+		}
+		if len(f.pending) == 0 {
+			f.mu.Unlock()
+			return
+		}
+		fl := f.pending[0]
+		f.pending = f.pending[1:]
+		if f.resolved[fl.seq] {
+			f.mu.Unlock()
+			continue
+		}
+		if len(f.nodes) == 0 {
+			// Submission raced the last eviction; resolve cleanly rather
+			// than hold the packet hostage waiting for a join.
+			f.resolveLocked(fl, nil,
+				checkd.NewInfraVerdict(fl.pkt, fmt.Errorf("%w: packet %s seg %d stranded",
+					ErrNoNodes, fl.pkt.ProgName, fl.pkt.Segment)))
+			f.mu.Unlock()
+			continue
+		}
+		if fl.attempts >= f.opts.MaxAttempts {
+			f.resolveLocked(fl, nil,
+				checkd.NewInfraVerdict(fl.pkt, fmt.Errorf(
+					"checkfarm: packet %s seg %d abandoned after %d dispatch attempts",
+					fl.pkt.ProgName, fl.pkt.Segment, fl.attempts)))
+			f.mu.Unlock()
+			continue
+		}
+		n := f.nodes[f.rr%len(f.nodes)]
+		f.rr++
+		fl.attempts++
+		fl.sentAt = time.Now()
+		n.bySeq[n.localSeq] = fl
+		n.localSeq++
+
+		// Decide the upload set under the lock, then upload without it.
+		keybuf = fl.pkt.ChunkKeys(keybuf[:0])
+		var missing []pagestore.Key
+		for _, k := range keybuf {
+			if n.cache[k] {
+				f.tm.chunkCacheHits.Inc()
+				continue
+			}
+			n.cache[k] = true
+			missing = append(missing, k)
+		}
+		f.mu.Unlock()
+
+		if err := f.upload(n, missing, fl.pkt); err != nil {
+			f.evict(n, err)
+		}
+	}
+}
+
+// upload sends the missing chunks and then the packet to a node, serialised
+// against the node's heartbeat writes.
+func (f *Farm) upload(n *node, missing []pagestore.Key, pkt *packet.CheckPacket) error {
+	n.wmu.Lock()
+	defer n.wmu.Unlock()
+	n.conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+	defer n.conn.SetWriteDeadline(time.Time{})
+	for _, k := range missing {
+		data := f.store.Get(k)
+		if data == nil {
+			return fmt.Errorf("checkfarm: chunk %#x missing from the farm store", uint64(k))
+		}
+		payload := make([]byte, 8+len(data))
+		binary.LittleEndian.PutUint64(payload, uint64(k))
+		copy(payload[8:], data)
+		if err := checkd.WriteFrame(n.conn, checkd.FrameChunk, payload); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		n.uploads++
+		n.uploadBytes += uint64(len(data))
+		f.mu.Unlock()
+		f.tm.chunkUploads.Inc()
+		f.tm.chunkUploadBytes.Add(uint64(len(data)))
+	}
+	return checkd.WriteFrame(n.conn, checkd.FramePacket, packet.Encode(pkt))
+}
+
+// reader drains one node's frame stream: verdicts resolve flights (with the
+// node-local sequence number rewritten to the global one), pongs refresh
+// liveness, an 'E' frame or transport error evicts the node.
+func (f *Farm) reader(n *node) {
+	defer close(n.readerDone)
+	for {
+		typ, payload, err := checkd.ReadFrame(n.conn)
+		if err != nil {
+			f.evict(n, &checkd.ConnError{Addr: n.spec, Op: "read frame", Packet: -1, Err: err})
+			return
+		}
+		f.mu.Lock()
+		n.lastPong = time.Now()
+		f.mu.Unlock()
+		switch typ {
+		case checkd.FrameVerdict:
+			var v checkd.Verdict
+			if err := json.Unmarshal(payload, &v); err != nil {
+				f.evict(n, fmt.Errorf("checkfarm: %s: bad verdict frame: %v", n.spec, err))
+				return
+			}
+			f.mu.Lock()
+			fl := n.bySeq[v.Seq]
+			if fl == nil {
+				f.mu.Unlock()
+				continue // duplicate or post-eviction straggler
+			}
+			delete(n.bySeq, v.Seq)
+			v.Seq = fl.seq
+			if n.latency != nil {
+				n.latency.Observe(time.Since(fl.sentAt).Seconds())
+			}
+			f.resolveLocked(fl, n, v)
+			f.mu.Unlock()
+		case checkd.FrameHeartbeat:
+			// lastPong already refreshed; the payload (our ping counter)
+			// needs no pairing.
+		case checkd.FrameError:
+			f.evict(n, &checkd.RemoteError{Msg: string(payload)})
+			return
+		case checkd.FrameDone:
+			return // clean drain; Close owns the conn from here
+		default:
+			f.evict(n, fmt.Errorf("%w: unexpected frame type %q from %s",
+				checkd.ErrProtocol, typ, n.spec))
+			return
+		}
+	}
+}
+
+// heartbeater pings one node and evicts it when nothing — pong or verdict —
+// has arrived within the timeout. Liveness is any inbound frame, so a node
+// slowed by a deep executor queue but still streaming verdicts is never
+// falsely evicted.
+func (f *Farm) heartbeater(n *node) {
+	tick := time.NewTicker(f.opts.HeartbeatInterval)
+	defer tick.Stop()
+	var ping [8]byte
+	var seq uint64
+	for {
+		select {
+		case <-n.hbStop:
+			return
+		case <-tick.C:
+		}
+		f.mu.Lock()
+		silent := time.Since(n.lastPong)
+		gone := n.dead || n.draining
+		f.mu.Unlock()
+		if gone {
+			return
+		}
+		if silent > f.opts.HeartbeatTimeout {
+			f.evict(n, fmt.Errorf("%w: %s silent for %v", errHeartbeat, n.spec, silent.Round(time.Millisecond)))
+			return
+		}
+		seq++
+		binary.LittleEndian.PutUint64(ping[:], seq)
+		n.wmu.Lock()
+		n.conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+		err := checkd.WriteFrame(n.conn, checkd.FrameHeartbeat, ping[:])
+		n.conn.SetWriteDeadline(time.Time{})
+		n.wmu.Unlock()
+		if err != nil {
+			f.evict(n, &checkd.ConnError{Addr: n.spec, Op: "send heartbeat", Packet: -1, Err: err})
+			return
+		}
+		f.tm.heartbeats.Inc()
+	}
+}
+
+// evict takes a node out of rotation and requeues its unresolved flights, in
+// sequence order, for re-dispatch. Safe to call from any goroutine and
+// idempotent per node; the first caller wins.
+func (f *Farm) evict(n *node, reason error) {
+	f.mu.Lock()
+	if n.dead || n.draining {
+		f.mu.Unlock()
+		return
+	}
+	n.dead = true
+	n.evictReason = reason
+	for i, ln := range f.nodes {
+		if ln == n {
+			f.nodes = append(f.nodes[:i], f.nodes[i+1:]...)
+			break
+		}
+	}
+	stranded := make([]*flight, 0, len(n.bySeq))
+	for _, fl := range n.bySeq {
+		if !f.resolved[fl.seq] {
+			stranded = append(stranded, fl)
+		}
+	}
+	n.bySeq = make(map[int]*flight)
+	sort.Slice(stranded, func(i, j int) bool { return stranded[i].seq < stranded[j].seq })
+	f.pending = append(f.pending, stranded...)
+	sort.Slice(f.pending, func(i, j int) bool { return f.pending[i].seq < f.pending[j].seq })
+	if len(stranded) > 0 {
+		f.tm.redispatches.Add(uint64(len(stranded)))
+	}
+	f.tm.evictions.Inc()
+	f.tm.liveNodes.Set(float64(len(f.nodes)))
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	n.stopHB.Do(func() { close(n.hbStop) })
+	n.conn.Close()
+}
+
+// resolveLocked records a flight's final verdict (node-produced or
+// infrastructure). Exactly-once: a flight that already resolved — a verdict
+// raced an eviction, or a redispatched copy answered twice — is dropped.
+// Callers hold f.mu.
+func (f *Farm) resolveLocked(fl *flight, n *node, v checkd.Verdict) {
+	if f.resolved[fl.seq] {
+		return
+	}
+	f.resolved[fl.seq] = true
+	v.Seq = fl.seq
+	f.ready[fl.seq] = v
+	f.unresolved--
+	if n != nil {
+		n.verdicts++
+	}
+	f.tm.verdicts.Inc()
+	if v.Infra != "" {
+		f.tm.infraVerdicts.Inc()
+	}
+	f.tm.inflight.Set(float64(f.unresolved))
+	f.cond.Broadcast()
+}
+
+// delivery releases verdicts to the consumer in global submission order.
+func (f *Farm) delivery() {
+	defer close(f.deliveryDone)
+	defer close(f.out)
+	for {
+		f.mu.Lock()
+		for {
+			if _, ok := f.ready[f.deliverSeq]; ok {
+				break
+			}
+			if f.closed && f.unresolved == 0 && len(f.pending) == 0 && f.deliverSeq == f.nextSeq {
+				f.mu.Unlock()
+				return
+			}
+			f.cond.Wait()
+		}
+		v := f.ready[f.deliverSeq]
+		delete(f.ready, f.deliverSeq)
+		f.deliverSeq++
+		f.mu.Unlock()
+		f.out <- v
+	}
+}
+
+// NodeStats is a point-in-time snapshot of one node (live or evicted), for
+// campaign summaries and the soak harness's at-most-once upload assertion:
+// on a healthy node Uploads == CacheSize, because the cache is only charged
+// when a chunk is actually sent.
+type NodeStats struct {
+	Addr        string
+	Index       int
+	Live        bool
+	Uploads     int
+	UploadBytes uint64
+	CacheSize   int
+	Verdicts    int
+	EvictReason string
+}
+
+// NodeStats snapshots every node ever added, in join order.
+func (f *Farm) NodeStats() []NodeStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NodeStats, 0, len(f.all))
+	for _, n := range f.all {
+		s := NodeStats{
+			Addr:        n.spec,
+			Index:       n.idx,
+			Live:        !n.dead && !n.draining,
+			Uploads:     n.uploads,
+			UploadBytes: n.uploadBytes,
+			CacheSize:   len(n.cache),
+			Verdicts:    n.verdicts,
+		}
+		if n.draining {
+			s.Live = false
+		}
+		if n.evictReason != nil {
+			s.EvictReason = n.evictReason.Error()
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package checkfarm
+
+import (
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parallaft/internal/checkd"
+	"parallaft/internal/telemetry"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct{ spec, network, addr string }{
+		{"tcp:127.0.0.1:9141", "tcp", "127.0.0.1:9141"},
+		{"tcp:[::1]:9141", "tcp", "[::1]:9141"},
+		{"/run/checkd.sock", "unix", "/run/checkd.sock"},
+		{"checkd.sock", "unix", "checkd.sock"},
+	}
+	for _, tc := range cases {
+		network, addr := ParseAddr(tc.spec)
+		if network != tc.network || addr != tc.addr {
+			t.Errorf("ParseAddr(%q) = (%q, %q), want (%q, %q)",
+				tc.spec, network, addr, tc.network, tc.addr)
+		}
+		if got := IsTCP(tc.spec); got != (tc.network == "tcp") {
+			t.Errorf("IsTCP(%q) = %v", tc.spec, got)
+		}
+	}
+}
+
+// TestFarmMatchesInProcess is the baseline: a healthy two-node farm delivers
+// the exact verdicts the in-process checker produces, in submission order,
+// and shared chunks go over each node's wire at most once.
+func TestFarmMatchesInProcess(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(240_000))
+	if len(pkts) < 4 {
+		t.Fatalf("want several packets, got %d", len(pkts))
+	}
+	want, err := checkd.CheckAll(store, pkts, checkd.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	a := startKillableNode(t, checkd.Options{Workers: 2})
+	b := startKillableNode(t, checkd.Options{Workers: 2})
+	farm := New(store, Options{Metrics: reg})
+	if err := farm.AddNode(a.Spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := farm.AddNode(b.Spec); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(farm)
+	for _, p := range pkts {
+		if err := farm.Submit(p); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	farm.Close()
+
+	vs := got()
+	if !reflect.DeepEqual(vs, want) {
+		t.Fatalf("farm verdicts differ from in-process:\n farm %+v\nlocal %+v", vs, want)
+	}
+	for _, ns := range farm.NodeStats() {
+		if ns.Uploads != ns.CacheSize {
+			t.Errorf("node %s: %d uploads for %d cached chunks; dedup must make these equal",
+				ns.Addr, ns.Uploads, ns.CacheSize)
+		}
+		if ns.Verdicts == 0 {
+			t.Errorf("node %s produced no verdicts; round-robin should reach both nodes", ns.Addr)
+		}
+	}
+	if hits := metricValue(reg, "paft_farm_chunk_cache_hits_total"); hits == 0 {
+		t.Error("no chunk cache hits across a multi-packet campaign sharing pages")
+	}
+	if n := metricValue(reg, "paft_farm_verdicts_total"); n != float64(len(pkts)) {
+		t.Errorf("paft_farm_verdicts_total = %v, want %d", n, len(pkts))
+	}
+}
+
+// limitedConn hard-fails all writes after a byte budget, standing in for a
+// node whose host dies while the dispatcher is mid-chunk-upload.
+type limitedConn struct {
+	net.Conn
+	mu   sync.Mutex
+	left int
+}
+
+func (c *limitedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		c.Conn.Close()
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > c.left {
+		n := c.left
+		c.left = 0
+		c.Conn.Write(p[:n]) //nolint:errcheck
+		c.Conn.Close()
+		return n, io.ErrClosedPipe
+	}
+	c.left -= len(p)
+	return c.Conn.Write(p)
+}
+
+// TestFarmNodeDiesMidChunkUpload: the first node's transport dies partway
+// through the chunk stream — before it ever holds a checkable packet. Every
+// packet must still resolve, on the surviving node, to the in-process
+// verdicts.
+func TestFarmNodeDiesMidChunkUpload(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(240_000))
+	want, err := checkd.CheckAll(store, pkts, checkd.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+
+	flaky := startKillableNode(t, checkd.Options{Workers: 1})
+	good := startKillableNode(t, checkd.Options{Workers: 2})
+	opts := Options{
+		Dial: func(spec string) (net.Conn, error) {
+			conn, err := Dial(spec)
+			if err != nil || spec != flaky.Spec {
+				return conn, err
+			}
+			// Enough budget to get partway into the first packet's chunk
+			// stream (pages are PageSize-sized), nowhere near all of it.
+			return &limitedConn{Conn: conn, left: 20_000}, nil
+		},
+	}
+	farm := New(store, opts)
+	if err := farm.AddNode(flaky.Spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := farm.AddNode(good.Spec); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(farm)
+	for _, p := range pkts {
+		if err := farm.Submit(p); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	farm.Close()
+
+	if vs := got(); !reflect.DeepEqual(vs, want) {
+		t.Fatalf("verdicts after mid-upload death differ from in-process:\n farm %+v\nlocal %+v", vs, want)
+	}
+	stats := farm.NodeStats()
+	if stats[0].Live || stats[0].EvictReason == "" {
+		t.Errorf("flaky node not evicted: %+v", stats[0])
+	}
+	if stats[0].Verdicts != 0 {
+		t.Errorf("flaky node produced %d verdicts after dying mid-upload", stats[0].Verdicts)
+	}
+}
+
+// TestFarmNodeDiesAfterVerdict: a node answers some packets and is then
+// killed before the campaign ends. Already-delivered verdicts must not be
+// re-dispatched (exactly once per packet), the remainder moves to a node
+// that joined mid-campaign.
+func TestFarmNodeDiesAfterVerdict(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(240_000))
+	if len(pkts) < 3 {
+		t.Fatalf("want at least 3 packets, got %d", len(pkts))
+	}
+	want, err := checkd.CheckAll(store, pkts, checkd.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+
+	a := startKillableNode(t, checkd.Options{Workers: 1})
+	b := startKillableNode(t, checkd.Options{Workers: 2})
+	farm := New(store, Options{})
+	if err := farm.AddNode(a.Spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := farm.Submit(p); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	// The first verdict proves node A answered; it dies before acking the
+	// rest, after the elastic join of node B.
+	first := <-farm.Verdicts()
+	if err := farm.AddNode(b.Spec); err != nil {
+		t.Fatal(err)
+	}
+	a.Kill()
+	rest := collect(farm)
+	farm.Close()
+
+	vs := append([]checkd.Verdict{first}, rest()...)
+	if len(vs) != len(pkts) {
+		t.Fatalf("%d verdicts for %d packets", len(vs), len(pkts))
+	}
+	for i, v := range vs {
+		if v.Seq != i {
+			t.Fatalf("verdict %d has seq %d; order and exactly-once broken: %+v", i, v.Seq, vs)
+		}
+	}
+	if !reflect.DeepEqual(vs, want) {
+		t.Fatalf("verdicts after node death differ from in-process:\n farm %+v\nlocal %+v", vs, want)
+	}
+}
+
+// TestFarmRejoinColdCache: an evicted address can rejoin. The new session
+// starts with a cold chunk cache (the server keeps per-connection stores, so
+// nothing survives), re-uploads what it needs, and keeps its stable metric
+// index.
+func TestFarmRejoinColdCache(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(240_000))
+	want, err := checkd.CheckAll(store, pkts, checkd.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+
+	n := startKillableNode(t, checkd.Options{Workers: 1})
+	survivor := startKillableNode(t, checkd.Options{Workers: 1})
+	farm := New(store, Options{})
+	if err := farm.AddNode(n.Spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := farm.AddNode(survivor.Spec); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(farm)
+	half := len(pkts) / 2
+	for _, p := range pkts[:half] {
+		if err := farm.Submit(p); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	// Crash just the sessions; the listener survives, so the same address
+	// accepts the rejoin. The survivor keeps the campaign alive meanwhile.
+	n.KillConns()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := farm.NodeStats(); !s[0].Live {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("eviction of the crashed node never observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := farm.AddNode(n.Spec); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	for _, p := range pkts[half:] {
+		if err := farm.Submit(p); err != nil {
+			t.Fatalf("Submit after rejoin: %v", err)
+		}
+	}
+	farm.Close()
+
+	if vs := got(); !reflect.DeepEqual(vs, want) {
+		t.Fatalf("verdicts across a rejoin differ from in-process:\n farm %+v\nlocal %+v", vs, want)
+	}
+	stats := farm.NodeStats()
+	if len(stats) != 3 {
+		t.Fatalf("want 3 node instances (original, survivor, rejoin), got %+v", stats)
+	}
+	rejoined := stats[2]
+	if rejoined.Index != stats[0].Index {
+		t.Errorf("rejoined node changed metric index: %d then %d", stats[0].Index, rejoined.Index)
+	}
+	if rejoined.Uploads == 0 || rejoined.CacheSize == 0 {
+		t.Errorf("rejoined node should re-upload into a cold cache: %+v", rejoined)
+	}
+	if rejoined.Uploads != rejoined.CacheSize {
+		t.Errorf("rejoined node uploads %d != cache %d; dedup broken", rejoined.Uploads, rejoined.CacheSize)
+	}
+}
+
+// TestFarmAllNodesDead: with every node gone, in-queue packets resolve to
+// typed infrastructure verdicts and new submissions fail fast — no hang in
+// either direction.
+func TestFarmAllNodesDead(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(120_000))
+
+	n := startKillableNode(t, checkd.Options{Workers: 1})
+	// Eviction here is driven purely by the broken connection (the default
+	// heartbeat is far slower than a closed socket's read error).
+	farm := New(store, Options{MaxAttempts: 100})
+	if err := farm.AddNode(n.Spec); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(farm)
+	n.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := farm.NodeStats(); !s[0].Live {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("eviction never observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := farm.Submit(pkts[0]); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("Submit with no nodes = %v, want ErrNoNodes", err)
+	}
+	farm.Close()
+	if vs := got(); len(vs) != 0 {
+		t.Fatalf("verdicts from a dead farm: %+v", vs)
+	}
+	if err := farm.Submit(pkts[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := farm.AddNode(n.Spec); !errors.Is(err, ErrClosed) && err == nil {
+		t.Fatalf("AddNode after Close = %v, want an error", err)
+	}
+}
+
+// TestFarmStrandedPacketsGetInfraVerdicts: packets already accepted when the
+// last node dies resolve to infrastructure verdicts wrapping ErrNoNodes —
+// typed, ordered, exactly one per packet.
+func TestFarmStrandedPacketsGetInfraVerdicts(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(120_000))
+
+	// The node accepts the TCP session but never answers a frame, so
+	// submissions park in flight until the heartbeat evicts it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c) //nolint:errcheck
+		}
+	}()
+
+	farm := New(store, Options{
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  40 * time.Millisecond,
+	})
+	if err := farm.AddNode("tcp:" + ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(farm)
+	for _, p := range pkts {
+		if err := farm.Submit(p); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	farm.Close()
+
+	vs := got()
+	if len(vs) != len(pkts) {
+		t.Fatalf("%d verdicts for %d packets", len(vs), len(pkts))
+	}
+	for i, v := range vs {
+		if v.Seq != i {
+			t.Errorf("verdict %d has seq %d", i, v.Seq)
+		}
+		if v.OK || v.Infra == "" {
+			t.Fatalf("stranded packet got a non-infra verdict: %+v", v)
+		}
+		if !errors.Is(v.InfraErr(), ErrNoNodes) {
+			t.Errorf("InfraErr = %v, want ErrNoNodes", v.InfraErr())
+		}
+	}
+	stats := farm.NodeStats()
+	if stats[0].Live {
+		t.Fatal("silent node still live")
+	}
+	if !strings.Contains(stats[0].EvictReason, "heartbeat") {
+		t.Errorf("evict reason %q does not name the heartbeat timeout", stats[0].EvictReason)
+	}
+}

@@ -1,0 +1,197 @@
+package checkfarm
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/checkd"
+	"parallaft/internal/core"
+	"parallaft/internal/machine"
+	"parallaft/internal/oskernel"
+	"parallaft/internal/packet"
+	"parallaft/internal/pagestore"
+	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
+)
+
+// runExportedInto runs a program under the in-process runtime with packet
+// export into a shared store, so several workloads' packets can travel one
+// farm session (the store is content-addressed; the executors pin one config
+// digest, which all workloads under one config share).
+func runExportedInto(t *testing.T, store *pagestore.Store, cfg core.Config, prog *asm.Program) (*core.RunStats, []*packet.CheckPacket) {
+	t.Helper()
+	var pkts []*packet.CheckPacket
+	cfg.Export = &packet.Exporter{
+		Store: store,
+		Sink:  func(p *packet.CheckPacket) error { pkts = append(pkts, p); return nil },
+	}
+	m := machine.New(machine.AppleM2Like())
+	k := oskernel.NewKernel(m.PageSize, 7)
+	l := oskernel.NewLoader(k, m.PageSize, 7)
+	e := sim.New(m, k, l)
+	rt := core.NewRuntime(e, cfg)
+	stats, err := rt.Run(prog)
+	if err != nil {
+		t.Fatalf("protected run: %v", err)
+	}
+	return stats, pkts
+}
+
+func runExported(t *testing.T, cfg core.Config, prog *asm.Program) (*core.RunStats, *pagestore.Store, []*packet.CheckPacket) {
+	t.Helper()
+	store := pagestore.New(core.PageHashSeed)
+	stats, pkts := runExportedInto(t, store, cfg, prog)
+	return stats, store, pkts
+}
+
+// victimProgram is a multi-segment compute+memory loop (the same victim the
+// checkd tests use): several sealed segments, a data buffer, a checksum.
+func victimProgram(iters int64) *asm.Program {
+	b := asm.NewBuilder("victim")
+	b.Space("buf", 32*1024)
+	b.MovI(1, 0)
+	b.MovI(2, 0)
+	b.MovI(3, iters)
+	b.Addr(4, "buf")
+	b.Label("loop")
+	b.AndI(5, 2, 4095)
+	b.ShlI(5, 5, 3)
+	b.AndI(5, 5, 32760)
+	b.Add(5, 4, 5)
+	b.Ld(6, 5, 0)
+	b.Add(6, 6, 2)
+	b.St(5, 0, 6)
+	b.Add(1, 1, 6)
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.AndI(1, 1, 255)
+	b.MovI(0, int64(oskernel.SysExit))
+	b.Syscall()
+	return b.MustBuild()
+}
+
+func smallSliceConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SlicePeriodCycles = 150_000
+	return cfg
+}
+
+// killableNode is a checkd server on a loopback TCP listener whose accepted
+// connections can be hard-closed mid-session — the farm-side view of a node
+// host dying without a goodbye.
+type killableNode struct {
+	Spec string
+	srv  *checkd.Server
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  []net.Conn
+	killed bool
+	done   chan struct{}
+}
+
+type trackingListener struct {
+	net.Listener
+	n *killableNode
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.n.mu.Lock()
+	if l.n.killed {
+		l.n.mu.Unlock()
+		c.Close()
+		return nil, net.ErrClosed
+	}
+	l.n.conns = append(l.n.conns, c)
+	l.n.mu.Unlock()
+	return c, nil
+}
+
+// startKillableNode serves checkd on 127.0.0.1 and returns the node; the
+// test cleanup stops it if Kill was never called.
+func startKillableNode(t *testing.T, opts checkd.Options) *killableNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	n := &killableNode{
+		Spec: "tcp:" + ln.Addr().String(),
+		srv:  checkd.NewServer(opts),
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(n.done)
+		n.srv.Serve(&trackingListener{Listener: ln, n: n}) //nolint:errcheck
+	}()
+	t.Cleanup(n.Kill)
+	return n
+}
+
+// KillConns hard-closes every live session but keeps the listener: the node
+// process "crashed and restarted" at the same address, ready for a rejoin
+// with per-connection state (the chunk store) gone.
+func (n *killableNode) KillConns() {
+	n.mu.Lock()
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Kill hard-closes the listener and every live session: in-flight verdicts
+// are lost, clients see broken connections. Idempotent.
+func (n *killableNode) Kill() {
+	n.mu.Lock()
+	if n.killed {
+		n.mu.Unlock()
+		return
+	}
+	n.killed = true
+	conns := n.conns
+	n.conns = nil
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	<-n.done
+}
+
+// metricValue reads one instrument's value from a registry snapshot, so
+// tests never have to re-register (and re-state the help text of) the
+// farm's instruments.
+func metricValue(reg *telemetry.Registry, name string) float64 {
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return -1
+}
+
+// collect drains a farm's verdict stream into a slice from a goroutine;
+// the returned func waits for the channel to close and hands the slice back.
+func collect(f *Farm) func() []checkd.Verdict {
+	var vs []checkd.Verdict
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := range f.Verdicts() {
+			vs = append(vs, v)
+		}
+	}()
+	return func() []checkd.Verdict {
+		<-done
+		return vs
+	}
+}

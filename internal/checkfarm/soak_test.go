@@ -1,0 +1,121 @@
+package checkfarm
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"parallaft/internal/checkd"
+)
+
+// TestFarmSoakKillRestart is the race-enabled failover soak: across several
+// rounds, a different node crashes with work in flight and then rejoins at
+// the same address, while submission keeps going. Every packet must resolve
+// to exactly one verdict, byte-identical to the in-process checker, with no
+// infrastructure verdicts — the surviving nodes always cover the gap.
+// `make farm-soak` loops this under -race -count.
+func TestFarmSoakKillRestart(t *testing.T) {
+	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(480_000))
+	if len(pkts) < 12 {
+		t.Fatalf("want a long campaign, got %d packets", len(pkts))
+	}
+	want, err := checkd.CheckAll(store, pkts, checkd.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("CheckAll: %v", err)
+	}
+
+	nodes := []*killableNode{
+		startKillableNode(t, checkd.Options{Workers: 1}),
+		startKillableNode(t, checkd.Options{Workers: 1}),
+		startKillableNode(t, checkd.Options{Workers: 1}),
+	}
+	// MaxAttempts is the poison-packet safety net: each eviction-requeue
+	// costs the packet a dispatch attempt, so a kill-heavy campaign must
+	// provision the budget above the planned node-death count or an unlucky
+	// packet riding every doomed node gets abandoned despite survivors.
+	farm := New(store, Options{MaxAttempts: 10})
+	for _, n := range nodes {
+		if err := farm.AddNode(n.Spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(farm)
+
+	// Four submission batches with a kill/restart round between each: the
+	// crash always lands while packets are in flight somewhere.
+	rounds := 3
+	batch := (len(pkts) + rounds) / (rounds + 1)
+	next := 0
+	submit := func(n int) {
+		for ; n > 0 && next < len(pkts); n-- {
+			if err := farm.Submit(pkts[next]); err != nil {
+				t.Fatalf("Submit packet %d: %v", next, err)
+			}
+			next++
+		}
+	}
+	liveInstances := func() int {
+		live := 0
+		for _, ns := range farm.NodeStats() {
+			if ns.Live {
+				live++
+			}
+		}
+		return live
+	}
+	for round := 0; round < rounds; round++ {
+		submit(batch)
+		victim := nodes[round%len(nodes)]
+		victim.KillConns()
+		deadline := time.Now().Add(15 * time.Second)
+		for liveInstances() != 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: eviction of %s never observed", round, victim.Spec)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := farm.AddNode(victim.Spec); err != nil {
+			t.Fatalf("round %d: restart %s: %v", round, victim.Spec, err)
+		}
+	}
+	submit(len(pkts))
+	farm.Close()
+
+	vs := got()
+	if len(vs) != len(pkts) {
+		t.Fatalf("%d verdicts for %d packets: lost or duplicated under churn", len(vs), len(pkts))
+	}
+	seen := make(map[int]bool, len(vs))
+	for i, v := range vs {
+		if seen[v.Seq] {
+			t.Fatalf("verdict seq %d delivered twice", v.Seq)
+		}
+		seen[v.Seq] = true
+		if v.Seq != i {
+			t.Fatalf("verdict %d has seq %d; submission order broken", i, v.Seq)
+		}
+		if v.Infra != "" {
+			t.Fatalf("infrastructure verdict despite surviving nodes: %+v", v)
+		}
+	}
+	if !reflect.DeepEqual(vs, want) {
+		t.Fatalf("soak verdicts differ from in-process:\n farm %+v\nlocal %+v", vs, want)
+	}
+	stats := farm.NodeStats()
+	if len(stats) != 3+rounds {
+		t.Fatalf("want %d node instances (3 initial + %d restarts), got %d", 3+rounds, rounds, len(stats))
+	}
+	for _, ns := range stats {
+		// At most once per key per node: a crashed node may have keys
+		// charged to the cache whose upload never finished, but never the
+		// reverse; a node that ended healthy has uploaded exactly its cache.
+		if ns.Uploads > ns.CacheSize {
+			t.Errorf("node %s: %d uploads for %d cached chunks; a chunk went over the wire twice",
+				ns.Addr, ns.Uploads, ns.CacheSize)
+		}
+		if ns.EvictReason == "" && ns.Uploads != ns.CacheSize {
+			t.Errorf("node %s ended healthy with %d uploads for %d cached chunks",
+				ns.Addr, ns.Uploads, ns.CacheSize)
+		}
+	}
+}

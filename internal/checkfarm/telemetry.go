@@ -1,0 +1,74 @@
+package checkfarm
+
+import (
+	"fmt"
+
+	"parallaft/internal/telemetry"
+)
+
+// farmMetrics bundles the dispatcher-side instrument handles, resolved once
+// per Farm from Options.Metrics. All nil (no-op) without a registry, like
+// every other subsystem's telemetry.
+type farmMetrics struct {
+	liveNodes *telemetry.Gauge
+	inflight  *telemetry.Gauge
+
+	joins     *telemetry.Counter
+	evictions *telemetry.Counter
+
+	submitted     *telemetry.Counter
+	verdicts      *telemetry.Counter
+	infraVerdicts *telemetry.Counter
+	redispatches  *telemetry.Counter
+
+	chunkUploads     *telemetry.Counter
+	chunkUploadBytes *telemetry.Counter
+	chunkCacheHits   *telemetry.Counter
+
+	heartbeats *telemetry.Counter
+}
+
+func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
+	var m farmMetrics
+	if reg == nil {
+		return m
+	}
+	m.liveNodes = reg.Gauge("paft_farm_live_nodes",
+		"checkd nodes currently connected and considered live")
+	m.inflight = reg.Gauge("paft_farm_inflight_packets",
+		"packets dispatched to a node but not yet resolved to a verdict")
+	m.joins = reg.Counter("paft_farm_node_joins_total",
+		"nodes added to the farm (initial set and elastic joins)")
+	m.evictions = reg.Counter("paft_farm_node_evictions_total",
+		"nodes evicted after a transport failure, rejection, or heartbeat timeout")
+	m.submitted = reg.Counter("paft_farm_packets_submitted_total",
+		"check packets accepted by the dispatcher")
+	m.verdicts = reg.Counter("paft_farm_verdicts_total",
+		"verdicts delivered to the consumer (including infrastructure verdicts)")
+	m.infraVerdicts = reg.Counter("paft_farm_infra_verdicts_total",
+		"packets resolved with an infrastructure verdict instead of a node's answer")
+	m.redispatches = reg.Counter("paft_farm_redispatches_total",
+		"in-flight packets re-dispatched after their node was evicted")
+	m.chunkUploads = reg.Counter("paft_farm_chunk_uploads_total",
+		"content-addressed chunks uploaded to nodes (at most once per key per node)")
+	m.chunkUploadBytes = reg.Counter("paft_farm_chunk_upload_bytes_total",
+		"payload bytes of chunks uploaded to nodes")
+	m.chunkCacheHits = reg.Counter("paft_farm_chunk_cache_hits_total",
+		"chunk uploads skipped because the per-node cache shows the key resident")
+	m.heartbeats = reg.Counter("paft_farm_heartbeats_sent_total",
+		"heartbeat pings written to nodes")
+	return m
+}
+
+// nodeLatency registers the per-node Submit→verdict latency histogram. The
+// index is stable per address (a rejoining node keeps its series), so the
+// name survives eviction/rejoin cycles.
+func nodeLatency(reg *telemetry.Registry, idx int) *telemetry.Histogram {
+	if reg == nil {
+		return nil
+	}
+	return reg.Histogram(
+		fmt.Sprintf("paft_farm_node%d_verdict_latency_seconds", idx),
+		fmt.Sprintf("wall time from dispatcher submission to verdict delivery for node index %d", idx),
+		telemetry.ExpBuckets(1e-5, 4, 12))
+}

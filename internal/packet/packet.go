@@ -251,6 +251,28 @@ type CheckPacket struct {
 	EndState EndState
 }
 
+// ChunkKeys appends the distinct pagestore keys this packet references —
+// the program text plus every start-state page — to dst and returns the
+// extended slice. The order is deterministic (code first, then pages by
+// ascending VPN) and duplicates are collapsed, so a transport routing
+// chunks to a checker node can treat the result as exactly the set that
+// must be resident there before the packet is checked.
+func (p *CheckPacket) ChunkKeys(dst []pagestore.Key) []pagestore.Key {
+	seen := make(map[pagestore.Key]struct{}, 1+len(p.Start.Pages))
+	add := func(k pagestore.Key) {
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		dst = append(dst, k)
+	}
+	add(p.CodeKey)
+	for _, pg := range p.Start.Pages {
+		add(pg.Key)
+	}
+	return dst
+}
+
 // --- code serialization -----------------------------------------------------
 
 // codeInstrBytes is the fixed encoding size of one instruction.

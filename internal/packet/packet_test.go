@@ -93,6 +93,33 @@ func fixturePacket() *CheckPacket {
 	return p
 }
 
+// TestChunkKeys pins the routing contract: code key first, page keys in VPN
+// order, duplicates collapsed — the exact set a farm node must hold before
+// the packet is checkable there.
+func TestChunkKeys(t *testing.T) {
+	p := fixturePacket()
+	got := p.ChunkKeys(nil)
+	want := []pagestore.Key{0x1122334455667788, 0xaaaa, 0xbbbb}
+	if len(got) != len(want) {
+		t.Fatalf("ChunkKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ChunkKeys = %v, want %v", got, want)
+		}
+	}
+
+	// Shared content (two pages with one key, a page sharing the code key)
+	// appears once: the upload set is distinct keys, not references.
+	p.Start.Pages = append(p.Start.Pages,
+		PageRef{VPN: 0x42, Key: 0xaaaa, Prot: 3},
+		PageRef{VPN: 0x43, Key: p.CodeKey, Prot: 1})
+	got = p.ChunkKeys(got[:0])
+	if len(got) != len(want) {
+		t.Fatalf("ChunkKeys with shared content = %v, want %v", got, want)
+	}
+}
+
 // TestGoldenWireFormat pins the encoded bytes of the fixture packet, making
 // any format drift an explicit, reviewed change (regenerate with -update
 // and bump Version if the layout changed).

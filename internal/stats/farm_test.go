@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFarm drives the paftbench farm soak at a small scale: three nodes,
+// one killed and one joined mid-campaign, verdicts byte-identical to the
+// in-process checker and the per-node dedup invariant intact.
+func TestRunFarm(t *testing.T) {
+	r := NewRunner()
+	r.Scale = 0.05
+	res, err := r.RunFarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, row := range res.Rows {
+		if row.Packets == 0 {
+			t.Errorf("%s sealed no segments; the soak is not exercising the farm", row.Name)
+		}
+		total += row.Packets
+	}
+	if res.Verdicts != total {
+		t.Errorf("%d verdicts for %d packets", res.Verdicts, total)
+	}
+	if res.Diverged != 0 || res.Infra != 0 {
+		t.Errorf("clean soak produced diverged=%d infra=%d", res.Diverged, res.Infra)
+	}
+	if !res.Matched {
+		t.Error("farm verdicts not byte-identical to the in-process checker")
+	}
+	if !res.DedupHeld {
+		t.Error("per-node chunk dedup invariant broken")
+	}
+	if res.NodesKilled != 1 || res.NodesJoined != 1 {
+		t.Errorf("kill/join = %d/%d, want 1/1", res.NodesKilled, res.NodesJoined)
+	}
+
+	out := FormatFarm(res)
+	for _, want := range []string{
+		"Distributed check farm soak: 3 nodes, 1 killed and 1 joined",
+		"byte-identical to in-process checker: yes",
+		"per-node chunk dedup held: yes",
+		"one verdict per sealed segment: yes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFarm output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io"
+	"net"
 	"regexp"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"parallaft/internal/asm"
 	"parallaft/internal/campaign"
 	"parallaft/internal/checkd"
+	"parallaft/internal/checkfarm"
 	"parallaft/internal/core"
 	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
@@ -68,6 +70,23 @@ func fullyInstrumentedRegistry(t *testing.T) *telemetry.Registry {
 	if pr := campaign.NewProgressWith(io.Discard, "lint", 1, reg); pr == nil {
 		t.Fatal("NewProgressWith returned nil with a registry attached")
 	}
+
+	// A check farm with one live node registers the paft_farm_* fleet
+	// instruments plus the per-node verdict-latency histogram.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := checkd.NewServer(checkd.Options{Workers: 1})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }() //nolint:errcheck
+	farm := checkfarm.New(store, checkfarm.Options{Metrics: reg})
+	if err := farm.AddNode("tcp:" + ln.Addr().String()); err != nil {
+		t.Fatalf("farm AddNode: %v", err)
+	}
+	farm.Close()
+	srv.Shutdown()
+	<-done
 	return reg
 }
 
@@ -81,7 +100,7 @@ func TestMetricNameLint(t *testing.T) {
 		t.Fatalf("only %d metrics registered; the stack is not fully instrumented", len(snap))
 	}
 
-	nameRe := regexp.MustCompile(`^paft_(core|checkd|pagestore|campaign)_[a-z0-9]+(_[a-z0-9]+)*$`)
+	nameRe := regexp.MustCompile(`^paft_(core|checkd|pagestore|campaign|farm)_[a-z0-9]+(_[a-z0-9]+)*$`)
 	seen := make(map[string]bool)
 	for _, ms := range snap {
 		if seen[ms.Name] {
