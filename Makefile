@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden nmr-golden telemetry-golden farm-golden farm-soak fuzz-smoke offload-roundtrip
+.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden nmr-golden telemetry-golden trace-golden farm-golden farm-soak fuzz-smoke offload-roundtrip
 
-check: vet golden nmr-golden telemetry-golden farm-golden alloc-guard trajectory-check fuzz-smoke race
+check: vet golden nmr-golden telemetry-golden trace-golden farm-golden alloc-guard trajectory-check fuzz-smoke race
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ telemetry-golden:
 	$(GO) test ./cmd/parallaft -run 'TestTelemetryGolden'
 	$(GO) test ./internal/telemetry -run 'Lint|Total'
 
+# The merged causal trace of one fixed 3-node farm campaign, projected to
+# its deterministic skeleton (wall clock stripped, node assignment collapsed
+# to the actor class): every sealed segment must show one complete
+# seal→delivery chain under its deterministic trace ID. Regenerate with
+# `go test ./cmd/parallaft -run TestTraceGolden -update`.
+trace-golden:
+	$(GO) test ./cmd/parallaft -run 'TestTraceGolden'
+
 # The check farm's acceptance gate: the whole workload suite's packets,
 # sharded over three checkd nodes with one killed and one joined
 # mid-campaign, must match the in-process checker byte for byte with every
@@ -84,11 +92,12 @@ bench:
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkCompareSegment -benchmem -benchtime 2x .
 
-# Zero-allocation pins for the two hot paths (interpreter dispatch and the
-# steady-state comparator). Run without -race: the detector's own
-# instrumentation allocates, so the guard tests carry a !race build tag.
+# Zero-allocation pins for the hot paths (interpreter dispatch, the
+# steady-state comparator, and tracing's disabled path). Run without -race:
+# the detector's own instrumentation allocates, so the guard tests carry a
+# !race build tag.
 alloc-guard:
-	$(GO) test ./internal/proc ./internal/compare -run 'AllocFree' -v
+	$(GO) test ./internal/proc ./internal/compare ./internal/telemetry -run 'AllocFree' -v
 
 # Validate the pinned benchmark-trajectory file: BENCH_006.json must exist,
 # parse against the parallaft-bench-trajectory/v1 schema, contain the

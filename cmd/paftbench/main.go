@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -37,31 +38,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses argv against a fresh FlagSet,
+// executes, and returns the process exit code (2 = usage error, 1 = run
+// failure), matching the parallaft binary's convention.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paftbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 nmr stress farm intel all")
-		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
-		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
-		seed       = flag.Int64("seed", 12345, "simulation seed")
-		trials     = flag.Int("trials", 5, "fault-injection trials per segment (fig10)")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "campaign worker count (1 = serial; output is identical for any value)")
-		progress   = flag.Bool("progress", false, "print progress/ETA lines to stderr")
-		checkers   = flag.Int("checkers", 1, "checker replicas per segment for Parallaft sessions (N > 1 = NMR majority voting)")
-		diversity  = flag.String("diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
+		experiment = fs.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 nmr stress farm intel all")
+		workloads  = fs.String("workloads", "", "comma-separated workload subset (default: full suite)")
+		scale      = fs.Float64("scale", 1.0, "workload length multiplier")
+		seed       = fs.Int64("seed", 12345, "simulation seed")
+		trials     = fs.Int("trials", 5, "fault-injection trials per segment (fig10)")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "campaign worker count (1 = serial; output is identical for any value)")
+		progress   = fs.Bool("progress", false, "print progress/ETA lines to stderr")
+		checkers   = fs.Int("checkers", 1, "checker replicas per segment for Parallaft sessions (N > 1 = NMR majority voting)")
+		diversity  = fs.String("diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
+		spansFile  = fs.String("spans", "", "write one JSONL segment-lifecycle span per retired segment, across every session of the experiment, to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if err := validateParallel(*parallel); err != nil {
-		fmt.Fprintln(os.Stderr, "paftbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "paftbench:", err)
+		return 2
 	}
 	if err := validateCheckers(*checkers); err != nil {
-		fmt.Fprintln(os.Stderr, "paftbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "paftbench:", err)
+		return 2
 	}
 	presets := splitPresets(*diversity)
 	if err := core.ValidateDiversity(presets); err != nil {
-		fmt.Fprintln(os.Stderr, "paftbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "paftbench:", err)
+		return 2
 	}
 
 	var names []string
@@ -77,24 +90,44 @@ func main() {
 	// paft_campaign_* telemetry gauges rather than a private counter.
 	runner.Telemetry = telemetry.NewRegistry()
 	if *progress {
-		runner.Progress = os.Stderr
+		runner.Progress = stderr
 	}
-	if *checkers > 1 || len(presets) > 0 {
+	var spans *telemetry.SpanRecorder
+	if *spansFile != "" {
+		spans = telemetry.NewSpanRecorder(0)
+	}
+	if *checkers > 1 || len(presets) > 0 || spans != nil {
 		n, d := *checkers, presets
+		nmr := *checkers > 1 || len(presets) > 0
 		runner.ConfigTweak = func(c *core.Config) {
+			c.Spans = spans
 			// RAFT sessions compare at syscalls only, so they cannot vote:
 			// the NMR knobs apply to state-comparing (Parallaft) configs.
-			if c.CompareStates {
+			if nmr && c.CompareStates {
 				c.Checkers = n
 				c.Diversity = d
 			}
 		}
 	}
 
-	if err := run(runner, *experiment, names, *trials, *scale); err != nil {
-		fmt.Fprintln(os.Stderr, "paftbench:", err)
-		os.Exit(1)
+	if err := runExperiments(runner, *experiment, names, *trials, *scale, stdout); err != nil {
+		fmt.Fprintln(stderr, "paftbench:", err)
+		return 1
 	}
+	if spans != nil {
+		f, err := os.Create(*spansFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "paftbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := spans.WriteJSONL(f); err != nil {
+			fmt.Fprintln(stderr, "paftbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "spans: %d segment spans written to %s\n", spans.Len(), *spansFile)
+	}
+	return 0
 }
 
 // validateParallel rejects nonsensical worker counts up front. A zero or
@@ -132,7 +165,7 @@ var knownExperiments = []string{
 	"fig10", "table1", "table2", "nmr", "stress", "farm", "intel", "all",
 }
 
-func run(runner *stats.Runner, experiment string, names []string, trials int, scale float64) error {
+func runExperiments(runner *stats.Runner, experiment string, names []string, trials int, scale float64, stdout io.Writer) error {
 	known := false
 	for _, e := range knownExperiments {
 		if experiment == e {
@@ -161,19 +194,19 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 	show := func(e string) bool { return experiment == e || experiment == "all" }
 
 	if show("table1") {
-		fmt.Println(suite.FormatTable1())
+		fmt.Fprintln(stdout, suite.FormatTable1())
 	}
 	if show("fig5") {
-		fmt.Println(suite.FormatFig5())
+		fmt.Fprintln(stdout, suite.FormatFig5())
 	}
 	if show("fig6") {
-		fmt.Println(suite.FormatFig6())
+		fmt.Fprintln(stdout, suite.FormatFig6())
 	}
 	if show("fig7") {
-		fmt.Println(suite.FormatFig7())
+		fmt.Fprintln(stdout, suite.FormatFig7())
 	}
 	if show("fig8") {
-		fmt.Println(suite.FormatFig8())
+		fmt.Fprintln(stdout, suite.FormatFig8())
 	}
 
 	if show("fig9a") || show("fig9b") || show("fig9c") || experiment == "fig9" {
@@ -185,7 +218,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		if err != nil {
 			return err
 		}
-		fmt.Println(stats.FormatFig9(points))
+		fmt.Fprintln(stdout, stats.FormatFig9(points))
 	}
 
 	if show("fig10") {
@@ -196,7 +229,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		if err != nil {
 			return err
 		}
-		fmt.Println(stats.FormatFig10(rows))
+		fmt.Fprintln(stdout, stats.FormatFig10(rows))
 	}
 
 	if show("table2") {
@@ -204,7 +237,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		if err != nil {
 			return err
 		}
-		fmt.Println(stats.FormatTable2(res))
+		fmt.Fprintln(stdout, stats.FormatTable2(res))
 	}
 
 	if show("nmr") {
@@ -214,7 +247,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		if err != nil {
 			return err
 		}
-		fmt.Println(stats.FormatNMR(rows))
+		fmt.Fprintln(stdout, stats.FormatNMR(rows))
 	}
 
 	if show("stress") {
@@ -222,7 +255,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		if err != nil {
 			return err
 		}
-		fmt.Println(stats.FormatStress(rows))
+		fmt.Fprintln(stdout, stats.FormatStress(rows))
 	}
 
 	if show("farm") {
@@ -230,7 +263,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		if err != nil {
 			return err
 		}
-		fmt.Println(stats.FormatFarm(res))
+		fmt.Fprintln(stdout, stats.FormatFarm(res))
 	}
 
 	if show("intel") {
@@ -244,7 +277,7 @@ func run(runner *stats.Runner, experiment string, names []string, trials int, sc
 		if err != nil {
 			return err
 		}
-		fmt.Println(sr.FormatIntel())
+		fmt.Fprintln(stdout, sr.FormatIntel())
 	}
 
 	return nil

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUsageErrorsExitTwo pins the CLI exit-code convention shared with the
+// parallaft binary: bad flags are usage errors (exit 2), not run failures.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-parallel", "0"}, "-parallel must be a positive worker count"},
+		{[]string{"-checkers", "-1"}, "-checkers must be a positive replica count"},
+		{[]string{"-diversity", "warp-core"}, "unknown diversity preset"},
+		{[]string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit code %d, want 2 (stderr %q)", tc.args, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%v: stderr = %q, want it to mention %q", tc.args, stderr.String(), tc.want)
+		}
+	}
+}
+
+// TestUnknownExperimentFails: a bad -experiment value is caught before any
+// simulation starts and exits 1 with the list of known names.
+func TestUnknownExperimentFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-experiment", "fig99"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestSpansAcrossSuite runs the smallest real experiment with -spans and
+// checks the JSONL output aggregates segment-lifecycle spans from every
+// session of the campaign.
+func TestSpansAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (scaled-down) suite session")
+	}
+	out := filepath.Join(t.TempDir(), "spans.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "fig5", "-workloads", "403.gcc",
+		"-scale", "0.1", "-parallel", "2", "-spans", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Fig. 5") && !strings.Contains(stdout.String(), "fig5") &&
+		stdout.Len() == 0 {
+		t.Errorf("experiment wrote nothing to stdout")
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("spans file: %v", err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var span struct {
+			Segment int     `json:"segment"`
+			Outcome string  `json:"outcome"`
+			EndNs   float64 `json:"end_ns"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("line %d is not a span: %v\n%s", n+1, err, sc.Text())
+		}
+		if span.Outcome == "" {
+			t.Fatalf("line %d has no outcome: %s", n+1, sc.Text())
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no spans written")
+	}
+	if !strings.Contains(stderr.String(), "segment spans written") {
+		t.Errorf("stderr missing the spans summary: %q", stderr.String())
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlightDirRequiresListen: the flight recorder is a daemon black box;
+// asking for it on a -verify run is a usage error.
+func TestFlightDirRequiresListen(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-verify", "x", "-flight-dir", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "requires -listen") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestServeFlightDump drives the daemon black box end to end: a served
+// verify run fills the flight ring with transport frames and verify spans,
+// then the SIGQUIT path (through the test hook) dumps them as JSONL —
+// without stopping the daemon.
+func TestServeFlightDump(t *testing.T) {
+	pkts := filepath.Join(t.TempDir(), "pkts")
+	exportRun(t, pkts)
+	flightDir := t.TempDir()
+
+	shutdownHook = make(chan struct{})
+	listenHook = make(chan net.Addr, 1)
+	flightHook = make(chan struct{})
+	defer func() { shutdownHook, listenHook, flightHook = nil, nil, nil }()
+	serveDone := make(chan int, 1)
+	var serveErr bytes.Buffer
+	go func() {
+		serveDone <- run([]string{"-listen", "tcp:127.0.0.1:0", "-workers", "2",
+			"-flight-dir", flightDir}, &bytes.Buffer{}, &serveErr)
+	}()
+	addr := <-listenHook
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-verify", pkts, "-connect", "tcp:" + addr.String(), "-quiet"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("verify exit %d\nstderr:\n%s", code, stderr.String())
+	}
+
+	flightHook <- struct{}{}
+	path := filepath.Join(flightDir, "flight-checkd-0.jsonl")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no flight dump appeared in %s (stderr: %q)", flightDir, serveErr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := string(b)
+	if !strings.Contains(dump, `"flight_dump":"sigquit"`) {
+		t.Errorf("dump header missing the sigquit reason:\n%s", dump)
+	}
+	// The served verify run crossed the wire, so the ring holds transport
+	// frames and the executor's remote-verify spans.
+	if !strings.Contains(dump, `"kind":"frame"`) {
+		t.Errorf("dump has no transport frames:\n%s", dump)
+	}
+	if !strings.Contains(dump, `"stage":"remote-verify"`) {
+		t.Errorf("dump has no remote-verify spans:\n%s", dump)
+	}
+
+	// The daemon is still serving after the dump.
+	if code := run([]string{"-verify", pkts, "-connect", "tcp:" + addr.String(), "-quiet"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("verify after dump exit %d\nstderr:\n%s", code, stderr.String())
+	}
+
+	close(shutdownHook)
+	if code := <-serveDone; code != 0 {
+		t.Fatalf("serve exit %d\nstderr:\n%s", code, serveErr.String())
+	}
+}

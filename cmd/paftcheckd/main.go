@@ -49,15 +49,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		retries   = fs.Int("retries", 2, "retries for packets whose chunks have not arrived yet")
 		quiet     = fs.Bool("quiet", false, "print only failing verdicts and the summary")
 		metrics   = fs.String("metrics-addr", "", "with -listen: serve Prometheus text metrics on this TCP address at /metrics (e.g. 127.0.0.1:9141)")
+		flightDir = fs.String("flight-dir", "", "with -listen: arm the flight recorder and dump it as JSONL into this directory on SIGQUIT")
 	)
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *flightDir != "" && *listen == "" {
+		fmt.Fprintln(stderr, "paftcheckd: -flight-dir requires -listen (the flight recorder is a daemon black box)")
 		return 2
 	}
 	opts := checkd.Options{Workers: *workers, QueueDepth: *queue, Retries: *retries}
 
 	switch {
 	case *listen != "":
-		return serve(*listen, *metrics, opts, stderr)
+		return serve(*listen, *metrics, *flightDir, opts, stderr)
 	case *verifyDir != "":
 		return verify(*verifyDir, *connect, opts, *quiet, stdout, stderr)
 	default:
@@ -76,12 +81,19 @@ var shutdownHook chan struct{}
 // it to learn the port a "tcp:host:0" spec resolved to.
 var listenHook chan net.Addr
 
+// flightHook, when non-nil, triggers a flight-recorder dump exactly like
+// SIGQUIT. Tests use it instead of signalling the whole process.
+var flightHook chan struct{}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
 // in-flight connections finish their verdict streams before exit. With
 // metricsAddr set, a telemetry registry is shared by every connection's
 // executor and served as Prometheus text on http://metricsAddr/metrics
-// (the same snapshot the transport's 'M' frame returns).
-func serve(sock, metricsAddr string, opts checkd.Options, stderr io.Writer) int {
+// (the same snapshot the transport's 'M' frame returns). With flightDir
+// set, the daemon keeps a flight recorder of recent frames and verify
+// spans and dumps it there on SIGQUIT — without exiting, so a wedged
+// fleet can be black-boxed in place.
+func serve(sock, metricsAddr, flightDir string, opts checkd.Options, stderr io.Writer) int {
 	// A stale Unix socket from a previous daemon would block the listen;
 	// TCP endpoints have no such residue.
 	if !checkfarm.IsTCP(sock) {
@@ -112,6 +124,37 @@ func serve(sock, metricsAddr string, opts checkd.Options, stderr io.Writer) int 
 		go msrv.Serve(mln)
 		// The resolved address matters when the flag asked for port 0.
 		fmt.Fprintf(stderr, "paftcheckd: metrics on http://%s/metrics\n", mln.Addr())
+	}
+	if flightDir != "" {
+		if err := os.MkdirAll(flightDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "paftcheckd:", err)
+			ln.Close()
+			return 1
+		}
+		opts.Flight = telemetry.NewFlightRecorder(0)
+		opts.Flight.SetDir(flightDir)
+		opts.Flight.SetMetrics(opts.Metrics)
+		dump := func() {
+			opts.Flight.Note("sigquit", "operator-requested flight dump")
+			path, err := opts.Flight.DumpToDir("checkd", "sigquit", opts.Metrics)
+			if err != nil {
+				fmt.Fprintln(stderr, "paftcheckd: flight dump:", err)
+				return
+			}
+			fmt.Fprintf(stderr, "paftcheckd: flight recorder dumped to %s\n", path)
+		}
+		quitc := make(chan os.Signal, 1)
+		signal.Notify(quitc, syscall.SIGQUIT)
+		hook := flightHook // capture: tests reset the package var after serve returns
+		go func() {
+			for {
+				select {
+				case <-quitc:
+				case <-hook:
+				}
+				dump()
+			}
+		}()
 	}
 	srv := checkd.NewServer(opts)
 

@@ -59,6 +59,8 @@ type options struct {
 	exportDir string
 	statsJSON bool
 	spansFile string
+	traceOut  string
+	flightDir string
 	checkers  int
 	diversity string
 	farm      string
@@ -109,6 +111,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.exportDir, "export-packets", "", "export one check packet per sealed segment into this directory (paftcheckd -verify re-checks them)")
 	fs.BoolVar(&o.statsJSON, "stats-json", false, "emit one compact JSON stats object per program instead of the text block")
 	fs.StringVar(&o.spansFile, "spans", "", "write one JSONL segment-lifecycle span per retired segment to this file")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write a merged Chrome trace-event JSON of every causal-trace stage span (seal through delivery, main plus fleet) to this file")
+	fs.StringVar(&o.flightDir, "flight-dir", "", "arm the flight recorder: dump recent spans/frames plus a telemetry snapshot as JSONL into this directory on node eviction, poison exhaustion or no-quorum votes")
 	fs.IntVar(&o.checkers, "checkers", 1, "checker replicas per segment (N > 1 enables NMR majority voting; parallaft mode only)")
 	fs.StringVar(&o.diversity, "diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
 	fs.StringVar(&o.farm, "farm", "", "comma-separated checkd node specs (tcp:host:port or Unix socket paths): re-check every sealed segment on the fleet")
@@ -161,6 +165,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	if o.exportDir != "" && o.mode != "parallaft" && o.mode != "raft" {
 		fmt.Fprintln(stderr, "parallaft: -export-packets requires a checking mode (parallaft or raft)")
+		return 2
+	}
+	if (o.traceOut != "" || o.flightDir != "") && o.mode != "parallaft" && o.mode != "raft" {
+		fmt.Fprintln(stderr, "parallaft: -trace-out and -flight-dir require a checking mode (parallaft or raft)")
 		return 2
 	}
 
@@ -281,6 +289,25 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			spans = telemetry.NewSpanRecorder(0)
 			cfg.Spans = spans
 		}
+		// One tracer and one flight recorder per run, shared by the recording
+		// runtime and the farm dispatcher, so main's seal/export spans and the
+		// fleet's dispatch/upload/verify spans merge onto one timeline.
+		var tracer *telemetry.TraceRecorder
+		if o.traceOut != "" {
+			tracer = telemetry.NewTraceRecorder(0)
+			tracer.SetMetrics(reg)
+			cfg.Tracer = tracer
+		}
+		var flight *telemetry.FlightRecorder
+		if o.flightDir != "" {
+			if err := os.MkdirAll(o.flightDir, 0o755); err != nil {
+				return err
+			}
+			flight = telemetry.NewFlightRecorder(0)
+			flight.SetDir(o.flightDir)
+			flight.SetMetrics(reg)
+			cfg.Flight = flight
+		}
 		var de *packet.DirExporter
 		if exportDir != "" {
 			var err error
@@ -294,7 +321,7 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 		var farmVerdicts func() []checkd.Verdict
 		if o.farm != "" {
 			store := pagestore.New(core.PageHashSeed)
-			farm = checkfarm.New(store, checkfarm.Options{Metrics: reg})
+			farm = checkfarm.New(store, checkfarm.Options{Metrics: reg, Tracer: tracer, Flight: flight})
 			for _, spec := range strings.Split(o.farm, ",") {
 				if err := farm.AddNode(strings.TrimSpace(spec)); err != nil {
 					farm.Close()
@@ -361,6 +388,19 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 				return err
 			}
 			fmt.Fprintf(stderr, "spans: %d segment spans written to %s\n", spans.Len(), o.spansFile)
+		}
+		if tracer != nil {
+			// Written after the farm has drained, so remote-verify spans that
+			// arrived over 'T' frames are in the merge.
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := tracer.WriteChrome(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "trace-out: %d stage spans written to %s\n", tracer.Len(), o.traceOut)
 		}
 		if o.statsJSON {
 			obj := map[string]any{

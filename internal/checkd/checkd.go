@@ -33,6 +33,18 @@ type Options struct {
 	// socket server's per-connection stores) sharing one registry compose
 	// into daemon-wide totals.
 	Metrics *telemetry.Registry
+	// Tracer, when set, receives a remote-verify stage span for every
+	// checked packet that carries a trace ID. Nil disables local recording;
+	// span capture for the wire (RetainSpans) is independent.
+	Tracer *telemetry.TraceRecorder
+	// RetainSpans makes the executor keep each packet's remote-verify span
+	// until TakeSpan collects it — the socket server sets this to ship
+	// spans back to the submitter over 'T' frames. Off by default so
+	// in-process users don't accumulate spans they never collect.
+	RetainSpans bool
+	// Flight, when set, is the black-box ring the executor notes abnormal
+	// events into (poison packets, infra verdicts).
+	Flight *telemetry.FlightRecorder
 }
 
 func (o *Options) fill() {
@@ -74,6 +86,7 @@ type Executor struct {
 	pinned bool
 	seq    int
 	closed bool
+	spans  map[int]telemetry.StageSpan // retained remote-verify spans by seq
 }
 
 type job struct {
@@ -125,10 +138,11 @@ func (x *Executor) Submit(pkt *packet.CheckPacket) error {
 		x.mu.Unlock()
 		return ErrClosed
 	}
-	if pkt.Version != packet.Version {
+	if pkt.Version < packet.MinVersion || pkt.Version > packet.Version {
 		x.mu.Unlock()
 		x.tm.rejections.Inc()
-		return fmt.Errorf("%w: packet v%d, daemon speaks v%d", ErrVersion, pkt.Version, packet.Version)
+		return fmt.Errorf("%w: packet v%d, daemon speaks v%d..v%d",
+			ErrVersion, pkt.Version, packet.MinVersion, packet.Version)
 	}
 	if d := pkt.Config.Digest(); d != pkt.ConfigDigest {
 		x.mu.Unlock()
@@ -190,6 +204,11 @@ func (x *Executor) worker() {
 // check runs one packet, retrying chunk misses: with a streaming transport
 // the pages may be in flight while the packet is already queued.
 func (x *Executor) check(j job) Verdict {
+	var start time.Time
+	traced := j.pkt.TraceID != 0 && (x.opts.Tracer != nil || x.opts.RetainSpans)
+	if traced {
+		start = time.Now()
+	}
 	var v Verdict
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -214,7 +233,61 @@ func (x *Executor) check(j job) Verdict {
 		v.Infra = err.Error()
 		v.infraErr = err
 	}
+	if err != nil {
+		x.opts.Flight.Note("infra-verdict",
+			fmt.Sprintf("%s seg %d: %v", j.pkt.ProgName, j.pkt.Segment, err))
+	}
+	if traced {
+		span := telemetry.StageSpan{
+			TraceID:     j.pkt.TraceID,
+			Stage:       telemetry.StageRemoteVerify,
+			Actor:       "checkd",
+			Prog:        j.pkt.ProgName,
+			Segment:     j.pkt.Segment,
+			StartUnixNs: start.UnixNano(),
+			EndUnixNs:   time.Now().UnixNano(),
+			Seq:         j.seq,
+			Detail:      verdictClass(v),
+		}
+		x.opts.Tracer.Record(span)
+		x.opts.Flight.RecordSpan(span)
+		if x.opts.RetainSpans {
+			x.mu.Lock()
+			if x.spans == nil {
+				x.spans = make(map[int]telemetry.StageSpan)
+			}
+			x.spans[j.seq] = span
+			x.mu.Unlock()
+		}
+	}
 	return v
+}
+
+// verdictClass summarizes a verdict for span detail: "ok", the error kind
+// of a divergence, or "infra".
+func verdictClass(v Verdict) string {
+	switch {
+	case v.OK:
+		return "ok"
+	case v.Infra != "":
+		return "infra"
+	default:
+		return v.ErrorKind
+	}
+}
+
+// TakeSpan removes and returns the retained remote-verify span for one
+// verdict seq. The span exists once the verdict has been delivered (it is
+// recorded before the verdict enters the reorder stage) and only when the
+// executor runs with RetainSpans and the packet carried a trace ID.
+func (x *Executor) TakeSpan(seq int) (telemetry.StageSpan, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s, ok := x.spans[seq]
+	if ok {
+		delete(x.spans, seq)
+	}
+	return s, ok
 }
 
 // reorderLoop restores submission order: workers finish out of order, the

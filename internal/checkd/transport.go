@@ -23,6 +23,7 @@ import (
 //	                  'H' heartbeat ping             liveness probe (opaque payload)
 //	                  'D' done                       no more frames; drain and report
 //	server → client:  'V' verdict                    JSON-encoded Verdict, in submit order
+//	                  'T' trace span                 JSON StageSpan for the preceding verdict
 //	                  'M' metrics reply              Prometheus text exposition
 //	                  'H' heartbeat pong             the ping's payload, echoed
 //	                  'E' error                      intake rejection or protocol error (fatal)
@@ -34,9 +35,12 @@ import (
 // is answered immediately with the daemon-wide registry (empty payload when
 // the server runs without one). Heartbeats are optional — a client that
 // never pings sees exactly the pre-heartbeat protocol — and are echoed
-// verbatim, so round-trip pairing is the client's concern. The same framing
-// runs unchanged over Unix sockets and TCP; internal/checkfarm drives many
-// TCP sessions at once.
+// verbatim, so round-trip pairing is the client's concern. A trace frame
+// follows a verdict only when that verdict's packet carried a trace ID, so
+// pre-tracing clients and servers interoperate unchanged; clients that
+// don't care may discard 'T' frames. The same framing runs unchanged over
+// Unix sockets and TCP; internal/checkfarm drives many TCP sessions at
+// once.
 const (
 	FrameChunk     = 'C'
 	FramePacket    = 'P'
@@ -45,6 +49,7 @@ const (
 	FrameDone      = 'D'
 	FrameMetrics   = 'M'
 	FrameHeartbeat = 'H'
+	FrameTrace     = 'T'
 )
 
 // MaxFrameLen bounds a single frame so a corrupt length prefix cannot
@@ -175,14 +180,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	store := pagestore.New(0)
 	store.SetMetrics(s.opts.Metrics)
-	x := NewExecutor(store, s.opts)
+	xopts := s.opts
+	xopts.RetainSpans = true // ship remote-verify spans back over 'T' frames
+	x := NewExecutor(store, xopts)
 
-	var wmu sync.Mutex // 'V'/'E'/'M'/'D' frames interleave from two goroutines
+	var wmu sync.Mutex // 'V'/'T'/'E'/'M'/'D' frames interleave from two goroutines
 	send := func(typ byte, payload []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
 		s.tm.framesWritten.Inc()
 		s.tm.bytesWritten.Add(uint64(5 + len(payload)))
+		s.opts.Flight.RecordFrame("send", typ, len(payload))
 		return WriteFrame(conn, typ, payload)
 	}
 
@@ -196,6 +204,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			if send(FrameVerdict, b) != nil {
 				return
+			}
+			// The trace frame rides directly behind its verdict, under the
+			// same writer, so a client never sees a span for a verdict it
+			// does not yet have.
+			if span, ok := x.TakeSpan(v.Seq); ok {
+				sb, err := json.Marshal(span)
+				if err != nil {
+					return
+				}
+				if send(FrameTrace, sb) != nil {
+					return
+				}
 			}
 		}
 	}()
@@ -216,6 +236,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.tm.framesRead.Inc()
 		s.tm.bytesRead.Add(uint64(5 + len(payload)))
+		s.opts.Flight.RecordFrame("recv", typ, len(payload))
 		switch typ {
 		case FrameChunk:
 			if len(payload) < 8 {
@@ -386,6 +407,9 @@ func CheckOver(conn io.ReadWriter, store *pagestore.Store, pkts []*packet.CheckP
 			verdicts = append(verdicts, v)
 		case FrameHeartbeat:
 			// A pong from an earlier ping on a shared conn; not ours to pair.
+		case FrameTrace:
+			// Remote-verify span for the previous verdict; this plain client
+			// has no tracer to merge it into.
 		case FrameError:
 			return verdicts, &RemoteError{Msg: string(payload)}
 		case FrameDone:

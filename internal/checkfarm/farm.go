@@ -64,6 +64,18 @@ type Options struct {
 
 	// Metrics receives the paft_farm_* instruments when set.
 	Metrics *telemetry.Registry
+
+	// Tracer, when set, receives causal-trace stage spans for every packet
+	// that carries a trace ID: dispatch, upload, remote-verify (shipped
+	// back from the node over 'T' frames and re-attributed to the node's
+	// track), verdict-remap and delivery. Nil disables tracing at zero
+	// cost.
+	Tracer *telemetry.TraceRecorder
+
+	// Flight, when set, is the black-box ring: recent spans and abnormal
+	// events, dumped (via the recorder's configured directory) on node
+	// eviction and poison-packet exhaustion.
+	Flight *telemetry.FlightRecorder
 }
 
 func (o *Options) withDefaults() {
@@ -90,7 +102,13 @@ type flight struct {
 	seq      int
 	pkt      *packet.CheckPacket
 	attempts int
-	sentAt   time.Time // last dispatch, for the per-node latency histogram
+
+	// Stage timestamps for the per-stage latency histograms and trace
+	// spans. enqueuedAt restarts on every requeue (Submit and eviction),
+	// so dispatch wait measures the current wait, not cumulative history.
+	enqueuedAt time.Time
+	sentAt     time.Time // last dispatch
+	uploadDone time.Time // last upload completed; zero until then
 }
 
 // node is one checkd session. Its executor numbers verdicts from zero in its
@@ -105,6 +123,7 @@ type node struct {
 
 	// Guarded by Farm.mu.
 	bySeq       map[int]*flight
+	traceSeq    map[int]int // local seq → global seq, for 'T' frame remap
 	localSeq    int
 	cache       map[pagestore.Key]bool // keys this node holds
 	dead        bool
@@ -115,7 +134,6 @@ type node struct {
 	uploadBytes uint64
 
 	lastPong   time.Time // guarded by Farm.mu; any inbound frame refreshes it
-	latency    *telemetry.Histogram
 	stopHB     sync.Once
 	hbStop     chan struct{}
 	readerDone chan struct{}
@@ -142,7 +160,7 @@ type Farm struct {
 	pending    []*flight // awaiting dispatch, sorted by seq
 	unresolved int       // submitted but not yet resolved to a verdict
 	resolved   map[int]bool
-	ready      map[int]checkd.Verdict // resolved, awaiting in-order delivery
+	ready      map[int]readyEntry // resolved, awaiting in-order delivery
 	nextSeq    int
 	deliverSeq int
 	closed     bool
@@ -163,7 +181,7 @@ func New(store *pagestore.Store, opts Options) *Farm {
 		tm:             newFarmMetrics(opts.Metrics),
 		nodeIdx:        make(map[string]int),
 		resolved:       make(map[int]bool),
-		ready:          make(map[int]checkd.Verdict),
+		ready:          make(map[int]readyEntry),
 		out:            make(chan checkd.Verdict, 64),
 		dispatcherDone: make(chan struct{}),
 		deliveryDone:   make(chan struct{}),
@@ -190,6 +208,7 @@ func (f *Farm) AddNode(spec string) error {
 		spec:       spec,
 		conn:       conn,
 		bySeq:      make(map[int]*flight),
+		traceSeq:   make(map[int]int),
 		cache:      make(map[pagestore.Key]bool),
 		lastPong:   time.Now(),
 		hbStop:     make(chan struct{}),
@@ -207,7 +226,6 @@ func (f *Farm) AddNode(spec string) error {
 		f.nodeIdx[spec] = idx
 	}
 	n.idx = idx
-	n.latency = nodeLatency(f.opts.Metrics, idx)
 	f.nodes = append(f.nodes, n)
 	f.all = append(f.all, n)
 	f.tm.joins.Inc()
@@ -231,7 +249,7 @@ func (f *Farm) Submit(pkt *packet.CheckPacket) error {
 	if len(f.nodes) == 0 {
 		return ErrNoNodes
 	}
-	f.pending = append(f.pending, &flight{seq: f.nextSeq, pkt: pkt})
+	f.pending = append(f.pending, &flight{seq: f.nextSeq, pkt: pkt, enqueuedAt: time.Now()})
 	f.nextSeq++
 	f.unresolved++
 	f.tm.submitted.Inc()
@@ -307,6 +325,8 @@ func (f *Farm) dispatcher() {
 		if len(f.nodes) == 0 {
 			// Submission raced the last eviction; resolve cleanly rather
 			// than hold the packet hostage waiting for a join.
+			f.opts.Flight.Note("stranded",
+				fmt.Sprintf("%s seg %d: no live nodes", fl.pkt.ProgName, fl.pkt.Segment))
 			f.resolveLocked(fl, nil,
 				checkd.NewInfraVerdict(fl.pkt, fmt.Errorf("%w: packet %s seg %d stranded",
 					ErrNoNodes, fl.pkt.ProgName, fl.pkt.Segment)))
@@ -319,6 +339,10 @@ func (f *Farm) dispatcher() {
 					"checkfarm: packet %s seg %d abandoned after %d dispatch attempts",
 					fl.pkt.ProgName, fl.pkt.Segment, fl.attempts)))
 			f.mu.Unlock()
+			// A poison packet exhausted its budget: black-box moment.
+			f.opts.Flight.Note("poison-exhausted",
+				fmt.Sprintf("%s seg %d: %d attempts", fl.pkt.ProgName, fl.pkt.Segment, fl.attempts))
+			f.opts.Flight.DumpToDir("farm", "poison-exhausted", f.opts.Metrics)
 			continue
 		}
 		n := f.nodes[f.rr%len(f.nodes)]
@@ -326,6 +350,7 @@ func (f *Farm) dispatcher() {
 		fl.attempts++
 		fl.sentAt = time.Now()
 		n.bySeq[n.localSeq] = fl
+		n.traceSeq[n.localSeq] = fl.seq
 		n.localSeq++
 
 		// Decide the upload set under the lock, then upload without it.
@@ -339,12 +364,57 @@ func (f *Farm) dispatcher() {
 			n.cache[k] = true
 			missing = append(missing, k)
 		}
+		attempt := fl.attempts
 		f.mu.Unlock()
+
+		f.tm.dispatchWait.Observe(fl.sentAt.Sub(fl.enqueuedAt).Seconds())
+		if f.opts.Tracer != nil && fl.pkt.TraceID != 0 {
+			f.recordStage(telemetry.StageSpan{
+				TraceID:     fl.pkt.TraceID,
+				Stage:       telemetry.StageDispatch,
+				Actor:       "farm",
+				Prog:        fl.pkt.ProgName,
+				Segment:     fl.pkt.Segment,
+				StartUnixNs: fl.enqueuedAt.UnixNano(),
+				EndUnixNs:   fl.sentAt.UnixNano(),
+				Seq:         fl.seq,
+				Attempt:     attempt,
+				Detail:      fmt.Sprintf("node%d", n.idx),
+			})
+		}
 
 		if err := f.upload(n, missing, fl.pkt); err != nil {
 			f.evict(n, err)
+			continue
+		}
+		uploadEnd := time.Now()
+		f.tm.uploadTime.Observe(uploadEnd.Sub(fl.sentAt).Seconds())
+		f.mu.Lock()
+		fl.uploadDone = uploadEnd
+		f.mu.Unlock()
+		if f.opts.Tracer != nil && fl.pkt.TraceID != 0 {
+			f.recordStage(telemetry.StageSpan{
+				TraceID:     fl.pkt.TraceID,
+				Stage:       telemetry.StageUpload,
+				Actor:       fmt.Sprintf("node%d", n.idx),
+				Prog:        fl.pkt.ProgName,
+				Segment:     fl.pkt.Segment,
+				StartUnixNs: fl.sentAt.UnixNano(),
+				EndUnixNs:   uploadEnd.UnixNano(),
+				Seq:         fl.seq,
+				Attempt:     attempt,
+				Detail:      fmt.Sprintf("chunks=%d", len(missing)),
+			})
 		}
 	}
+}
+
+// recordStage routes one stage span to the tracer and the flight ring.
+// Both sinks are nil-safe; callers gate on Options.Tracer so the disabled
+// path skips the wall-clock reads too.
+func (f *Farm) recordStage(s telemetry.StageSpan) {
+	f.opts.Tracer.Record(s)
+	f.opts.Flight.RecordSpan(s)
 }
 
 // upload sends the missing chunks and then the packet to a node, serialised
@@ -391,6 +461,7 @@ func (f *Farm) reader(n *node) {
 		f.mu.Unlock()
 		switch typ {
 		case checkd.FrameVerdict:
+			arrival := time.Now()
 			var v checkd.Verdict
 			if err := json.Unmarshal(payload, &v); err != nil {
 				f.evict(n, fmt.Errorf("checkfarm: %s: bad verdict frame: %v", n.spec, err))
@@ -404,11 +475,56 @@ func (f *Farm) reader(n *node) {
 			}
 			delete(n.bySeq, v.Seq)
 			v.Seq = fl.seq
-			if n.latency != nil {
-				n.latency.Observe(time.Since(fl.sentAt).Seconds())
+			// Remote verify as the farm sees it: upload completion (or the
+			// dispatch write if the upload end was never stamped) to the
+			// verdict's arrival.
+			verifyStart := fl.uploadDone
+			if verifyStart.IsZero() {
+				verifyStart = fl.sentAt
 			}
+			f.tm.remoteVerify.Observe(arrival.Sub(verifyStart).Seconds())
 			f.resolveLocked(fl, n, v)
+			traced := f.opts.Tracer != nil && fl.pkt.TraceID != 0
+			attempt := fl.attempts
 			f.mu.Unlock()
+			if traced {
+				f.recordStage(telemetry.StageSpan{
+					TraceID:     fl.pkt.TraceID,
+					Stage:       telemetry.StageRemap,
+					Actor:       "farm",
+					Prog:        fl.pkt.ProgName,
+					Segment:     fl.pkt.Segment,
+					StartUnixNs: arrival.UnixNano(),
+					EndUnixNs:   time.Now().UnixNano(),
+					Seq:         fl.seq,
+					Attempt:     attempt,
+					Detail:      fmt.Sprintf("node%d", n.idx),
+				})
+			}
+		case checkd.FrameTrace:
+			// The node's own remote-verify span for the preceding verdict.
+			// Re-attribute it: the node called itself "checkd" and numbered
+			// the span with its local seq; on the merged timeline it is this
+			// node's track and the global sequence.
+			if f.opts.Tracer == nil {
+				continue
+			}
+			var span telemetry.StageSpan
+			if err := json.Unmarshal(payload, &span); err != nil {
+				continue // tracing is best-effort; never evict over it
+			}
+			f.mu.Lock()
+			seq, ok := n.traceSeq[span.Seq]
+			if ok {
+				delete(n.traceSeq, span.Seq)
+			}
+			f.mu.Unlock()
+			if !ok {
+				continue // post-eviction straggler
+			}
+			span.Actor = fmt.Sprintf("node%d", n.idx)
+			span.Seq = seq
+			f.recordStage(span)
 		case checkd.FrameHeartbeat:
 			// lastPong already refreshed; the payload (our ping counter)
 			// needs no pairing.
@@ -486,10 +602,13 @@ func (f *Farm) evict(n *node, reason error) {
 	stranded := make([]*flight, 0, len(n.bySeq))
 	for _, fl := range n.bySeq {
 		if !f.resolved[fl.seq] {
+			fl.enqueuedAt = time.Now() // the dispatch wait restarts here
+			fl.uploadDone = time.Time{}
 			stranded = append(stranded, fl)
 		}
 	}
 	n.bySeq = make(map[int]*flight)
+	n.traceSeq = make(map[int]int)
 	sort.Slice(stranded, func(i, j int) bool { return stranded[i].seq < stranded[j].seq })
 	f.pending = append(f.pending, stranded...)
 	sort.Slice(f.pending, func(i, j int) bool { return f.pending[i].seq < f.pending[j].seq })
@@ -503,6 +622,23 @@ func (f *Farm) evict(n *node, reason error) {
 
 	n.stopHB.Do(func() { close(n.hbStop) })
 	n.conn.Close()
+
+	// Black-box moment: dump the flight ring so the post-mortem shows what
+	// the farm saw in the window before this node went away.
+	f.opts.Flight.Note("evict",
+		fmt.Sprintf("node%d %s: %v (%d packets redispatched)", n.idx, n.spec, reason, len(stranded)))
+	f.opts.Flight.DumpToDir(fmt.Sprintf("node%d", n.idx), "node-eviction", f.opts.Metrics)
+}
+
+// readyEntry is one resolved verdict awaiting in-order delivery, with the
+// trace identity and resolve time the delivery stage needs (the Verdict
+// itself stays exactly what the node produced).
+type readyEntry struct {
+	v          checkd.Verdict
+	resolvedAt time.Time
+	traceID    uint64
+	prog       string
+	segment    int
 }
 
 // resolveLocked records a flight's final verdict (node-produced or
@@ -515,7 +651,13 @@ func (f *Farm) resolveLocked(fl *flight, n *node, v checkd.Verdict) {
 	}
 	f.resolved[fl.seq] = true
 	v.Seq = fl.seq
-	f.ready[fl.seq] = v
+	f.ready[fl.seq] = readyEntry{
+		v:          v,
+		resolvedAt: time.Now(),
+		traceID:    fl.pkt.TraceID,
+		prog:       fl.pkt.ProgName,
+		segment:    fl.pkt.Segment,
+	}
 	f.unresolved--
 	if n != nil {
 		n.verdicts++
@@ -544,11 +686,25 @@ func (f *Farm) delivery() {
 			}
 			f.cond.Wait()
 		}
-		v := f.ready[f.deliverSeq]
+		e := f.ready[f.deliverSeq]
 		delete(f.ready, f.deliverSeq)
 		f.deliverSeq++
 		f.mu.Unlock()
-		f.out <- v
+		released := time.Now()
+		f.tm.deliveryWait.Observe(released.Sub(e.resolvedAt).Seconds())
+		if f.opts.Tracer != nil && e.traceID != 0 {
+			f.recordStage(telemetry.StageSpan{
+				TraceID:     e.traceID,
+				Stage:       telemetry.StageDelivery,
+				Actor:       "farm",
+				Prog:        e.prog,
+				Segment:     e.segment,
+				StartUnixNs: e.resolvedAt.UnixNano(),
+				EndUnixNs:   released.UnixNano(),
+				Seq:         e.v.Seq,
+			})
+		}
+		f.out <- e.v
 	}
 }
 

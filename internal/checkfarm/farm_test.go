@@ -4,6 +4,8 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -165,7 +167,9 @@ func TestFarmNodeDiesMidChunkUpload(t *testing.T) {
 // TestFarmNodeDiesAfterVerdict: a node answers some packets and is then
 // killed before the campaign ends. Already-delivered verdicts must not be
 // re-dispatched (exactly once per packet), the remainder moves to a node
-// that joined mid-campaign.
+// that joined mid-campaign. The run is traced with the flight recorder
+// armed, so the kill also pins the observability side: the eviction dumps
+// the black box and redispatched chains carry both dispatch attempts.
 func TestFarmNodeDiesAfterVerdict(t *testing.T) {
 	_, store, pkts := runExported(t, smallSliceConfig(), victimProgram(240_000))
 	if len(pkts) < 3 {
@@ -178,7 +182,11 @@ func TestFarmNodeDiesAfterVerdict(t *testing.T) {
 
 	a := startKillableNode(t, checkd.Options{Workers: 1})
 	b := startKillableNode(t, checkd.Options{Workers: 2})
-	farm := New(store, Options{})
+	flightDir := t.TempDir()
+	flight := telemetry.NewFlightRecorder(0)
+	flight.SetDir(flightDir)
+	tracer := telemetry.NewTraceRecorder(0)
+	farm := New(store, Options{Tracer: tracer, Flight: flight})
 	if err := farm.AddNode(a.Spec); err != nil {
 		t.Fatal(err)
 	}
@@ -208,6 +216,51 @@ func TestFarmNodeDiesAfterVerdict(t *testing.T) {
 	}
 	if !reflect.DeepEqual(vs, want) {
 		t.Fatalf("verdicts after node death differ from in-process:\n farm %+v\nlocal %+v", vs, want)
+	}
+
+	// The eviction dumped the black box: one JSONL file for the killed node,
+	// holding the eviction note.
+	dumps, err := filepath.Glob(filepath.Join(flightDir, "flight-node0-*.jsonl"))
+	if err != nil || len(dumps) != 1 {
+		t.Fatalf("want exactly one flight dump for node0, got %v (err %v)", dumps, err)
+	}
+	dump, err := os.ReadFile(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), `"flight_dump":"node-eviction"`) {
+		t.Errorf("dump header missing the eviction reason:\n%s", dump)
+	}
+	if !strings.Contains(string(dump), `"kind":"evict"`) {
+		t.Errorf("dump ring missing the evict note:\n%s", dump)
+	}
+
+	// Redispatched packets repeat the dispatch stage under the same trace ID
+	// with a higher attempt, so failovers read as forked chains.
+	attempts := make(map[uint64]int)
+	for _, s := range tracer.Spans() {
+		if s.Stage == telemetry.StageDispatch && s.Attempt > attempts[s.TraceID] {
+			attempts[s.TraceID] = s.Attempt
+		}
+	}
+	redispatched := 0
+	for _, n := range attempts {
+		if n > 1 {
+			redispatched++
+		}
+	}
+	if redispatched == 0 {
+		t.Error("no trace chain shows a second dispatch attempt after the kill")
+	}
+	// Every chain that was dispatched eventually records a delivery span.
+	deliveries := 0
+	for _, s := range tracer.Spans() {
+		if s.Stage == telemetry.StageDelivery {
+			deliveries++
+		}
+	}
+	if deliveries != len(pkts) {
+		t.Errorf("%d delivery spans for %d packets", deliveries, len(pkts))
 	}
 }
 

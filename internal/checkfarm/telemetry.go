@@ -1,8 +1,6 @@
 package checkfarm
 
 import (
-	"fmt"
-
 	"parallaft/internal/telemetry"
 )
 
@@ -26,6 +24,16 @@ type farmMetrics struct {
 	chunkCacheHits   *telemetry.Counter
 
 	heartbeats *telemetry.Counter
+
+	// Per-stage latency attribution across the fleet: where a packet's
+	// Submit→delivery wall time actually goes. The four stages partition
+	// the pipeline — queue wait, wire time, remote work, reorder wait — so
+	// the histograms answer "is the fleet slow or is the dispatcher
+	// starved" directly, which one end-to-end histogram never could.
+	dispatchWait *telemetry.Histogram
+	uploadTime   *telemetry.Histogram
+	remoteVerify *telemetry.Histogram
+	deliveryWait *telemetry.Histogram
 }
 
 func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
@@ -57,18 +65,15 @@ func newFarmMetrics(reg *telemetry.Registry) farmMetrics {
 		"chunk uploads skipped because the per-node cache shows the key resident")
 	m.heartbeats = reg.Counter("paft_farm_heartbeats_sent_total",
 		"heartbeat pings written to nodes")
-	return m
-}
 
-// nodeLatency registers the per-node Submit→verdict latency histogram. The
-// index is stable per address (a rejoining node keeps its series), so the
-// name survives eviction/rejoin cycles.
-func nodeLatency(reg *telemetry.Registry, idx int) *telemetry.Histogram {
-	if reg == nil {
-		return nil
-	}
-	return reg.Histogram(
-		fmt.Sprintf("paft_farm_node%d_verdict_latency_seconds", idx),
-		fmt.Sprintf("wall time from dispatcher submission to verdict delivery for node index %d", idx),
-		telemetry.ExpBuckets(1e-5, 4, 12))
+	buckets := telemetry.ExpBuckets(1e-5, 4, 12)
+	m.dispatchWait = reg.Histogram("paft_farm_dispatch_wait_seconds",
+		"wall time a packet waits in the dispatch queue before a node is chosen", buckets)
+	m.uploadTime = reg.Histogram("paft_farm_upload_seconds",
+		"wall time spent writing a packet's missing chunks and the packet itself to a node", buckets)
+	m.remoteVerify = reg.Histogram("paft_farm_remote_verify_seconds",
+		"wall time from upload completion to the node's verdict arriving", buckets)
+	m.deliveryWait = reg.Histogram("paft_farm_delivery_wait_seconds",
+		"wall time a resolved verdict waits for in-order delivery to the consumer", buckets)
+	return m
 }

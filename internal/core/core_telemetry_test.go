@@ -103,6 +103,8 @@ func TestTelemetryIsObservationOnly(t *testing.T) {
 		if withTelemetry {
 			cfg.Metrics = telemetry.NewRegistry()
 			cfg.Spans = telemetry.NewSpanRecorder(0)
+			cfg.Tracer = telemetry.NewTraceRecorder(0)
+			cfg.Flight = telemetry.NewFlightRecorder(0)
 		}
 		e := newTestEngine(7)
 		rt := NewRuntime(e, cfg)

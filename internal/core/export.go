@@ -7,6 +7,7 @@ import (
 	"parallaft/internal/packet"
 	"parallaft/internal/pagestore"
 	"parallaft/internal/proc"
+	"parallaft/internal/telemetry"
 )
 
 // PageHashSeed is the seed of the end-of-segment page hashes. Exported so
@@ -42,6 +43,10 @@ func (r *Runtime) exportSegment(seg *Segment) error {
 	p := &packet.CheckPacket{
 		Version:      packet.Version,
 		ConfigDigest: cfg.Digest(),
+		// Deterministic per-segment causal-trace ID: the same packet gets
+		// the same ID on every run, so trace goldens stay stable and remote
+		// checkers tag their spans onto the chain opened at seal time.
+		TraceID: telemetry.NewTraceID(r.main.Name, seg.Index),
 		Config:       cfg,
 		Benchmark:    r.stats.Benchmark,
 		ProgName:     r.main.Name,

@@ -8,6 +8,7 @@ import (
 	"parallaft/internal/oskernel"
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
+	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
 )
 
@@ -244,7 +245,7 @@ func (r *Runtime) startSegmentWith(cp *checkpoint) {
 	r.segments = append(r.segments, seg)
 	r.current = seg
 	r.tm.segStarted.Inc()
-	if r.cfg.Spans != nil {
+	if r.cfg.Spans != nil || r.cfg.Tracer != nil {
 		seg.wallStart = time.Now()
 	}
 	r.observeLiveSegments()
@@ -341,9 +342,43 @@ func (r *Runtime) onSeal(seg *Segment) {
 		r.ensureTarget(rep)
 	}
 
+	if r.cfg.Tracer != nil && !seg.arb {
+		// The seal span opens the segment's causal chain: main run from
+		// segment start to the seal, stamped with the seal's sim-clock time.
+		r.recordStage(telemetry.StageSpan{
+			TraceID:     telemetry.NewTraceID(r.main.Name, seg.Index),
+			Stage:       telemetry.StageSeal,
+			Actor:       "main",
+			Prog:        r.main.Name,
+			Segment:     seg.Index,
+			StartUnixNs: seg.wallStart.UnixNano(),
+			EndUnixNs:   time.Now().UnixNano(),
+			SimNs:       seg.mainEndNs,
+			Detail:      fmt.Sprintf("events=%d", len(seg.Log.Events)),
+		})
+	}
 	if r.cfg.Export != nil && !seg.arb {
-		if err := r.exportSegment(seg); err != nil && r.exportErr == nil {
+		exportStart := time.Now()
+		err := r.exportSegment(seg)
+		if err != nil && r.exportErr == nil {
 			r.exportErr = err
+		}
+		if r.cfg.Tracer != nil {
+			detail := fmt.Sprintf("pages=%d", seg.EndCP.p.AS.PageCount())
+			if err != nil {
+				detail = "error: " + err.Error()
+			}
+			r.recordStage(telemetry.StageSpan{
+				TraceID:     telemetry.NewTraceID(r.main.Name, seg.Index),
+				Stage:       telemetry.StageExport,
+				Actor:       "main",
+				Prog:        r.main.Name,
+				Segment:     seg.Index,
+				StartUnixNs: exportStart.UnixNano(),
+				EndUnixNs:   time.Now().UnixNano(),
+				SimNs:       seg.mainEndNs,
+				Detail:      detail,
+			})
 		}
 	}
 	if len(seg.Replicas) > 1 {

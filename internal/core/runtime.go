@@ -165,6 +165,17 @@ type Config struct {
 	// wall-time duration.
 	Spans *telemetry.SpanRecorder
 
+	// Tracer, when set, receives causal-trace stage spans: a seal span per
+	// sealed segment and an export span per emitted packet, opening the
+	// trace chain that checkd/checkfarm stages extend. Like Spans, purely
+	// observational — nil costs nothing on the hot path.
+	Tracer *telemetry.TraceRecorder
+
+	// Flight, when set, is the black-box ring abnormal events are noted
+	// into (no-quorum votes dump the recorder via its configured
+	// directory).
+	Flight *telemetry.FlightRecorder
+
 	// Export, when set, emits one portable check packet per sealed segment
 	// (internal/packet): pages interned into the exporter's store, the
 	// finished packet handed to its sink. Nil — the default — costs
@@ -348,7 +359,7 @@ type Segment struct {
 
 	// Telemetry-only bookkeeping (observation-only; never feeds the model).
 	dirtyPages uint64    // pages hashed at comparison, for the span record
-	wallStart  time.Time // host time at segment start (set only when Spans on)
+	wallStart  time.Time // host time at segment start (set only when Spans or Tracer on)
 }
 
 // chk is the segment's first (and in the single-checker design, only)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"parallaft/internal/compare"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/telemetry"
@@ -148,6 +150,11 @@ func (r *Runtime) voteSegment(seg *Segment) {
 	case compare.VerdictNoQuorum:
 		r.stats.VoteNoQuorum++
 		r.tm.voteNoQuorum.Inc()
+		// Black-box moment: no majority means no trustworthy state. Note it
+		// and dump the flight ring so the post-mortem sees the lead-up.
+		r.cfg.Flight.Note("no-quorum",
+			fmt.Sprintf("%s seg %d: %d replicas, no majority", r.main.Name, seg.Index, len(seg.Replicas)))
+		r.cfg.Flight.DumpToDir("main", "no-quorum", r.cfg.Metrics)
 		r.voteDetect(seg, &vres)
 		r.settleVoteDetection(seg)
 	}

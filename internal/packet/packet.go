@@ -29,7 +29,17 @@ import (
 
 // Version is the current wire-format version. Bump it on any layout change;
 // the golden wire-format test makes such a change an explicit review item.
-const Version = 1
+//
+// Version history:
+//
+//	1 — initial format (PR 3)
+//	2 — adds the TraceID causal-tracing header field after ConfigDigest
+const Version = 2
+
+// MinVersion is the oldest wire-format version Decode still accepts.
+// Version-gated fields absent from an old packet decode to their zero
+// values (a v1 packet has TraceID 0: "predates tracing").
+const MinVersion = 1
 
 // magic identifies a check packet.
 var magic = [6]byte{'P', 'A', 'F', 'T', 'P', 'K'}
@@ -218,7 +228,15 @@ type EndState struct {
 type CheckPacket struct {
 	Version      uint16
 	ConfigDigest uint64
-	Config       Config
+
+	// TraceID is the segment's causal-trace ID (telemetry.NewTraceID),
+	// propagated so remote checkers tag their verify spans with the same
+	// chain the recording side started. Zero means the packet predates
+	// tracing. Version-gated: only on the wire at Version >= 2, so a
+	// Version-1 packet with a nonzero TraceID does not round-trip.
+	TraceID uint64
+
+	Config Config
 
 	Benchmark string
 	ProgName  string
@@ -320,6 +338,9 @@ func Encode(p *CheckPacket) []byte {
 	e.raw(magic[:])
 	e.u16(p.Version)
 	e.u64(p.ConfigDigest)
+	if p.Version >= 2 {
+		e.u64(p.TraceID)
+	}
 
 	e.u64(p.Config.PageSize)
 	e.u64(p.Config.Quantum)
@@ -427,10 +448,13 @@ func Decode(b []byte) (*CheckPacket, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	if p.Version != Version {
-		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, p.Version, Version)
+	if p.Version < MinVersion || p.Version > Version {
+		return nil, fmt.Errorf("%w: got %d, support %d..%d", ErrVersion, p.Version, MinVersion, Version)
 	}
 	p.ConfigDigest = d.u64()
+	if p.Version >= 2 {
+		p.TraceID = d.u64()
+	}
 
 	p.Config.PageSize = d.u64()
 	p.Config.Quantum = d.u64()

@@ -1,0 +1,41 @@
+// The race detector instruments every memory access with allocations of its
+// own, so the zero-alloc pins only build without it.
+//go:build !race
+
+package telemetry
+
+import "testing"
+
+// TestTracingDisabledAllocFree pins the disabled-tracing hot path at zero
+// allocations: with tracing off the runtime, farm and checkd all hold nil
+// recorders, and every Record/RecordSpan/Note call sprinkled through their
+// hot loops must cost nothing. This is the guard behind the
+// observation-only guarantee — enabling the instrumentation points may not
+// perturb the uninstrumented build's allocation behavior.
+func TestTracingDisabledAllocFree(t *testing.T) {
+	var tr *TraceRecorder
+	var fl *FlightRecorder
+	span := StageSpan{TraceID: 1, Stage: StageUpload, Actor: "node0", Segment: 3, Seq: 2, Attempt: 1}
+
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Record(span)
+		_ = tr.Len()
+		fl.RecordSpan(span)
+		fl.Note("evict", "x")
+		fl.RecordFrame("send", 'P', 64)
+	}); n != 0 {
+		t.Errorf("disabled tracing path allocates %v/op, want 0", n)
+	}
+
+	// Nil-instrument counters (recorder allocated, metrics never wired)
+	// must also stay free: Record's fast path goes through Counter.Inc on
+	// a nil *Counter.
+	rec := NewTraceRecorder(2)
+	rec.Record(span)
+	rec.Record(span)
+	if n := testing.AllocsPerRun(1000, func() {
+		rec.Record(span) // at limit: drop path
+	}); n != 0 {
+		t.Errorf("over-limit drop path allocates %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Flight-recorder event kinds. Spans and frames reuse their own naming;
+// Note events carry free-form kinds like "evict" or "no-quorum".
+const (
+	FlightKindSpan  = "span"  // a causal-trace stage span passed through
+	FlightKindFrame = "frame" // a transport frame crossed the wire
+	FlightKindNote  = "note"  // anything else worth remembering
+)
+
+// FlightEvent is one entry in the flight recorder's ring: the last-N
+// window of what a process saw before something went wrong.
+type FlightEvent struct {
+	WallUnixNs int64  `json:"wall_unix_ns"`
+	Kind       string `json:"kind"`             // span | frame | note
+	Detail     string `json:"detail,omitempty"` // note text or frame summary
+	TraceID    uint64 `json:"trace,omitempty"`
+	Seq        int    `json:"seq,omitempty"`
+
+	Span *StageSpan `json:"span,omitempty"` // set when Kind == "span"
+}
+
+// FlightRecorder is the black box: a fixed-size ring of recent events
+// (spans, frames, notes) that a process dumps — together with a telemetry
+// snapshot — when something abnormal happens: node eviction, poison-packet
+// exhaustion, a no-quorum vote, or SIGQUIT. A nil *FlightRecorder drops
+// everything, so instrumented paths never need feature checks. Safe for
+// concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightEvent
+	next  int  // write cursor into ring
+	wrap  bool // ring has wrapped at least once
+	dumps int
+	dir   string // destination for DumpToDir; "" disables
+
+	events *Counter // optional paft_trace_* instruments
+	dumped *Counter
+}
+
+// DefaultFlightLimit is the ring size used when NewFlightRecorder is given
+// a non-positive limit.
+const DefaultFlightLimit = 256
+
+// NewFlightRecorder returns a recorder keeping the most recent limit
+// events (limit <= 0 selects DefaultFlightLimit).
+func NewFlightRecorder(limit int) *FlightRecorder {
+	if limit <= 0 {
+		limit = DefaultFlightLimit
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, limit)}
+}
+
+// SetDir sets the directory DumpToDir writes into. Nil-safe.
+func (f *FlightRecorder) SetDir(dir string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dir = dir
+}
+
+// SetMetrics registers the flight-recorder instruments in reg and routes
+// this recorder's accounting through them. Nil-safe on both sides.
+func (f *FlightRecorder) SetMetrics(reg *Registry) {
+	if f == nil || reg == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = reg.Counter("paft_trace_flight_events_total",
+		"events recorded into the flight-recorder ring (including overwritten ones)")
+	f.dumped = reg.Counter("paft_trace_flight_dumps_total",
+		"flight-recorder dumps written on eviction, poison exhaustion, no-quorum or SIGQUIT")
+}
+
+func (f *FlightRecorder) record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = ev
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrap = true
+	}
+	events := f.events
+	f.mu.Unlock()
+	events.Inc()
+}
+
+// Note records a free-form event (kind examples: "evict", "no-quorum",
+// "poison-exhausted", "sigquit"). Nil-safe.
+func (f *FlightRecorder) Note(kind, detail string) {
+	if f == nil {
+		return
+	}
+	f.record(FlightEvent{WallUnixNs: time.Now().UnixNano(), Kind: kind, Detail: detail})
+}
+
+// RecordSpan remembers a causal-trace stage span in the ring. Nil-safe.
+func (f *FlightRecorder) RecordSpan(s StageSpan) {
+	if f == nil {
+		return
+	}
+	sp := s
+	f.record(FlightEvent{
+		WallUnixNs: s.EndUnixNs,
+		Kind:       FlightKindSpan,
+		TraceID:    s.TraceID,
+		Seq:        s.Seq,
+		Span:       &sp,
+	})
+}
+
+// RecordFrame remembers one transport frame (direction + type + length).
+// Nil-safe.
+func (f *FlightRecorder) RecordFrame(dir string, typ byte, n int) {
+	if f == nil {
+		return
+	}
+	f.record(FlightEvent{
+		WallUnixNs: time.Now().UnixNano(),
+		Kind:       FlightKindFrame,
+		Detail:     fmt.Sprintf("%s %c %dB", dir, typ, n),
+	})
+}
+
+// Events returns the ring contents oldest-first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+func (f *FlightRecorder) eventsLocked() []FlightEvent {
+	if !f.wrap {
+		return append([]FlightEvent(nil), f.ring[:f.next]...)
+	}
+	out := make([]FlightEvent, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	return append(out, f.ring[:f.next]...)
+}
+
+// Dumps returns how many dumps this recorder has written.
+func (f *FlightRecorder) Dumps() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// flightHeader is the first line of a dump.
+type flightHeader struct {
+	FlightDump string `json:"flight_dump"` // reason
+	WallUnixNs int64  `json:"wall_unix_ns"`
+	Events     int    `json:"events"`
+}
+
+// Dump writes the black box as JSONL: a header line with the reason, the
+// ring events oldest-first, then — when reg is non-nil — one line per
+// telemetry instrument snapshot. Nil-safe (a nil recorder writes nothing).
+func (f *FlightRecorder) Dump(w io.Writer, reason string, reg *Registry) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	evs := f.eventsLocked()
+	f.dumps++
+	dumped := f.dumped
+	f.mu.Unlock()
+	dumped.Inc()
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(flightHeader{
+		FlightDump: reason,
+		WallUnixNs: time.Now().UnixNano(),
+		Events:     len(evs),
+	}); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	for _, m := range reg.Snapshot() {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpToDir writes a dump file named "flight-<slug>-<seq>.jsonl" into the
+// directory set by SetDir and returns its path. With no directory
+// configured (or a nil recorder) it records nothing and returns "".
+func (f *FlightRecorder) DumpToDir(slug, reason string, reg *Registry) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	dir := f.dir
+	seq := f.dumps
+	f.mu.Unlock()
+	if dir == "" {
+		return "", nil
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight-%s-%d.jsonl", slug, seq))
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.Dump(file, reason, reg); err != nil {
+		file.Close()
+		return "", err
+	}
+	return path, file.Close()
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Note("evict", "node0 gone")
+	f.RecordSpan(StageSpan{Stage: StageUpload})
+	f.RecordFrame("send", 'P', 100)
+	f.SetDir(t.TempDir())
+	f.SetMetrics(NewRegistry())
+	if f.Events() != nil || f.Dumps() != 0 {
+		t.Error("nil recorder not inert")
+	}
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "test", nil); err != nil || buf.Len() != 0 {
+		t.Error("nil Dump wrote output")
+	}
+	if path, err := f.DumpToDir("x", "test", nil); err != nil || path != "" {
+		t.Error("nil DumpToDir wrote output")
+	}
+}
+
+func TestFlightRecorderRingOrder(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 7; i++ {
+		f.Note("note", string(rune('a'+i)))
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	var got []string
+	for _, ev := range evs {
+		got = append(got, ev.Detail)
+	}
+	if want := "d e f g"; strings.Join(got, " ") != want {
+		t.Errorf("ring order %v, want %s (oldest-first window of last 4)", got, want)
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	f := NewFlightRecorder(8)
+	reg := NewRegistry()
+	f.SetMetrics(reg)
+	reg.Counter("paft_test_things_total", "things").Add(3)
+
+	f.RecordSpan(StageSpan{TraceID: 5, Stage: StageUpload, Actor: "node0", Seq: 2, EndUnixNs: 42})
+	f.RecordFrame("recv", 'V', 64)
+	f.Note("evict", "heartbeat timeout")
+
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "node-eviction", reg); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 3 events + >=3 metric lines (flight events/dumps + test counter)
+	if len(lines) < 7 {
+		t.Fatalf("dump has %d lines: %q", len(lines), buf.String())
+	}
+	var hdr flightHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.FlightDump != "node-eviction" || hdr.Events != 3 {
+		t.Errorf("header = %+v", hdr)
+	}
+	var ev FlightEvent
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != FlightKindSpan || ev.Span == nil || ev.Span.TraceID != 5 || ev.TraceID != 5 {
+		t.Errorf("first event = %+v", ev)
+	}
+	if !strings.Contains(buf.String(), "paft_test_things_total") {
+		t.Error("dump missing telemetry snapshot")
+	}
+	if f.Dumps() != 1 {
+		t.Errorf("Dumps() = %d, want 1", f.Dumps())
+	}
+	if v := reg.Counter("paft_trace_flight_dumps_total",
+		"flight-recorder dumps written on eviction, poison exhaustion, no-quorum or SIGQUIT").Value(); v != 1 {
+		t.Errorf("dump counter = %d, want 1", v)
+	}
+}
+
+func TestFlightRecorderDumpToDir(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Note("note", "hello")
+
+	// No dir configured → silently skips.
+	if path, err := f.DumpToDir("node0", "evict", nil); err != nil || path != "" {
+		t.Fatalf("expected no-op without dir, got %q, %v", path, err)
+	}
+
+	dir := t.TempDir()
+	f.SetDir(dir)
+	p1, err := f.DumpToDir("node0", "evict", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := f.DumpToDir("node0", "evict", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Errorf("consecutive dumps share a path: %s", p1)
+	}
+	if filepath.Base(p1) != "flight-node0-0.jsonl" {
+		t.Errorf("dump name = %s", filepath.Base(p1))
+	}
+	b, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"flight_dump":"evict"`) {
+		t.Errorf("dump content: %s", b)
+	}
+}
+
+func TestFlightRecorderDefaultLimit(t *testing.T) {
+	f := NewFlightRecorder(0)
+	for i := 0; i < DefaultFlightLimit+10; i++ {
+		f.Note("note", "x")
+	}
+	if got := len(f.Events()); got != DefaultFlightLimit {
+		t.Errorf("ring holds %d, want default %d", got, DefaultFlightLimit)
+	}
+}

@@ -55,6 +55,14 @@ func fullyInstrumentedRegistry(t *testing.T) *telemetry.Registry {
 	// Three checkers so the NMR vote instruments (paft_core_vote_*,
 	// per-replica slack gauges) are registered and linted too.
 	cfg.Checkers = 3
+	// Causal tracing + flight recorder on, so the paft_trace_* instruments
+	// are registered and the seal spans exercise them.
+	tracer := telemetry.NewTraceRecorder(0)
+	tracer.SetMetrics(reg)
+	flight := telemetry.NewFlightRecorder(0)
+	flight.SetMetrics(reg)
+	cfg.Tracer = tracer
+	cfg.Flight = flight
 	rt := core.NewRuntime(sim.New(m, k, l), cfg)
 	if _, err := rt.Run(lintProgram()); err != nil {
 		t.Fatalf("instrumented run: %v", err)
@@ -72,7 +80,7 @@ func fullyInstrumentedRegistry(t *testing.T) *telemetry.Registry {
 	}
 
 	// A check farm with one live node registers the paft_farm_* fleet
-	// instruments plus the per-node verdict-latency histogram.
+	// instruments plus the per-stage latency histograms.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +88,7 @@ func fullyInstrumentedRegistry(t *testing.T) *telemetry.Registry {
 	srv := checkd.NewServer(checkd.Options{Workers: 1})
 	done := make(chan struct{})
 	go func() { defer close(done); srv.Serve(ln) }() //nolint:errcheck
-	farm := checkfarm.New(store, checkfarm.Options{Metrics: reg})
+	farm := checkfarm.New(store, checkfarm.Options{Metrics: reg, Tracer: tracer, Flight: flight})
 	if err := farm.AddNode("tcp:" + ln.Addr().String()); err != nil {
 		t.Fatalf("farm AddNode: %v", err)
 	}
@@ -100,7 +108,7 @@ func TestMetricNameLint(t *testing.T) {
 		t.Fatalf("only %d metrics registered; the stack is not fully instrumented", len(snap))
 	}
 
-	nameRe := regexp.MustCompile(`^paft_(core|checkd|pagestore|campaign|farm)_[a-z0-9]+(_[a-z0-9]+)*$`)
+	nameRe := regexp.MustCompile(`^paft_(core|checkd|pagestore|campaign|farm|trace)_[a-z0-9]+(_[a-z0-9]+)*$`)
 	seen := make(map[string]bool)
 	for _, ms := range snap {
 		if seen[ms.Name] {

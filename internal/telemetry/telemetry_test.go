@@ -149,6 +149,31 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestSpanRecorderConcurrentAtLimit hammers Record across goroutines with
+// the limit set to land mid-stream: exactly limit spans are kept and every
+// overflow is accounted in Dropped, with no double counting under -race.
+func TestSpanRecorderConcurrentAtLimit(t *testing.T) {
+	const limit, goroutines, per = 64, 8, 32
+	r := NewSpanRecorder(limit)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Record(Span{Segment: i*per + j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != limit {
+		t.Errorf("Len = %d, want the limit %d", r.Len(), limit)
+	}
+	if got := r.Len() + int(r.Dropped()); got != goroutines*per {
+		t.Errorf("kept+dropped = %d, want %d", got, goroutines*per)
+	}
+}
+
 func TestSnapshotDeterministicOrder(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("paft_b_total", "b")

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewTraceIDDeterministicAndNonZero(t *testing.T) {
+	a := NewTraceID("victim", 3)
+	b := NewTraceID("victim", 3)
+	if a != b {
+		t.Fatalf("trace ID not deterministic: %#x vs %#x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("trace ID is zero (reserved for pre-tracing packets)")
+	}
+	if NewTraceID("victim", 4) == a {
+		t.Error("different segments share a trace ID")
+	}
+	if NewTraceID("other", 3) == a {
+		t.Error("different programs share a trace ID")
+	}
+}
+
+func TestTraceRecorderNilSafe(t *testing.T) {
+	var r *TraceRecorder
+	r.Record(StageSpan{Stage: StageSeal})
+	r.SetMetrics(NewRegistry())
+	if r.Len() != 0 || r.Dropped() != 0 || r.Spans() != nil {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestTraceRecorderLimitAndMetrics(t *testing.T) {
+	r := NewTraceRecorder(2)
+	reg := NewRegistry()
+	r.SetMetrics(reg)
+	for i := 0; i < 5; i++ {
+		r.Record(StageSpan{TraceID: 1, Stage: StageDispatch, Segment: i})
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", r.Len(), r.Dropped())
+	}
+	if v := reg.Counter("paft_trace_spans_total", "causal-trace stage spans recorded across all pipeline stages").Value(); v != 2 {
+		t.Errorf("recorded counter = %d, want 2", v)
+	}
+	if v := reg.Counter("paft_trace_spans_dropped_total", "causal-trace stage spans discarded by the recorder's span limit").Value(); v != 3 {
+		t.Errorf("dropped counter = %d, want 3", v)
+	}
+}
+
+// TestTraceRecorderConcurrentAtLimit hammers Record from many goroutines
+// right at the limit boundary and checks the recorder's books stay
+// consistent: every attempt is either recorded or dropped, never both,
+// never lost. Run under -race this also proves Record/Len/Dropped are safe
+// to interleave.
+func TestTraceRecorderConcurrentAtLimit(t *testing.T) {
+	const limit, workers, per = 64, 8, 32
+	r := NewTraceRecorder(limit)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(StageSpan{TraceID: uint64(w + 1), Stage: StageUpload, Segment: i})
+				_ = r.Len()
+				_ = r.Dropped()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != limit {
+		t.Errorf("len = %d, want exactly the limit %d", r.Len(), limit)
+	}
+	if got := uint64(r.Len()) + r.Dropped(); got != workers*per {
+		t.Errorf("recorded+dropped = %d, want %d", got, workers*per)
+	}
+}
+
+func TestTraceRecorderWriteJSONL(t *testing.T) {
+	r := NewTraceRecorder(0)
+	r.Record(StageSpan{TraceID: 7, Stage: StageSeal, Actor: "main", Segment: 1, StartUnixNs: 100, EndUnixNs: 200, SimNs: 1500})
+	r.Record(StageSpan{TraceID: 7, Stage: StageExport, Actor: "main", Segment: 1, StartUnixNs: 200, EndUnixNs: 300, Detail: "chunks=3"})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var s StageSpan
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.TraceID != 7 || s.Stage != StageSeal || s.SimNs != 1500 {
+		t.Errorf("round-trip mismatch: %+v", s)
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	r := NewTraceRecorder(0)
+	// Two actors, two traces; node0's span starts earliest to exercise the
+	// epoch scan beyond index 0.
+	r.Record(StageSpan{TraceID: 1, Stage: StageSeal, Actor: "main", Segment: 0, StartUnixNs: 1000, EndUnixNs: 2000})
+	r.Record(StageSpan{TraceID: 1, Stage: StageUpload, Actor: "node0", Segment: 0, StartUnixNs: 500, EndUnixNs: 900, Attempt: 1})
+	r.Record(StageSpan{TraceID: 2, Stage: StageSeal, Actor: "main", Segment: 1, StartUnixNs: 3000, EndUnixNs: 4000})
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUs  float64        `json:"ts"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var meta, complete int
+	pids := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+			pids[ev.Args["name"].(string)] = ev.PID
+		case "X":
+			complete++
+			if ev.TsUs < 0 {
+				t.Errorf("negative ts %v (epoch should be min start)", ev.TsUs)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if meta != 2 || complete != 3 {
+		t.Fatalf("meta=%d complete=%d, want 2/3", meta, complete)
+	}
+	if pids["main"] == pids["node0"] || pids["main"] == 0 || pids["node0"] == 0 {
+		t.Errorf("actors must get distinct non-zero pids: %v", pids)
+	}
+	// Same actor, different traces → different tids (one causal chain per row).
+	var mainTids []int
+	for _, ev := range out.TraceEvents {
+		if ev.Phase == "X" && ev.PID == pids["main"] {
+			mainTids = append(mainTids, ev.TID)
+		}
+	}
+	if len(mainTids) != 2 || mainTids[0] == mainTids[1] {
+		t.Errorf("main's two traces share a tid: %v", mainTids)
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	render := func() string {
+		r := NewTraceRecorder(0)
+		r.Record(StageSpan{TraceID: 9, Stage: StageDispatch, Actor: "farm", Segment: 2, StartUnixNs: 10, EndUnixNs: 20, Seq: 1})
+		r.Record(StageSpan{TraceID: 9, Stage: StageRemoteVerify, Actor: "node1", Segment: 2, StartUnixNs: 30, EndUnixNs: 90, Seq: 1, Attempt: 1})
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("WriteChrome output not deterministic for identical spans")
+	}
+}
