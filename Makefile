@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden nmr-golden telemetry-golden trace-golden farm-golden farm-soak fuzz-smoke offload-roundtrip
+.PHONY: check build vet test race race-short bench bench-compare bench-trajectory alloc-guard trajectory-check golden nmr-golden telemetry-golden trace-golden farm-golden profile-golden farm-soak fuzz-smoke offload-roundtrip
 
-check: vet golden nmr-golden telemetry-golden trace-golden farm-golden alloc-guard trajectory-check fuzz-smoke race
+check: vet golden nmr-golden telemetry-golden trace-golden farm-golden profile-golden alloc-guard trajectory-check fuzz-smoke race
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,16 @@ trace-golden:
 farm-golden:
 	$(GO) test ./internal/checkfarm -run 'TestGoldenFarmParity'
 
+# The sampling profiler's folded stacks and the overhead-attribution ledger
+# for one fixed workload, pinned byte for byte (host wall-clock stages zeroed
+# to their deterministic skeleton), plus the exact reconciliation invariant:
+# per-activity sums must equal the machine's sim-time and energy books bit
+# for bit. Regenerate the goldens with
+# `go test ./cmd/parallaft -run TestProfileGolden -update`.
+profile-golden:
+	$(GO) test ./cmd/parallaft -run 'TestProfileGolden'
+	$(GO) test ./internal/core ./internal/stats -run 'Reconcile' -short
+
 # Race-enabled kill/restart soak of the farm dispatcher: repeated node
 # crashes and rejoins mid-campaign with exactly-once, in-order verdicts.
 farm-soak:
@@ -97,13 +107,15 @@ bench-compare:
 # the detector's own instrumentation allocates, so the guard tests carry a
 # !race build tag.
 alloc-guard:
-	$(GO) test ./internal/proc ./internal/compare ./internal/telemetry -run 'AllocFree' -v
+	$(GO) test ./internal/proc ./internal/compare ./internal/telemetry ./internal/telemetry/profile -run 'AllocFree' -v
 
-# Validate the pinned benchmark-trajectory file: BENCH_006.json must exist,
-# parse against the parallaft-bench-trajectory/v1 schema, contain the
-# headline fullmem benchmark on both sides, and show the recorded speedup.
+# Validate the pinned benchmark-trajectory files: every BENCH_NNN.json must
+# exist, parse against the parallaft-bench-trajectory/v1 schema, contain the
+# headline fullmem benchmark on both sides, and back its PR's claim — the
+# recorded speedup for PR 6, within-noise parity (observability is free) for
+# PR 10.
 trajectory-check:
-	$(GO) test -run TestBenchTrajectoryPinned .
+	$(GO) test -run TestBenchTrajectory .
 
 # Refresh the "current" side of the benchmark trajectory. Baselines are
 # captured once per PR from the pre-PR tree under interleaved paired
@@ -112,4 +124,9 @@ trajectory-check:
 bench-trajectory:
 	($(GO) test -run '^$$' -bench BenchmarkCompareSegment -benchmem -benchtime 3x . && \
 	 $(GO) test -run '^$$' -bench BenchmarkInterpreterDispatch -benchmem -benchtime 200x .) \
-	| $(GO) run ./cmd/benchtrend -json BENCH_006.json -pr 6 -set current
+	| $(GO) run ./cmd/benchtrend -json BENCH_010.json -pr 10 -set current
+
+# Cross-PR view of every pinned trajectory file: current ns/op per PR with
+# each file's own paired baseline speedup.
+bench-trend:
+	$(GO) run ./cmd/benchtrend -trend 'BENCH_*.json'

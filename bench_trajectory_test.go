@@ -43,37 +43,45 @@ const (
 	minSpeedup = 1.5
 )
 
-func TestBenchTrajectoryPinned(t *testing.T) {
-	data, err := os.ReadFile(trajectoryPath)
+// loadTrajectory reads and structurally validates one trajectory file:
+// schema, PR number, the headline benchmark on both sides, positive
+// measurements.
+func loadTrajectory(t *testing.T, path string, wantPR int) *trajectoryFile {
+	t.Helper()
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("benchmark trajectory missing: %v (regenerate with `make bench-trajectory`)", err)
 	}
 	var f trajectoryFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		t.Fatalf("%s is malformed: %v", trajectoryPath, err)
+		t.Fatalf("%s is malformed: %v", path, err)
 	}
 	if f.Schema != trajectorySchema {
-		t.Fatalf("schema = %q, want %q", f.Schema, trajectorySchema)
+		t.Fatalf("%s: schema = %q, want %q", path, f.Schema, trajectorySchema)
 	}
-	if f.PR <= 0 {
-		t.Fatalf("pr = %d, want a positive PR number", f.PR)
+	if f.PR != wantPR {
+		t.Fatalf("%s: pr = %d, want %d", path, f.PR, wantPR)
 	}
-
 	for side, m := range map[string]map[string]trajectoryEntry{
 		"baseline": f.Baseline, "current": f.Current,
 	} {
 		if _, ok := m[fullmemBench]; !ok {
-			t.Fatalf("%s is missing %s", side, fullmemBench)
+			t.Fatalf("%s %s is missing %s", path, side, fullmemBench)
 		}
 		for name, e := range m {
 			if e.NsPerOp <= 0 {
-				t.Errorf("%s %s: ns_per_op = %v, want > 0", side, name, e.NsPerOp)
+				t.Errorf("%s %s %s: ns_per_op = %v, want > 0", path, side, name, e.NsPerOp)
 			}
 			if e.BytesPerOp < 0 || e.AllocsPerOp < 0 {
-				t.Errorf("%s %s: negative per-op measurement: %+v", side, name, e)
+				t.Errorf("%s %s %s: negative per-op measurement: %+v", path, side, name, e)
 			}
 		}
 	}
+	return &f
+}
+
+func TestBenchTrajectoryPinned(t *testing.T) {
+	f := loadTrajectory(t, trajectoryPath, 6)
 	if t.Failed() {
 		return
 	}
@@ -88,5 +96,43 @@ func TestBenchTrajectoryPinned(t *testing.T) {
 	// alloc-guard tests pin the code; this pins the recorded evidence).
 	if e, ok := f.Current["BenchmarkInterpreterDispatch"]; ok && e.AllocsPerOp != 0 {
 		t.Errorf("BenchmarkInterpreterDispatch: %v allocs/op recorded, want 0", e.AllocsPerOp)
+	}
+}
+
+// TestBenchTrajectoryPR10Pinned validates the observability PR's trajectory
+// file (BENCH_010.json). This PR's claim is the opposite of PR 6's: the
+// profiler, ledger and window sampler are observation-only and default-off,
+// so the hot paths must NOT have moved — current is pinned to within noise
+// of its paired baseline rather than above a speedup floor.
+func TestBenchTrajectoryPR10Pinned(t *testing.T) {
+	f := loadTrajectory(t, "BENCH_010.json", 10)
+	if t.Failed() {
+		return
+	}
+
+	// maxSlowdown bounds how much slower current may be than the paired
+	// pre-PR baseline on any recorded benchmark: generous against machine
+	// noise, tight enough that a sampler check leaking into the disabled
+	// path (or an accidental allocation) fails here.
+	const maxSlowdown = 1.30
+	for name, cur := range f.Current {
+		base, ok := f.Baseline[name]
+		if !ok {
+			t.Errorf("%s measured on current only; rerun the paired baseline", name)
+			continue
+		}
+		if ratio := cur.NsPerOp / base.NsPerOp; ratio > maxSlowdown {
+			t.Errorf("%s: %.0f -> %.0f ns/op is a %.2fx slowdown, above the %.2fx noise bound — observability is supposed to be free",
+				name, base.NsPerOp, cur.NsPerOp, ratio, maxSlowdown)
+		}
+	}
+
+	// The dispatch loop must stay allocation-free on both sides of this PR.
+	for side, m := range map[string]map[string]trajectoryEntry{
+		"baseline": f.Baseline, "current": f.Current,
+	} {
+		if e, ok := m["BenchmarkInterpreterDispatch"]; ok && e.AllocsPerOp != 0 {
+			t.Errorf("%s BenchmarkInterpreterDispatch: %v allocs/op recorded, want 0", side, e.AllocsPerOp)
+		}
 	}
 }

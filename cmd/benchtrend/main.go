@@ -27,6 +27,15 @@
 // machines with different core counts still key identically. `-set` chooses
 // which side the stdin results land on; the other side is preserved, so the
 // baseline captured before a change survives re-measurements of current.
+//
+// With -trend, benchtrend instead reads every file matching the glob and
+// renders the cross-PR trend table: one row per benchmark, one column per
+// trajectory file in PR order, each cell the current ns/op with the
+// within-file speedup over its paired baseline. Absolute numbers are only
+// comparable within a column (files are measured on whatever machine ran
+// that PR); the paired speedups are the machine-independent signal.
+//
+//	benchtrend -trend 'BENCH_*.json'
 package main
 
 import (
@@ -36,6 +45,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -60,15 +71,92 @@ const Schema = "parallaft-bench-trajectory/v1"
 
 func main() {
 	var (
-		jsonPath = flag.String("json", "", "trajectory file to update (required)")
-		pr       = flag.Int("pr", 0, "PR number recorded in the file (required)")
+		jsonPath = flag.String("json", "", "trajectory file to update (required unless -trend)")
+		pr       = flag.Int("pr", 0, "PR number recorded in the file (required unless -trend)")
 		set      = flag.String("set", "current", "which snapshot stdin results belong to: baseline or current")
+		trend    = flag.String("trend", "", "glob of trajectory files; print the cross-PR trend table instead of updating a file")
 	)
 	flag.Parse()
+	if *trend != "" {
+		if err := runTrend(*trend, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtrend:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*jsonPath, *pr, *set, os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
 	}
+}
+
+// runTrend loads every trajectory file matching glob and prints the
+// cross-PR trend table.
+func runTrend(glob string, w io.Writer) error {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no trajectory files match %q", glob)
+	}
+	files := make([]*File, 0, len(paths))
+	for _, p := range paths {
+		f, err := Load(p)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].PR < files[j].PR })
+	_, err = w.Write([]byte(TrendTable(files)))
+	return err
+}
+
+// TrendTable renders the cross-PR trend: one row per benchmark (union of
+// names across files, sorted), one column per file in PR order. A cell is
+// the file's current ns/op plus the paired speedup over that same file's
+// baseline; "-" marks a benchmark the PR did not measure.
+func TrendTable(files []*File) string {
+	nameSet := map[string]bool{}
+	for _, f := range files {
+		for n := range f.Baseline {
+			nameSet[n] = true
+		}
+		for n := range f.Current {
+			nameSet[n] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("benchmark trend (current ns/op, paired speedup vs same-file baseline)\n")
+	fmt.Fprintf(&b, "%-44s", "benchmark")
+	for _, f := range files {
+		fmt.Fprintf(&b, " %22s", fmt.Sprintf("PR%03d", f.PR))
+	}
+	b.WriteByte('\n')
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-44s", n)
+		for _, f := range files {
+			cur, okC := f.Current[n]
+			base, okB := f.Baseline[n]
+			switch {
+			case !okC:
+				fmt.Fprintf(&b, " %22s", "-")
+			case okB && cur.NsPerOp > 0:
+				fmt.Fprintf(&b, " %22s", fmt.Sprintf("%.0f (%.2fx)", cur.NsPerOp, base.NsPerOp/cur.NsPerOp))
+			default:
+				fmt.Fprintf(&b, " %22s", fmt.Sprintf("%.0f", cur.NsPerOp))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 func run(jsonPath string, pr int, set string, in io.Reader) error {

@@ -107,3 +107,46 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Error("missing -json accepted")
 	}
 }
+
+func TestTrendTable(t *testing.T) {
+	files := []*File{
+		{Schema: Schema, PR: 6,
+			Baseline: map[string]Entry{"BenchmarkA": {NsPerOp: 200}},
+			Current:  map[string]Entry{"BenchmarkA": {NsPerOp: 100}}},
+		{Schema: Schema, PR: 10,
+			Baseline: map[string]Entry{"BenchmarkA": {NsPerOp: 90}, "BenchmarkB": {NsPerOp: 50}},
+			Current:  map[string]Entry{"BenchmarkA": {NsPerOp: 90}, "BenchmarkB": {NsPerOp: 50}}},
+	}
+	out := TrendTable(files)
+	for _, want := range []string{"PR006", "PR010", "BenchmarkA", "BenchmarkB", "100 (2.00x)", "90 (1.00x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend table missing %q:\n%s", want, out)
+		}
+	}
+	// BenchmarkB was not measured by PR 6: its PR006 cell is "-".
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "BenchmarkB") && !strings.Contains(line, "-") {
+			t.Errorf("missing-measurement cell not rendered as -: %q", line)
+		}
+	}
+}
+
+func TestRunTrendGlob(t *testing.T) {
+	dir := t.TempDir()
+	f := &File{Schema: Schema, PR: 3,
+		Baseline: map[string]Entry{"BenchmarkA": {NsPerOp: 10}},
+		Current:  map[string]Entry{"BenchmarkA": {NsPerOp: 10}}}
+	if err := f.Save(filepath.Join(dir, "BENCH_003.json")); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := runTrend(filepath.Join(dir, "BENCH_*.json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PR003") {
+		t.Errorf("trend output missing PR003:\n%s", buf.String())
+	}
+	if err := runTrend(filepath.Join(dir, "NOPE_*.json"), &buf); err == nil {
+		t.Error("empty glob accepted")
+	}
+}

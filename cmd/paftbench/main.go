@@ -10,6 +10,7 @@
 //	paftbench -experiment nmr             # main+3 NMR voting-outcome table
 //	paftbench -experiment stress          # §5.7 syscall/signal stress
 //	paftbench -experiment farm            # distributed check-farm soak (kill + join mid-campaign)
+//	paftbench -experiment ledger          # reconciled overhead-attribution breakdown
 //	paftbench -checkers 3 -experiment fig7  # energy cost of N-way replication
 //	paftbench -experiment intel           # §5.8 Intel platform
 //	paftbench -experiment all             # everything
@@ -48,7 +49,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("paftbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 nmr stress farm intel all")
+		experiment = fs.String("experiment", "all", "which experiment to run: fig5 fig6 fig7 fig8 fig9 fig9a fig9b fig9c fig10 table1 table2 nmr stress farm ledger intel all")
 		workloads  = fs.String("workloads", "", "comma-separated workload subset (default: full suite)")
 		scale      = fs.Float64("scale", 1.0, "workload length multiplier")
 		seed       = fs.Int64("seed", 12345, "simulation seed")
@@ -58,6 +59,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		checkers   = fs.Int("checkers", 1, "checker replicas per segment for Parallaft sessions (N > 1 = NMR majority voting)")
 		diversity  = fs.String("diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
 		spansFile  = fs.String("spans", "", "write one JSONL segment-lifecycle span per retired segment, across every session of the experiment, to this file")
+		flightDir  = fs.String("flight-dir", "", "directory for flight-recorder dumps (written when a campaign worker panics)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -91,6 +93,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	runner.Telemetry = telemetry.NewRegistry()
 	if *progress {
 		runner.Progress = stderr
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "paftbench:", err)
+			return 1
+		}
+		runner.Flight = telemetry.NewFlightRecorder(0)
+		runner.Flight.SetDir(*flightDir)
+		runner.Flight.SetMetrics(runner.Telemetry)
 	}
 	var spans *telemetry.SpanRecorder
 	if *spansFile != "" {
@@ -162,7 +173,7 @@ func splitPresets(s string) []string {
 
 var knownExperiments = []string{
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig9a", "fig9b", "fig9c",
-	"fig10", "table1", "table2", "nmr", "stress", "farm", "intel", "all",
+	"fig10", "table1", "table2", "nmr", "stress", "farm", "ledger", "intel", "all",
 }
 
 func runExperiments(runner *stats.Runner, experiment string, names []string, trials int, scale float64, stdout io.Writer) error {
@@ -264,6 +275,14 @@ func runExperiments(runner *stats.Runner, experiment string, names []string, tri
 			return err
 		}
 		fmt.Fprintln(stdout, stats.FormatFarm(res))
+	}
+
+	if show("ledger") {
+		rows, err := runner.RunLedger(names)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, stats.FormatLedger(rows))
 	}
 
 	if show("intel") {

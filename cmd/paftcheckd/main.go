@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"sync"
 	"syscall"
 
 	"parallaft/internal/checkd"
@@ -93,7 +94,23 @@ var flightHook chan struct{}
 // set, the daemon keeps a flight recorder of recent frames and verify
 // spans and dumps it there on SIGQUIT — without exiting, so a wedged
 // fleet can be black-boxed in place.
+// lockedWriter serializes Write calls: the flight-dump goroutine reports to
+// stderr concurrently with the serve loop, which is fine on os.Stderr but a
+// data race on the bytes.Buffer the tests pass in. fmt formats into one
+// Write per call, so lines stay atomic.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
 func serve(sock, metricsAddr, flightDir string, opts checkd.Options, stderr io.Writer) int {
+	stderr = &lockedWriter{w: stderr}
 	// A stale Unix socket from a previous daemon would block the listen;
 	// TCP endpoints have no such residue.
 	if !checkfarm.IsTCP(sock) {

@@ -37,6 +37,7 @@ import (
 	"parallaft/internal/pagestore"
 	"parallaft/internal/sim"
 	"parallaft/internal/telemetry"
+	"parallaft/internal/telemetry/profile"
 	"parallaft/internal/trace"
 	"parallaft/internal/workload"
 )
@@ -65,6 +66,13 @@ type options struct {
 	diversity string
 	farm      string
 	metrics   string
+
+	profileOut    string
+	profileFolded string
+	profilePeriod float64
+	ledger        bool
+	windowsFile   string
+	windowMs      float64
 
 	// reg, when non-nil, is the shared registry behind -metrics-addr;
 	// otherwise each checking run gets its own.
@@ -117,6 +125,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.diversity, "diversity", "", "comma-separated per-replica substrate presets: none skid2x skid4x quantum bigcore coldcache")
 	fs.StringVar(&o.farm, "farm", "", "comma-separated checkd node specs (tcp:host:port or Unix socket paths): re-check every sealed segment on the fleet")
 	fs.StringVar(&o.metrics, "metrics-addr", "", "serve Prometheus text metrics on this TCP address at /metrics for the duration of the run")
+	fs.StringVar(&o.profileOut, "profile-out", "", "write a gzipped pprof-format sim-clock CPU profile to this file (go tool pprof reads it)")
+	fs.StringVar(&o.profileFolded, "profile-folded", "", "write the same profile as folded-stacks text (actor;core;symbol;block count) to this file")
+	fs.Float64Var(&o.profilePeriod, "profile-period", 0, "sim cycles between profile samples (0 = default 50000)")
+	fs.BoolVar(&o.ledger, "ledger", false, "attribute every simulated cycle and joule to an activity class, verify the attribution reconciles exactly with the time/energy books, and print the overhead breakdown (a \"ledger\" block under -stats-json)")
+	fs.StringVar(&o.windowsFile, "metric-windows", "", "write fixed sim-clock-interval snapshots of the metrics registry (counter deltas, gauge levels) as JSONL to this file")
+	fs.Float64Var(&o.windowMs, "window-interval-ms", 1.0, "simulated milliseconds per -metric-windows interval")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -169,6 +183,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if (o.traceOut != "" || o.flightDir != "") && o.mode != "parallaft" && o.mode != "raft" {
 		fmt.Fprintln(stderr, "parallaft: -trace-out and -flight-dir require a checking mode (parallaft or raft)")
+		return 2
+	}
+	if (o.profileOut != "" || o.profileFolded != "" || o.ledger || o.windowsFile != "") &&
+		o.mode != "parallaft" && o.mode != "raft" {
+		fmt.Fprintln(stderr, "parallaft: -profile-out, -profile-folded, -ledger and -metric-windows require a checking mode (parallaft or raft)")
 		return 2
 	}
 
@@ -308,6 +327,25 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			flight.SetMetrics(reg)
 			cfg.Flight = flight
 		}
+		// The profiler, ledger, and window sampler are per-run: each program
+		// gets a fresh machine, so the books they reconcile against restart.
+		var profiler *profile.Recorder
+		if o.profileOut != "" || o.profileFolded != "" {
+			profiler = profile.NewRecorder(o.profilePeriod)
+			profiler.SetMetrics(reg)
+			cfg.Profiler = profiler
+		}
+		var ledger *profile.Ledger
+		if o.ledger {
+			ledger = profile.NewLedger()
+			ledger.SetMetrics(reg)
+			cfg.Ledger = ledger
+		}
+		var windows *profile.WindowSampler
+		if o.windowsFile != "" {
+			windows = profile.NewWindowSampler(reg, o.windowMs*1e6, 0)
+			cfg.Windows = windows
+		}
 		var de *packet.DirExporter
 		if exportDir != "" {
 			var err error
@@ -321,7 +359,7 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 		var farmVerdicts func() []checkd.Verdict
 		if o.farm != "" {
 			store := pagestore.New(core.PageHashSeed)
-			farm = checkfarm.New(store, checkfarm.Options{Metrics: reg, Tracer: tracer, Flight: flight})
+			farm = checkfarm.New(store, checkfarm.Options{Metrics: reg, Tracer: tracer, Flight: flight, Ledger: ledger})
 			for _, spec := range strings.Split(o.farm, ",") {
 				if err := farm.AddNode(strings.TrimSpace(spec)); err != nil {
 					farm.Close()
@@ -402,6 +440,49 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			}
 			fmt.Fprintf(stderr, "trace-out: %d stage spans written to %s\n", tracer.Len(), o.traceOut)
 		}
+		if profiler != nil {
+			if o.profileOut != "" {
+				f, err := os.Create(o.profileOut)
+				if err != nil {
+					return err
+				}
+				if err := profiler.WritePprof(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(stderr, "profile: %d samples written to %s\n", profiler.TotalSamples(), o.profileOut)
+			}
+			if o.profileFolded != "" {
+				if err := os.WriteFile(o.profileFolded, []byte(profiler.FoldedStacks()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		if windows != nil {
+			f, err := os.Create(o.windowsFile)
+			if err != nil {
+				return err
+			}
+			if err := windows.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "windows: %d metric windows written to %s\n", len(windows.Windows()), o.windowsFile)
+		}
+		if ledger != nil {
+			// The attribution invariant is a correctness gate, not advisory
+			// output: a charge the ledger missed (or double-counted) means the
+			// breakdown below lies about where the overhead went.
+			if err := ledger.Reconcile(e.M); err != nil {
+				return err
+			}
+		}
 		if o.statsJSON {
 			obj := map[string]any{
 				"benchmark":     st.Benchmark,
@@ -412,6 +493,9 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 			}
 			if farmSummary != nil {
 				obj["farm"] = farmSummary
+			}
+			if ledger != nil {
+				obj["ledger"] = ledger.Summarize()
 			}
 			if err := emitJSON(stdout, obj); err != nil {
 				return err
@@ -454,6 +538,9 @@ func runOne(prog *asm.Program, mcfg machine.Config, o options, exportDir string,
 				fmt.Fprintf(stdout, "farm.node %s: %s verdicts=%d uploads=%d cached=%d\n",
 					ns.Addr, state, ns.Verdicts, ns.Uploads, ns.CacheSize)
 			}
+		}
+		if ledger != nil {
+			fmt.Fprintf(stdout, "-- overhead ledger (reconciled) --\n%s", ledger.Table())
 		}
 		fmt.Fprintf(stdout, "exit_code:                       %d\n", st.ExitCode)
 		if st.Detected != nil {

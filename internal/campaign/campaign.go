@@ -70,8 +70,8 @@ func RunProgress[T any](workers, n int, pr *Progress, fn func(i int) (T, error))
 		workers = n
 	}
 	finish := func(i int) {
-		if _, isPanic := out[i].Err.(*PanicError); isPanic {
-			pr.notePanic()
+		if perr, isPanic := out[i].Err.(*PanicError); isPanic {
+			pr.notePanic(perr)
 		}
 		pr.Step(1)
 	}

@@ -30,6 +30,9 @@ type Progress struct {
 	noReg  bool // no registry: fall back to the private fields below
 	totalN int
 	doneN  int
+
+	flight    *telemetry.FlightRecorder
+	flightReg *telemetry.Registry
 }
 
 // NewProgress returns a reporter writing to w (nil w = silent reporter).
@@ -88,10 +91,37 @@ func (p *Progress) Step(n int) {
 		p.label, done, total, elapsed.Round(time.Second), eta)
 }
 
-// notePanic counts a contained job panic (no-op without a registry).
-func (p *Progress) notePanic() {
+// SetFlight attaches a flight recorder: every contained worker panic is
+// noted in the black-box ring and immediately dumped (with the registry
+// snapshot) to the recorder's directory. A panic is exactly the "something
+// abnormal happened" moment the flight recorder exists for — the dump
+// preserves what the process saw right before the job exploded, even though
+// the campaign itself carries on. Nil-safe on all sides.
+func (p *Progress) SetFlight(f *telemetry.FlightRecorder, reg *telemetry.Registry) {
+	if p == nil || f == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flight = f
+	p.flightReg = reg
+}
+
+// notePanic counts a contained job panic and, with a flight recorder
+// attached, dumps the black box (no-op without either sink).
+func (p *Progress) notePanic(e *PanicError) {
 	if p == nil {
 		return
 	}
+	p.mu.Lock()
+	flight, reg, label := p.flight, p.flightReg, p.label
+	p.mu.Unlock()
 	p.panics.Inc()
+	if flight == nil {
+		return
+	}
+	reason := fmt.Sprintf("campaign %q: contained worker panic: %v", label, e.Value)
+	flight.Note("worker-panic", reason)
+	// Best-effort: a failing dump must not break panic containment.
+	flight.DumpToDir("campaign-panic", reason, reg)
 }

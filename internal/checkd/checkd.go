@@ -9,6 +9,7 @@ import (
 	"parallaft/internal/packet"
 	"parallaft/internal/pagestore"
 	"parallaft/internal/telemetry"
+	"parallaft/internal/telemetry/profile"
 )
 
 // Options configures an Executor.
@@ -42,6 +43,14 @@ type Options struct {
 	// spans back to the submitter over 'T' frames. Off by default so
 	// in-process users don't accumulate spans they never collect.
 	RetainSpans bool
+	// RetainLedger makes the executor keep each packet's ledger slice — the
+	// simulated replay time and modeled energy this daemon spent on the
+	// segment, plus the wall-clock time around the replay — until
+	// TakeLedgerSlice collects it. The socket server sets this to ship
+	// slices back to the submitter over 'L' frames, where the originating
+	// runtime's overhead ledger merges them by trace ID. Like RetainSpans,
+	// only packets carrying a trace ID produce a slice.
+	RetainLedger bool
 	// Flight, when set, is the black-box ring the executor notes abnormal
 	// events into (poison packets, infra verdicts).
 	Flight *telemetry.FlightRecorder
@@ -85,8 +94,9 @@ type Executor struct {
 	digest uint64
 	pinned bool
 	seq    int
-	closed bool
-	spans  map[int]telemetry.StageSpan // retained remote-verify spans by seq
+	closed  bool
+	spans   map[int]telemetry.StageSpan // retained remote-verify spans by seq
+	ledgers map[int]profile.Slice       // retained ledger slices by seq
 }
 
 type job struct {
@@ -206,13 +216,15 @@ func (x *Executor) worker() {
 func (x *Executor) check(j job) Verdict {
 	var start time.Time
 	traced := j.pkt.TraceID != 0 && (x.opts.Tracer != nil || x.opts.RetainSpans)
-	if traced {
+	ledgered := j.pkt.TraceID != 0 && x.opts.RetainLedger
+	if traced || ledgered {
 		start = time.Now()
 	}
 	var v Verdict
+	var sl profile.Slice
 	var err error
 	for attempt := 0; ; attempt++ {
-		v, err = RunPacket(x.store, j.pkt)
+		v, sl, err = RunPacketSlice(x.store, j.pkt)
 		if err == nil || !errors.Is(err, ErrMissingChunk) || attempt >= x.opts.Retries {
 			break
 		}
@@ -260,6 +272,17 @@ func (x *Executor) check(j job) Verdict {
 			x.mu.Unlock()
 		}
 	}
+	if ledgered && err == nil {
+		// The slice's host cost is the whole replay effort including chunk
+		// retries; the sim cost came out of the runner's private substrate.
+		sl.HostNs = time.Since(start).Nanoseconds()
+		x.mu.Lock()
+		if x.ledgers == nil {
+			x.ledgers = make(map[int]profile.Slice)
+		}
+		x.ledgers[j.seq] = sl
+		x.mu.Unlock()
+	}
 	return v
 }
 
@@ -286,6 +309,20 @@ func (x *Executor) TakeSpan(seq int) (telemetry.StageSpan, bool) {
 	s, ok := x.spans[seq]
 	if ok {
 		delete(x.spans, seq)
+	}
+	return s, ok
+}
+
+// TakeLedgerSlice removes and returns the retained ledger slice for one
+// verdict seq. Like TakeSpan, the slice exists once the verdict has been
+// delivered, and only when the executor runs with RetainLedger and the
+// packet carried a trace ID.
+func (x *Executor) TakeLedgerSlice(seq int) (profile.Slice, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s, ok := x.ledgers[seq]
+	if ok {
+		delete(x.ledgers, seq)
 	}
 	return s, ok
 }

@@ -25,6 +25,7 @@ import (
 	"parallaft/internal/pagestore"
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
+	"parallaft/internal/telemetry/profile"
 )
 
 // Verdict is the outcome of checking one packet. It mirrors what the
@@ -84,6 +85,17 @@ func (v Verdict) String() string {
 // malformed packet); detections are reported in the Verdict, never as an
 // error.
 func RunPacket(store *pagestore.Store, pkt *packet.CheckPacket) (Verdict, error) {
+	v, _, err := RunPacketSlice(store, pkt)
+	return v, err
+}
+
+// RunPacketSlice is RunPacket plus the replay's ledger slice: the simulated
+// time and modeled energy this daemon's private substrate spent reproducing
+// the segment, keyed by the packet's trace ID. The slice's HostNs is zero —
+// wall-clock cost belongs to whoever drove the replay (the executor measures
+// it around its retry loop). On an infrastructure error the slice is zero:
+// nothing was replayed, so there is nothing to attribute.
+func RunPacketSlice(store *pagestore.Store, pkt *packet.CheckPacket) (Verdict, profile.Slice, error) {
 	v := Verdict{
 		Benchmark: pkt.Benchmark,
 		ProgName:  pkt.ProgName,
@@ -91,7 +103,7 @@ func RunPacket(store *pagestore.Store, pkt *packet.CheckPacket) (Verdict, error)
 	}
 	r, err := newRunner(store, pkt)
 	if err != nil {
-		return v, err
+		return v, profile.Slice{}, err
 	}
 	r.run()
 	if r.detected == nil {
@@ -100,7 +112,12 @@ func RunPacket(store *pagestore.Store, pkt *packet.CheckPacket) (Verdict, error)
 		v.ErrorKind = r.detected.Kind.String()
 		v.Detail = r.detected.Detail
 	}
-	return v, nil
+	sl := profile.Slice{
+		TraceID: pkt.TraceID,
+		SimNs:   r.task.Clock,
+		SimJ:    r.e.M.EnergyJ(r.task.Clock),
+	}
+	return v, sl, nil
 }
 
 // runner replays one packet. Field-for-field it plays the role of the

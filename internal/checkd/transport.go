@@ -24,6 +24,7 @@ import (
 //	                  'D' done                       no more frames; drain and report
 //	server → client:  'V' verdict                    JSON-encoded Verdict, in submit order
 //	                  'T' trace span                 JSON StageSpan for the preceding verdict
+//	                  'L' ledger slice               JSON profile.Slice for the preceding verdict
 //	                  'M' metrics reply              Prometheus text exposition
 //	                  'H' heartbeat pong             the ping's payload, echoed
 //	                  'E' error                      intake rejection or protocol error (fatal)
@@ -38,9 +39,13 @@ import (
 // verbatim, so round-trip pairing is the client's concern. A trace frame
 // follows a verdict only when that verdict's packet carried a trace ID, so
 // pre-tracing clients and servers interoperate unchanged; clients that
-// don't care may discard 'T' frames. The same framing runs unchanged over
-// Unix sockets and TCP; internal/checkfarm drives many TCP sessions at
-// once.
+// don't care may discard 'T' frames. A ledger frame works the same way: it
+// rides directly behind its verdict (after the trace frame, when both are
+// present) and carries the remote replay's simulated time, modeled energy
+// and host wall time, so the submitting runtime's overhead ledger can merge
+// the remote cost back by trace ID; clients that keep no ledger discard 'L'
+// frames. The same framing runs unchanged over Unix sockets and TCP;
+// internal/checkfarm drives many TCP sessions at once.
 const (
 	FrameChunk     = 'C'
 	FramePacket    = 'P'
@@ -50,6 +55,7 @@ const (
 	FrameMetrics   = 'M'
 	FrameHeartbeat = 'H'
 	FrameTrace     = 'T'
+	FrameLedger    = 'L'
 )
 
 // MaxFrameLen bounds a single frame so a corrupt length prefix cannot
@@ -181,7 +187,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	store := pagestore.New(0)
 	store.SetMetrics(s.opts.Metrics)
 	xopts := s.opts
-	xopts.RetainSpans = true // ship remote-verify spans back over 'T' frames
+	xopts.RetainSpans = true  // ship remote-verify spans back over 'T' frames
+	xopts.RetainLedger = true // ship replay cost slices back over 'L' frames
 	x := NewExecutor(store, xopts)
 
 	var wmu sync.Mutex // 'V'/'T'/'E'/'M'/'D' frames interleave from two goroutines
@@ -214,6 +221,16 @@ func (s *Server) serveConn(conn net.Conn) {
 					return
 				}
 				if send(FrameTrace, sb) != nil {
+					return
+				}
+			}
+			// The ledger slice rides behind the same verdict, after the span.
+			if sl, ok := x.TakeLedgerSlice(v.Seq); ok {
+				lb, err := json.Marshal(sl)
+				if err != nil {
+					return
+				}
+				if send(FrameLedger, lb) != nil {
 					return
 				}
 			}
@@ -410,6 +427,9 @@ func CheckOver(conn io.ReadWriter, store *pagestore.Store, pkts []*packet.CheckP
 		case FrameTrace:
 			// Remote-verify span for the previous verdict; this plain client
 			// has no tracer to merge it into.
+		case FrameLedger:
+			// Replay cost slice for the previous verdict; this plain client
+			// keeps no overhead ledger to merge it into.
 		case FrameError:
 			return verdicts, &RemoteError{Msg: string(payload)}
 		case FrameDone:

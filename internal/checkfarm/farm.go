@@ -26,6 +26,7 @@ import (
 	"parallaft/internal/packet"
 	"parallaft/internal/pagestore"
 	"parallaft/internal/telemetry"
+	"parallaft/internal/telemetry/profile"
 )
 
 // ErrNoNodes reports a farm with no live nodes: Submit fails fast with it,
@@ -76,6 +77,12 @@ type Options struct {
 	// events, dumped (via the recorder's configured directory) on node
 	// eviction and poison-packet exhaustion.
 	Flight *telemetry.FlightRecorder
+
+	// Ledger, when set, receives the farm's host-side overhead (dispatch
+	// waits, chunk uploads) and the ledger slices nodes ship back over 'L'
+	// frames — the remote replays' simulated time and modeled energy, merged
+	// exactly once per trace ID. Nil discards both at zero cost.
+	Ledger *profile.Ledger
 }
 
 func (o *Options) withDefaults() {
@@ -368,6 +375,7 @@ func (f *Farm) dispatcher() {
 		f.mu.Unlock()
 
 		f.tm.dispatchWait.Observe(fl.sentAt.Sub(fl.enqueuedAt).Seconds())
+		f.opts.Ledger.AddHost(profile.StageFarmDispatch, fl.sentAt.Sub(fl.enqueuedAt).Nanoseconds())
 		if f.opts.Tracer != nil && fl.pkt.TraceID != 0 {
 			f.recordStage(telemetry.StageSpan{
 				TraceID:     fl.pkt.TraceID,
@@ -389,6 +397,7 @@ func (f *Farm) dispatcher() {
 		}
 		uploadEnd := time.Now()
 		f.tm.uploadTime.Observe(uploadEnd.Sub(fl.sentAt).Seconds())
+		f.opts.Ledger.AddHost(profile.StageFarmUpload, uploadEnd.Sub(fl.sentAt).Nanoseconds())
 		f.mu.Lock()
 		fl.uploadDone = uploadEnd
 		f.mu.Unlock()
@@ -525,6 +534,18 @@ func (f *Farm) reader(n *node) {
 			span.Actor = fmt.Sprintf("node%d", n.idx)
 			span.Seq = seq
 			f.recordStage(span)
+		case checkd.FrameLedger:
+			// The node's replay cost slice for the preceding verdict. The
+			// slice is self-keyed by trace ID, so no seq remap is needed; the
+			// ledger dedupes redispatched packets' duplicate slices itself.
+			if f.opts.Ledger == nil {
+				continue
+			}
+			var sl profile.Slice
+			if err := json.Unmarshal(payload, &sl); err != nil {
+				continue // accounting is best-effort; never evict over it
+			}
+			f.opts.Ledger.MergeRemote(sl)
 		case checkd.FrameHeartbeat:
 			// lastPong already refreshed; the payload (our ping counter)
 			// needs no pairing.

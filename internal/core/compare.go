@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"parallaft/internal/compare"
+	"parallaft/internal/machine"
 	"parallaft/internal/proc"
 	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
@@ -107,7 +108,9 @@ func (r *Runtime) compareSegment(seg *Segment) {
 	}
 	// Energy for the injected hashers, charged to the checker's last core.
 	if rep.Task != nil {
+		prevAct := rep.Task.Core.SetActivity(machine.ActCompare)
 		rep.Task.Core.AccountActive(hashNs)
+		rep.Task.Core.SetActivity(prevAct)
 	}
 }
 
@@ -308,4 +311,6 @@ func (r *Runtime) finish() {
 	if math.IsNaN(r.stats.EnergyJ) {
 		r.stats.EnergyJ = 0
 	}
+	r.cfg.Windows.Flush(allWall)
+	r.cfg.Ledger.Finish(allWall, r.e.M)
 }

@@ -6,6 +6,7 @@ import (
 
 	"parallaft/internal/proc"
 	"parallaft/internal/telemetry"
+	"parallaft/internal/telemetry/profile"
 )
 
 // findMetric pulls one metric out of a snapshot by name.
@@ -94,17 +95,22 @@ func TestTelemetryCleanRun(t *testing.T) {
 }
 
 // TestTelemetryIsObservationOnly is the determinism guarantee: a run with
-// the full telemetry stack enabled must produce byte-identical stats to a
-// run without it. Telemetry consumes no simulated time.
+// the full telemetry stack enabled — including the sampling profiler, the
+// overhead ledger and the window sampler — must produce byte-identical
+// stats to a run without it. Telemetry consumes no simulated time.
 func TestTelemetryIsObservationOnly(t *testing.T) {
 	run := func(withTelemetry bool) *RunStats {
 		cfg := DefaultConfig()
 		cfg.SlicePeriodCycles = 40_000
 		if withTelemetry {
-			cfg.Metrics = telemetry.NewRegistry()
+			reg := telemetry.NewRegistry()
+			cfg.Metrics = reg
 			cfg.Spans = telemetry.NewSpanRecorder(0)
 			cfg.Tracer = telemetry.NewTraceRecorder(0)
 			cfg.Flight = telemetry.NewFlightRecorder(0)
+			cfg.Profiler = profile.NewRecorder(10_000)
+			cfg.Ledger = profile.NewLedger()
+			cfg.Windows = profile.NewWindowSampler(reg, 1e5, 0)
 		}
 		e := newTestEngine(7)
 		rt := NewRuntime(e, cfg)

@@ -5,10 +5,12 @@ import (
 	"time"
 
 	"parallaft/internal/asm"
+	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
 	"parallaft/internal/telemetry"
+	"parallaft/internal/telemetry/profile"
 	"parallaft/internal/trace"
 )
 
@@ -26,6 +28,10 @@ func (r *Runtime) Run(prog *asm.Program) (*RunStats, error) {
 	r.mainTask = r.e.NewTask(main, r.mainCore, 0)
 	r.stats.Benchmark = prog.Name
 	r.nextSampleNs = r.cfg.SampleIntervalNs
+	if r.cfg.Profiler != nil {
+		r.cfg.Profiler.SetProgram(prog)
+	}
+	r.attachSampler(main, "main")
 
 	// The first boundary is program start: checkpoint plus first checker.
 	r.startSegment()
@@ -159,8 +165,11 @@ func (r *Runtime) stepMain() error {
 	if r.cfg.MainHook != nil {
 		r.cfg.MainHook(r.main, r.mainTask.Clock)
 	}
+	prev := r.mainTask.Core.SetActivity(machine.ActGuestMain)
 	stop := r.e.Run(r.mainTask, r.cfg.Quantum)
+	r.mainTask.Core.SetActivity(prev)
 	r.samplePSS()
+	r.cfg.Windows.Tick(r.mainTask.Clock)
 
 	switch stop.Reason {
 	case proc.StopBudget:
@@ -224,22 +233,23 @@ func (r *Runtime) startSegmentWith(cp *checkpoint) {
 		if i > 0 {
 			name = fmt.Sprintf("checker%d.%d", seg.Index, i)
 		}
-		r.e.ChargeSys(r.mainTask, r.cfg.ForkBaseNs+float64(r.main.AS.PageCount())*r.cfg.ForkPerPageNs)
+		r.chargeSysMain(machine.ActFork, r.cfg.ForkBaseNs+float64(r.main.AS.PageCount())*r.cfg.ForkPerPageNs)
 		rep := &replica{seg: seg, idx: i, Checker: r.e.L.Fork(r.main, name)}
 		rep.Checker.AS.ClearSoftDirty()
 		rep.forkNs = r.mainTask.Clock
 		r.applyDiversity(rep)
+		r.attachSampler(rep.Checker, fmt.Sprintf("replica-%d", i))
 		seg.Replicas = append(seg.Replicas, rep)
 	}
 
 	// Dirty-tracking epoch: clear the main's soft-dirty bits *after* the
 	// previous segment's end checkpoint inherited them.
 	if r.cfg.Tracking == TrackSoftDirty {
-		r.chargeRuntimeMain(float64(r.main.AS.PageCount()) * r.cfg.DirtyClearPerPageNs)
+		r.chargeRuntimeMain(machine.ActDirtyPages, float64(r.main.AS.PageCount())*r.cfg.DirtyClearPerPageNs)
 		r.main.AS.ClearSoftDirty()
 	}
 	// Performance-counter setup for execution-point recording (§4.2.1).
-	r.chargeRuntimeMain(r.cfg.CounterSetupNs)
+	r.chargeRuntimeMain(machine.ActRecord, r.cfg.CounterSetupNs)
 
 	seg.pos = len(r.segments)
 	r.segments = append(r.segments, seg)
@@ -285,7 +295,7 @@ func (r *Runtime) takeBoundary() {
 		return
 	}
 	// Tracer stop + counter read at the boundary (§4.2.1).
-	r.chargeRuntimeMain(r.cfg.BoundaryStopNs)
+	r.chargeRuntimeMain(machine.ActBarrier, r.cfg.BoundaryStopNs)
 	r.stats.Slices++
 
 	cp := r.forkCheckpoint(fmt.Sprintf("cp%d", r.stats.Checkpoints))
@@ -363,6 +373,7 @@ func (r *Runtime) onSeal(seg *Segment) {
 		if err != nil && r.exportErr == nil {
 			r.exportErr = err
 		}
+		r.cfg.Ledger.AddHost(profile.StageExport, time.Since(exportStart).Nanoseconds())
 		if r.cfg.Tracer != nil {
 			detail := fmt.Sprintf("pages=%d", seg.EndCP.p.AS.PageCount())
 			if err != nil {
@@ -399,7 +410,7 @@ func (r *Runtime) recordSyscall() error {
 	}
 
 	// Two ptrace stops (entry and exit) plus input capture.
-	r.chargeRuntimeMain(2 * r.cfg.tracerStopNs())
+	r.chargeRuntimeMain(machine.ActRecord, 2*r.cfg.tracerStopNs())
 	r.stats.SyscallsTraced++
 	r.tm.syscalls.Inc()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.Syscall, r.currentIndex(), "%v", info.Nr)
@@ -435,19 +446,22 @@ func (r *Runtime) recordSyscall() error {
 	rec := &SyscallRecord{Info: info, Class: model.Class}
 	rec.In = captureRegions(p, model.In(r.e.K, p, info.Args))
 	for _, reg := range rec.In {
-		r.chargeRuntimeMain(float64(len(reg.Data)) * r.cfg.RecordByteNs)
+		r.chargeRuntimeMain(machine.ActRecord, float64(len(reg.Data))*r.cfg.RecordByteNs)
 	}
 
 	// Eagerly pass the syscall to the OS (§3.4): effects escape before the
 	// checker confirms them; all errors are still detected within the
-	// segment bound.
+	// segment bound. Kernel time spent serving the guest's own syscall is
+	// guest work, not runtime machinery.
+	prev := r.mainTask.Core.SetActivity(machine.ActGuestMain)
 	res := r.e.ExecSyscall(r.mainTask, info)
+	r.mainTask.Core.SetActivity(prev)
 	rec.Ret = res.Ret
 
 	// Capture outputs for replay.
 	rec.Out = captureRegions(p, model.Out(r.e.K, p, info.Args, res.Ret))
 	for _, reg := range rec.Out {
-		r.chargeRuntimeMain(float64(len(reg.Data)) * r.cfg.RecordByteNs)
+		r.chargeRuntimeMain(machine.ActRecord, float64(len(reg.Data))*r.cfg.RecordByteNs)
 	}
 
 	// ASLR pinning: remember where the kernel put an address-less mmap so
@@ -488,7 +502,9 @@ func (r *Runtime) recordFileMmap(info oskernel.Info) error {
 		r.sealCurrent(r.forkCheckpoint(fmt.Sprintf("cp%d", r.stats.Checkpoints)))
 	}
 
+	prev := r.mainTask.Core.SetActivity(machine.ActGuestMain)
 	res := r.e.ExecSyscall(r.mainTask, info)
+	r.mainTask.Core.SetActivity(prev)
 	if res.Exited {
 		// mmap cannot exit the process, but stay defensive.
 		r.finishWithoutSegment()
@@ -509,7 +525,7 @@ func (r *Runtime) finishWithoutSegment() {
 
 func (r *Runtime) recordNondet() {
 	p := r.main
-	r.chargeRuntimeMain(r.cfg.tracerStopNs())
+	r.chargeRuntimeMain(machine.ActRecord, r.cfg.tracerStopNs())
 	r.stats.NondetTraced++
 	r.tm.nondet.Inc()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.Nondet, r.currentIndex(), "pc %d", p.PC)
@@ -524,7 +540,7 @@ func (r *Runtime) recordNondet() {
 
 func (r *Runtime) recordInternalSignal(sig proc.Signal) {
 	p := r.main
-	r.chargeRuntimeMain(r.cfg.tracerStopNs())
+	r.chargeRuntimeMain(machine.ActRecord, r.cfg.tracerStopNs())
 	r.stats.SignalsTraced++
 	r.tm.signals.Inc()
 	r.cfg.Trace.Emit(r.mainTask.Clock, trace.Signal, r.currentIndex(), "internal %v at pc %d", sig, p.PC)
@@ -548,7 +564,7 @@ func (r *Runtime) InjectExternalSignal(sig proc.Signal) {
 	if r.main == nil || r.main.Exited || r.current == nil {
 		return
 	}
-	r.chargeRuntimeMain(r.cfg.tracerStopNs())
+	r.chargeRuntimeMain(machine.ActRecord, r.cfg.tracerStopNs())
 	r.stats.SignalsTraced++
 	r.tm.signals.Inc()
 	point := ExecPoint{Branches: r.main.Branches - r.current.mainStartBranches, PC: r.main.PC}

@@ -122,6 +122,7 @@ func (r *Runtime) arbitrate(seg *Segment) arbVerdict {
 		limit = 64
 	}
 	referee.InstrLimit = limit
+	r.attachSampler(referee, "referee")
 
 	// A private shadow segment shares the record but has fresh replay
 	// state; it never enters r.segments or the scheduler.
@@ -224,6 +225,7 @@ func (r *Runtime) rollback() {
 	r.e.Retire(r.mainTask)
 	oldMain := r.main
 	r.main = r.e.L.Fork(target.p, "main-restored")
+	r.attachSampler(r.main, "main")
 	r.e.L.Reap(oldMain)
 	r.releaseCP(target)
 	r.mainTask = r.e.NewTask(r.main, r.mainCore, wall+r.cfg.tracerStopNs())

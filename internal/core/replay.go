@@ -1,6 +1,7 @@
 package core
 
 import (
+	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/proc"
 )
@@ -53,7 +54,7 @@ func (r *Runtime) ensureTarget(rep *replica) {
 		c.SetBreakpoint(want.PC)
 		rep.phase = phaseStepped
 	}
-	r.chargeRuntimeChecker(rep, r.cfg.CounterSetupNs)
+	r.chargeRuntimeChecker(rep, machine.ActReplay, r.cfg.CounterSetupNs)
 }
 
 // enterStepped switches from counting to breakpointing on the current
@@ -62,7 +63,7 @@ func (r *Runtime) enterStepped(rep *replica) {
 	rep.Checker.DisarmBranchCounter()
 	rep.Checker.SetBreakpoint(rep.target.PC)
 	rep.phase = phaseStepped
-	r.chargeRuntimeChecker(rep, r.cfg.CounterSetupNs)
+	r.chargeRuntimeChecker(rep, machine.ActReplay, r.cfg.CounterSetupNs)
 }
 
 // atTarget reports whether the replica is exactly at the active target.
@@ -92,7 +93,7 @@ func (r *Runtime) reachedTarget(rep *replica) {
 	rep.targetActive = false
 	rep.Checker.DisarmBranchCounter()
 	rep.Checker.ClearAllBreakpoints()
-	r.chargeRuntimeChecker(rep, r.cfg.tracerStopNs())
+	r.chargeRuntimeChecker(rep, machine.ActReplay, r.cfg.tracerStopNs())
 	alive := rep.Checker.DeliverSignal(ev.Signal.Sig)
 	if ev.Signal.Fatal == alive {
 		r.replicaFailSig(rep, ev.Signal.Sig, "checker signal disposition differs from main's")
@@ -135,7 +136,9 @@ func (r *Runtime) stepChecker(rep *replica) {
 	// never has to do its job. Real checkers get no such alignment.
 	before := c.UserNs + c.SysNs
 	beforeInstrs := c.Instrs
+	prev := rep.Task.Core.SetActivity(guestClass(rep))
 	stop := r.e.Run(rep.Task, r.cfg.Quantum+37+rep.quantumOff)
+	rep.Task.Core.SetActivity(prev)
 	delta := c.UserNs + c.SysNs - before
 	if rep.onBig {
 		rep.bigNs += delta
@@ -171,11 +174,11 @@ func (r *Runtime) stepChecker(rep *replica) {
 
 	case proc.StopCounter:
 		// Undershoot phase done; switch to breakpointing (§4.2.2).
-		r.chargeRuntimeChecker(rep, r.cfg.BreakpointHitNs)
+		r.chargeRuntimeChecker(rep, machine.ActReplay, r.cfg.BreakpointHitNs)
 		r.enterStepped(rep)
 
 	case proc.StopBreakpoint:
-		r.chargeRuntimeChecker(rep, r.cfg.BreakpointHitNs)
+		r.chargeRuntimeChecker(rep, machine.ActReplay, r.cfg.BreakpointHitNs)
 		rel := rep.relBranches()
 		switch {
 		case rep.atTarget():
@@ -210,7 +213,7 @@ func (rep *replica) nextEvent() *Event {
 func (r *Runtime) replaySyscall(rep *replica) {
 	seg := rep.seg
 	c := rep.Checker
-	r.chargeRuntimeChecker(rep, 2*r.cfg.tracerStopNs())
+	r.chargeRuntimeChecker(rep, machine.ActReplay, 2*r.cfg.tracerStopNs())
 
 	ev := rep.nextEvent()
 	if ev == nil {
@@ -239,7 +242,7 @@ func (r *Runtime) replaySyscall(rep *replica) {
 	// Compare input data (e.g. the bytes passed to write) byte-for-byte.
 	model := oskernel.ModelOf(info.Nr)
 	chkIn := captureRegions(c, model.In(r.e.K, c, info.Args))
-	r.chargeRuntimeChecker(rep, float64(bytesIn(chkIn))*r.cfg.RecordByteNs)
+	r.chargeRuntimeChecker(rep, machine.ActReplay, float64(bytesIn(chkIn))*r.cfg.RecordByteNs)
 	if !regionsEqual(chkIn, rec.In) {
 		r.replicaFail(rep, ErrSyscallMismatch, "%v input data differs", info.Nr)
 		return
@@ -258,7 +261,9 @@ func (r *Runtime) replaySyscall(rep *replica) {
 			info.Args[0] = rec.MmapFixedAddr
 			info.Args[3] |= oskernel.MapFixed
 		}
+		prev := rep.Task.Core.SetActivity(guestClass(rep))
 		res := r.e.ExecSyscall(rep.Task, info)
+		rep.Task.Core.SetActivity(prev)
 		if res.Ret != rec.Ret {
 			r.replicaFail(rep, ErrSyscallMismatch,
 				"%v local result %d differs from recorded %d", info.Nr, res.Ret, rec.Ret)
@@ -285,7 +290,7 @@ func (r *Runtime) replaySyscall(rep *replica) {
 			return
 		}
 		for _, out := range rec.Out {
-			r.chargeRuntimeChecker(rep, float64(len(out.Data))*r.cfg.RecordByteNs)
+			r.chargeRuntimeChecker(rep, machine.ActReplay, float64(len(out.Data))*r.cfg.RecordByteNs)
 			if f := c.AS.Write(out.Addr, out.Data); f != nil {
 				r.replicaFail(rep, ErrSyscallMismatch,
 					"replaying %v output into checker faulted at %#x", info.Nr, f.Addr)
@@ -309,7 +314,7 @@ func bytesIn(regions []RegionData) int {
 // type whose real MIDR would differ.
 func (r *Runtime) replayNondet(rep *replica) {
 	c := rep.Checker
-	r.chargeRuntimeChecker(rep, r.cfg.tracerStopNs())
+	r.chargeRuntimeChecker(rep, machine.ActReplay, r.cfg.tracerStopNs())
 	ev := rep.nextEvent()
 	if ev == nil {
 		if !rep.seg.sealed {
@@ -341,7 +346,7 @@ func (r *Runtime) replayNondet(rep *replica) {
 // error manifestation (the §5.6 Exception class).
 func (r *Runtime) replayFault(rep *replica, sig proc.Signal) {
 	c := rep.Checker
-	r.chargeRuntimeChecker(rep, r.cfg.tracerStopNs())
+	r.chargeRuntimeChecker(rep, machine.ActReplay, r.cfg.tracerStopNs())
 	ev := rep.nextEvent()
 	if ev == nil && !rep.seg.sealed {
 		// Could be a fault the main will also take; but a fault the main

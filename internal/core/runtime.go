@@ -11,6 +11,7 @@ import (
 	"parallaft/internal/proc"
 	"parallaft/internal/sim"
 	"parallaft/internal/telemetry"
+	"parallaft/internal/telemetry/profile"
 	"parallaft/internal/trace"
 )
 
@@ -175,6 +176,26 @@ type Config struct {
 	// into (no-quorum votes dump the recorder via its configured
 	// directory).
 	Flight *telemetry.FlightRecorder
+
+	// Profiler, when set, receives deterministic sim-clock profile samples
+	// from every actor's interpreter dispatch loop: the runtime attaches one
+	// sampler per actor (main, replica-N, referee) and reattaches after a
+	// rollback or forward repair replaces the main. Observation-only — it
+	// consumes no simulated time and the run's outputs are byte-identical
+	// with or without it.
+	Profiler *profile.Recorder
+
+	// Ledger, when set, is attached to the machine as its charge observer:
+	// every simulated active nanosecond the run accounts is classed to
+	// exactly one activity (guest, fork, COW, barrier, record, replay,
+	// compare, vote, recovery) and reconciled bit-for-bit against the
+	// machine's own books by Ledger.Reconcile. Observation-only.
+	Ledger *profile.Ledger
+
+	// Windows, when set, is ticked with the main's simulated clock so the
+	// registry in Metrics becomes a time series of fixed sim-clock interval
+	// deltas. Observation-only.
+	Windows *profile.WindowSampler
 
 	// Export, when set, emits one portable check packet per sealed segment
 	// (internal/packet): pages interned into the exporter's store, the
@@ -588,6 +609,13 @@ func NewRuntime(e *sim.Engine, cfg Config) *Runtime {
 	r := &Runtime{cfg: cfg, e: e, mainCore: bigs[0]}
 	r.tm = newCoreMetrics(cfg.Metrics, cfg.Checkers)
 	r.sched = newScheduler(r)
+	if cfg.Ledger != nil {
+		cfg.Ledger.Attach(e.M)
+		cfg.Ledger.SetMetrics(cfg.Metrics)
+	}
+	if cfg.Profiler != nil {
+		cfg.Profiler.SetMetrics(cfg.Metrics)
+	}
 	return r
 }
 
@@ -643,17 +671,51 @@ func (r *Runtime) applyDiversity(rep *replica) {
 // Config returns the active configuration.
 func (r *Runtime) Config() Config { return r.cfg }
 
-// chargeRuntimeMain charges tracer work to the main's critical path.
-func (r *Runtime) chargeRuntimeMain(ns float64) {
+// chargeRuntimeMain charges tracer work to the main's critical path, classed
+// under act for the overhead-attribution ledger.
+func (r *Runtime) chargeRuntimeMain(act machine.Activity, ns float64) {
+	prev := r.mainTask.Core.SetActivity(act)
 	r.e.ChargeRuntime(r.mainTask, ns)
+	r.mainTask.Core.SetActivity(prev)
 	r.stats.RuntimeNs += ns
 }
 
-// chargeRuntimeChecker charges tracer work to a checker replica's clock.
-func (r *Runtime) chargeRuntimeChecker(rep *replica, ns float64) {
-	if rep.Task != nil {
-		r.e.ChargeRuntime(rep.Task, ns)
+// chargeRuntimeChecker charges tracer work to a checker replica's clock. An
+// arbitration referee's work is recovery machinery, whatever its mechanism.
+func (r *Runtime) chargeRuntimeChecker(rep *replica, act machine.Activity, ns float64) {
+	if rep.Task == nil {
+		return
 	}
+	if rep.seg.arb {
+		act = machine.ActRecovery
+	}
+	prev := rep.Task.Core.SetActivity(act)
+	r.e.ChargeRuntime(rep.Task, ns)
+	rep.Task.Core.SetActivity(prev)
+}
+
+// chargeSysMain charges classed system time (fork costs) to the main.
+func (r *Runtime) chargeSysMain(act machine.Activity, ns float64) {
+	prev := r.mainTask.Core.SetActivity(act)
+	r.e.ChargeSys(r.mainTask, ns)
+	r.mainTask.Core.SetActivity(prev)
+}
+
+// guestClass is the activity a replica's own guest execution is charged to.
+func guestClass(rep *replica) machine.Activity {
+	if rep.seg.arb {
+		return machine.ActRecovery
+	}
+	return machine.ActGuestChecker
+}
+
+// attachSampler gives p the run profiler's sampler for the named actor;
+// no-op without a profiler.
+func (r *Runtime) attachSampler(p *proc.Process, name string) {
+	if r.cfg.Profiler == nil {
+		return
+	}
+	p.SetSampler(r.cfg.Profiler.Actor(name), r.cfg.Profiler.PeriodCycles())
 }
 
 func (r *Runtime) fail(seg int, kind ErrorKind, format string, args ...any) {
@@ -749,7 +811,7 @@ func (r *Runtime) releaseCP(cp *checkpoint) {
 // adds one.
 func (r *Runtime) forkCheckpoint(name string) *checkpoint {
 	cost := r.cfg.ForkBaseNs + float64(r.main.AS.PageCount())*r.cfg.ForkPerPageNs
-	r.e.ChargeSys(r.mainTask, cost)
+	r.chargeSysMain(machine.ActFork, cost)
 	p := r.e.L.Fork(r.main, name)
 	r.stats.Checkpoints++
 	r.tm.checkpoints.Inc()

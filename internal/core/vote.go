@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parallaft/internal/compare"
+	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
 	"parallaft/internal/telemetry"
 	"parallaft/internal/trace"
@@ -112,7 +113,9 @@ func (r *Runtime) voteSegment(seg *Segment) {
 	// Energy for the injected hashers, charged to the first replica's core.
 	for _, rep := range seg.Replicas {
 		if rep.Task != nil {
+			prevAct := rep.Task.Core.SetActivity(machine.ActVote)
 			rep.Task.Core.AccountActive(hashNs)
+			rep.Task.Core.SetActivity(prevAct)
 			break
 		}
 	}
@@ -298,6 +301,7 @@ func (r *Runtime) forwardRepair(seg *Segment, agreed *replica) bool {
 	r.e.Retire(r.mainTask)
 	oldMain := r.main
 	r.main = r.e.L.Fork(agreed.Checker, "main-repaired")
+	r.attachSampler(r.main, "main")
 	r.e.K.AppendStdout(r.main.PID, r.e.K.Stdout(oldMain.PID))
 	r.e.L.Reap(oldMain)
 	r.mainTask = r.e.NewTask(r.main, r.mainCore, wall+r.cfg.tracerStopNs())

@@ -1,0 +1,101 @@
+package machine
+
+// Activity classifies what a slice of simulated active time was spent on.
+// Every AccountActive charge happens under exactly one activity class: the
+// runtime sets the core's current class around each operation, and an
+// attached ActiveSink observes the very same float64 charges, in the very
+// same order, that the core's own energy book accumulates. That shared
+// observation stream is what lets the overhead ledger reconcile bit-exactly
+// against the books (see internal/telemetry/profile).
+//
+// The classes mirror the paper's overhead taxonomy: guest execution (main
+// and checker replicas), slicing barriers, checkpoint forks and COW page
+// copies, dirty-page enumeration, event recording and replay steering,
+// end-of-segment hashing for compare and vote, and recovery work. Remote
+// farm stages (dispatch, upload, remote verify) spend host wall time, not
+// simulated time, and are tracked by the ledger separately.
+type Activity uint8
+
+// Activity classes. ActUnattributed is the zero value: a charge observed
+// under it means some code path accounts simulated time without declaring
+// what the time was for, which the reconciliation test treats as drift.
+const (
+	ActUnattributed Activity = iota
+	ActGuestMain             // main replica retiring guest instructions (user + syscall kernel time)
+	ActGuestChecker          // checker replica re-executing guest instructions
+	ActCOW                   // copy-on-write page duplication triggered by guest stores
+	ActFork                  // checkpoint fork: page-table copy and checker task setup
+	ActBarrier               // slicing boundary stops and containment barriers on main
+	ActDirtyPages            // dirty-page enumeration and soft-dirty bit clearing
+	ActRecord                // main-side event recording: tracer stops, byte capture
+	ActReplay                // checker-side replay steering: counter setup, breakpoint stops
+	ActCompare               // end-of-segment state hashing for pairwise comparison
+	ActVote                  // end-of-segment state hashing for NMR majority voting
+	ActRecovery              // rollback, arbitration referee work, forward repair
+	NumActivities
+)
+
+// String names the class the way the ledger table prints it.
+func (a Activity) String() string {
+	switch a {
+	case ActUnattributed:
+		return "unattributed"
+	case ActGuestMain:
+		return "guest-main"
+	case ActGuestChecker:
+		return "guest-checker"
+	case ActCOW:
+		return "cow-copy"
+	case ActFork:
+		return "fork"
+	case ActBarrier:
+		return "barrier"
+	case ActDirtyPages:
+		return "dirty-pages"
+	case ActRecord:
+		return "record"
+	case ActReplay:
+		return "replay-steer"
+	case ActCompare:
+		return "compare-hash"
+	case ActVote:
+		return "vote-hash"
+	case ActRecovery:
+		return "recovery"
+	}
+	return "activity(?)"
+}
+
+// ActiveSink observes every AccountActive charge on a core it is attached
+// to: the exact ns value the book absorbed, the core it landed on, the
+// ladder point it was charged at, and the activity class in effect.
+// Observation-only: a sink must not mutate the core.
+type ActiveSink interface {
+	OnActive(c *Core, act Activity, freqIdx int, ns float64)
+}
+
+// SetActivity declares the class for subsequent AccountActive charges on
+// this core and returns the previous class so narrow scopes can restore it.
+// The register is pure observation: it never feeds the cost model.
+func (c *Core) SetActivity(a Activity) Activity {
+	prev := c.act
+	c.act = a
+	return prev
+}
+
+// Activity returns the core's current activity class.
+func (c *Core) Activity() Activity { return c.act }
+
+// SetActiveSink attaches (or, with nil, detaches) the charge observer.
+func (c *Core) SetActiveSink(s ActiveSink) { c.sink = s }
+
+// ActiveNsAt returns the active time accumulated at one ladder point — the
+// book value the ledger's per-core mirror must match bit for bit.
+func (c *Core) ActiveNsAt(freqIdx int) float64 { return c.activeNs[freqIdx] }
+
+// SetActiveSink attaches the observer to every core of the machine.
+func (m *Machine) SetActiveSink(s ActiveSink) {
+	for _, c := range m.Cores {
+		c.SetActiveSink(s)
+	}
+}

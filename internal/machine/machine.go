@@ -58,6 +58,12 @@ type Core struct {
 
 	freqIdx  int
 	activeNs []float64 // active time accumulated at each ladder point
+
+	// Observation-only attribution state (see activity.go): the current
+	// activity class and the optional charge observer. Neither feeds the
+	// cost or energy model.
+	act  Activity
+	sink ActiveSink
 }
 
 // FreqGHz returns the current operating frequency.
@@ -83,8 +89,15 @@ func (c *Core) SetFreqIndex(i int) {
 // SetMaxFreq moves the core to its highest operating point.
 func (c *Core) SetMaxFreq() { c.freqIdx = len(c.Ladder) - 1 }
 
-// AccountActive records ns of execution at the current operating point.
-func (c *Core) AccountActive(ns float64) { c.activeNs[c.freqIdx] += ns }
+// AccountActive records ns of execution at the current operating point. An
+// attached sink observes the identical charge — same float, same order — so
+// the attribution ledger can mirror the book bit for bit.
+func (c *Core) AccountActive(ns float64) {
+	c.activeNs[c.freqIdx] += ns
+	if c.sink != nil {
+		c.sink.OnActive(c, c.act, c.freqIdx, ns)
+	}
+}
 
 // ActiveNs returns the total active nanoseconds across all points.
 func (c *Core) ActiveNs() float64 {

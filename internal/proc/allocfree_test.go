@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"parallaft/internal/asm"
+	"parallaft/internal/telemetry/profile"
 )
 
 // TestRunAllocFree pins the interpreter dispatch loop at zero allocations
@@ -48,5 +49,37 @@ func TestRunAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state Run allocates %.1f objects per call, want 0", allocs)
+	}
+
+	// With a profiler sampler attached and firing (short period so every
+	// measured Run takes samples), the dispatch loop must stay at zero
+	// allocations: map buckets for already-seen PCs are reused, and the
+	// threshold bookkeeping is all stack floats.
+	rec := profile.NewRecorder(1_000)
+	p.SetSampler(rec.Actor("spin"), rec.PeriodCycles())
+	if s := p.Run(env, 50_000); s.Reason != StopBudget { // warm the sample map
+		t.Fatalf("sampler warm-up stop = %v, want budget", s)
+	}
+	allocs = testing.AllocsPerRun(10, func() {
+		if s := p.Run(env, 20_000); s.Reason != StopBudget {
+			t.Fatalf("stop = %v, want budget", s)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sampling Run allocates %.1f objects per call, want 0", allocs)
+	}
+	if rec.TotalSamples() == 0 {
+		t.Fatal("sampler never fired; the pin measured nothing")
+	}
+
+	// Detaching restores the no-sampler fast path (one +Inf compare).
+	p.SetSampler(nil, 0)
+	allocs = testing.AllocsPerRun(10, func() {
+		if s := p.Run(env, 20_000); s.Reason != StopBudget {
+			t.Fatalf("stop = %v, want budget", s)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("detached-sampler Run allocates %.1f objects per call, want 0", allocs)
 	}
 }

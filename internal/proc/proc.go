@@ -164,6 +164,16 @@ type ExecEnv struct {
 	Fabric     float64 // uniform fabric-interference factor, >= 1
 }
 
+// Sampler receives deterministic sim-clock profile samples from the
+// interpreter dispatch loop: one call each time the process's simulated
+// user-cycle clock crosses a sample point, with the guest PC about to
+// retire and the kind of core executing it. Implementations must be
+// observation-only and allocation-free in steady state — the call happens
+// inside the hot loop.
+type Sampler interface {
+	ProfileSample(pc uint64, kind machine.CoreKind)
+}
+
 // Process is one simulated guest process.
 type Process struct {
 	PID  int
@@ -227,6 +237,13 @@ type Process struct {
 	// checkpoint forks (which never execute) skip math/rand state setup.
 	rngSeed int64
 	rng     *rand.Rand
+
+	// Profiling state (see SetSampler): sample points are absolute values of
+	// the user-cycle clock, spaced samplePeriod cycles apart, so sampling is
+	// deterministic for a deterministic run regardless of quantum boundaries.
+	sampler          Sampler
+	samplePeriod     float64
+	sampleNextCycles float64
 }
 
 // HandlerLinkReg is the GPR that receives the interrupted PC on signal
@@ -305,6 +322,22 @@ func (p *Process) DisarmBranchCounter() {
 // ReadInstrCounter returns the *noisy* instruction count a commodity PMU
 // would report: the exact count plus accumulated overcount (§4.2.1).
 func (p *Process) ReadInstrCounter() uint64 { return p.Instrs + p.instrNoise }
+
+// SetSampler attaches a profile sampler, scheduling the first sample point
+// periodCycles user cycles from the process's current clock; nil detaches.
+// Fork children start without a sampler (the runtime attaches one per
+// actor), so attaching is always an explicit, deterministic act.
+func (p *Process) SetSampler(s Sampler, periodCycles float64) {
+	if s == nil || periodCycles <= 0 {
+		p.sampler = nil
+		p.samplePeriod = 0
+		p.sampleNextCycles = 0
+		return
+	}
+	p.sampler = s
+	p.samplePeriod = periodCycles
+	p.sampleNextCycles = p.UserCycles + periodCycles
+}
 
 // supervisorStop models the PMU noise added by each trap into the
 // supervisor (interrupt/exception returns overcount instructions-retired on
@@ -400,6 +433,20 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 	var ns float64
 	stop := Stop{Reason: StopBudget}
 
+	// Profiling thresholds translated into the run-local ns domain: fabric
+	// and frequency are constant for the duration of one Run call, so the
+	// absolute user-cycle sample point maps to a fixed local-ns value and
+	// the hot loop pays a single float compare per instruction. With no
+	// sampler attached the threshold is +Inf and the compare never fires.
+	sampler := p.sampler
+	sampleAt := math.Inf(1)
+	var samplePeriodNs float64
+	if sampler != nil && p.samplePeriod > 0 {
+		cycPerNs := fabric * freq
+		sampleAt = (p.sampleNextCycles - p.UserCycles) / cycPerNs
+		samplePeriodNs = p.samplePeriod / cycPerNs
+	}
+
 	// The hot-loop state lives in locals; the deferred epilogue writes it
 	// back on every exit path, of which the loop has many.
 	pc := p.PC
@@ -488,6 +535,16 @@ func (p *Process) Run(env ExecEnv, budget uint64) Stop {
 			ns += ct.mem[ins.memIdx][lvl]
 		} else {
 			ns += ct.class[ins.class]
+		}
+
+		// Deterministic sim-clock sample points: fire when the accrued local
+		// time crosses the next threshold, attributing the sample to the PC
+		// being retired. A loop, not an if — a single slow instruction (DRAM
+		// miss) can cross several periods.
+		for ns >= sampleAt {
+			sampler.ProfileSample(pc, kind)
+			p.sampleNextCycles += p.samplePeriod
+			sampleAt += samplePeriodNs
 		}
 
 		nextPC := pc + 1
@@ -712,7 +769,9 @@ func (p *Process) chargeCOW(env ExecEnv) {
 	// shorter than the silicon's, so per-page costs shrink accordingly).
 	ns := 60.0 + lines*0.1
 	p.SysNs += ns
+	prev := env.Core.SetActivity(machine.ActCOW)
 	env.Core.AccountActive(ns)
+	env.Core.SetActivity(prev)
 	// The copy's DRAM energy is represented by a handful of scaled
 	// accesses (the per-access energy constant carries the time scale).
 	for i := 0; i < int(lines)/32; i++ {

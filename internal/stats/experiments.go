@@ -44,7 +44,7 @@ func (r *Runner) RunSuite(names []string, withRAFT bool) (*SuiteResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr := campaign.NewProgressWith(r.Progress, "suite", len(ws), r.Telemetry)
+	pr := r.newProgress("suite", len(ws))
 	results := campaign.RunProgress(r.Parallel, len(ws), pr, func(i int) (*Comparison, error) {
 		c, err := r.Compare(ws[i], withRAFT)
 		if err != nil {
@@ -190,7 +190,7 @@ func (r *Runner) RunFig9(benchmarks []string, periods []float64) ([]SweepPoint, 
 		}
 	}
 
-	basePr := campaign.NewProgressWith(r.Progress, "fig9 baselines", len(ws), r.Telemetry)
+	basePr := r.newProgress("fig9 baselines", len(ws))
 	bases := campaign.RunProgress(r.Parallel, len(ws), basePr, func(i int) (*SessionResult, error) {
 		return r.RunWorkload(ws[i], ModeBaseline)
 	})
@@ -208,7 +208,7 @@ func (r *Runner) RunFig9(benchmarks []string, periods []float64) ([]SweepPoint, 
 			cells = append(cells, cell{b, p})
 		}
 	}
-	pr := campaign.NewProgressWith(r.Progress, "fig9 sweep", len(cells), r.Telemetry)
+	pr := r.newProgress("fig9 sweep", len(cells))
 	points := campaign.RunProgress(r.Parallel, len(cells), pr, func(i int) (SweepPoint, error) {
 		w, period := ws[cells[i].bench], cells[i].period
 		sweep := *r
@@ -407,7 +407,7 @@ func (r *Runner) RunStress() ([]StressRow, error) {
 		"stress.sigusr1": 39.8,
 	}
 	sws := workload.Stress()
-	pr := campaign.NewProgressWith(r.Progress, "stress", len(sws), r.Telemetry)
+	pr := r.newProgress("stress", len(sws))
 	results := campaign.RunProgress(r.Parallel, len(sws), pr, func(i int) (StressRow, error) {
 		w := sws[i]
 		base, err := r.RunWorkload(w, ModeBaseline)

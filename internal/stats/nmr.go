@@ -96,7 +96,7 @@ func (r *Runner) RunNMR() ([]NMRRow, error) {
 		}},
 	}
 
-	pr := campaign.NewProgressWith(r.Progress, "nmr", len(scenarios), r.Telemetry)
+	pr := r.newProgress("nmr", len(scenarios))
 	results := campaign.RunProgress(r.Parallel, len(scenarios), pr, func(i int) (NMRRow, error) {
 		sc := scenarios[i]
 		cfg := r.nmrConfig()

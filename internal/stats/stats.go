@@ -11,6 +11,7 @@ import (
 	"math"
 	"strings"
 
+	"parallaft/internal/campaign"
 	"parallaft/internal/core"
 	"parallaft/internal/machine"
 	"parallaft/internal/oskernel"
@@ -122,6 +123,21 @@ type Runner struct {
 	// (paft_campaign_*): progress lines are rendered from the gauges, and
 	// contained job panics are counted.
 	Telemetry *telemetry.Registry
+	// Flight, when set, receives a black-box dump whenever a campaign
+	// worker panics (the panic is still contained as an error result).
+	Flight *telemetry.FlightRecorder
+}
+
+// newProgress builds the campaign reporter for one experiment, wired to
+// every sink the runner carries. Campaign panics dump the flight recorder
+// even when no progress writer or registry is attached.
+func (r *Runner) newProgress(label string, n int) *campaign.Progress {
+	pr := campaign.NewProgressWith(r.Progress, label, n, r.Telemetry)
+	if pr == nil && r.Flight != nil {
+		pr = campaign.NewProgressWith(io.Discard, label, n, nil)
+	}
+	pr.SetFlight(r.Flight, r.Telemetry)
+	return pr
 }
 
 // NewRunner returns a runner on the Apple-M2-like preset at scale 1.

@@ -128,7 +128,7 @@ func (r *Runner) RunTable2() (*Table2Result, error) {
 		detected bool
 		segment  int
 	}
-	pr := campaign.NewProgressWith(r.Progress, "table2", len(scenarios), r.Telemetry)
+	pr := r.newProgress("table2", len(scenarios))
 	results := campaign.RunProgress(r.Parallel, len(scenarios), pr, func(i int) (verdict, error) {
 		sc := scenarios[i]
 		var cfg core.Config

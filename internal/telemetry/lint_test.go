@@ -20,6 +20,7 @@ import (
 	"parallaft/internal/pagestore"
 	"parallaft/internal/sim"
 	"parallaft/internal/telemetry"
+	"parallaft/internal/telemetry/profile"
 	"parallaft/internal/trace"
 )
 
@@ -63,6 +64,15 @@ func fullyInstrumentedRegistry(t *testing.T) *telemetry.Registry {
 	flight.SetMetrics(reg)
 	cfg.Tracer = tracer
 	cfg.Flight = flight
+	// Profiler + overhead ledger attached, so the paft_profile_* and
+	// paft_ledger_* instruments register and the charge/sample hot paths
+	// exercise them during the run.
+	profiler := profile.NewRecorder(0)
+	profiler.SetMetrics(reg)
+	cfg.Profiler = profiler
+	ledger := profile.NewLedger()
+	ledger.SetMetrics(reg)
+	cfg.Ledger = ledger
 	rt := core.NewRuntime(sim.New(m, k, l), cfg)
 	if _, err := rt.Run(lintProgram()); err != nil {
 		t.Fatalf("instrumented run: %v", err)
@@ -108,7 +118,7 @@ func TestMetricNameLint(t *testing.T) {
 		t.Fatalf("only %d metrics registered; the stack is not fully instrumented", len(snap))
 	}
 
-	nameRe := regexp.MustCompile(`^paft_(core|checkd|pagestore|campaign|farm|trace)_[a-z0-9]+(_[a-z0-9]+)*$`)
+	nameRe := regexp.MustCompile(`^paft_(core|checkd|pagestore|campaign|farm|trace|profile|ledger)_[a-z0-9]+(_[a-z0-9]+)*$`)
 	seen := make(map[string]bool)
 	for _, ms := range snap {
 		if seen[ms.Name] {

@@ -1,0 +1,184 @@
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// pprof emission: a minimal, dependency-free encoder for the subset of
+// github.com/google/pprof/proto/profile.proto this profiler needs. The
+// field numbers below are the protocol contract (profile.proto):
+//
+//	Profile:  sample_type=1 sample=2 location=4 function=5 string_table=6
+//	          time_nanos=9 duration_nanos=10 period_type=11 period=12
+//	          default_sample_type=14
+//	ValueType: type=1 unit=2
+//	Sample:    location_id=1 value=2
+//	Location:  id=1 address=3 line=4
+//	Line:      function_id=1 line=2
+//	Function:  id=1 name=2 system_name=3 filename=4
+//
+// Everything is varints and length-delimited submessages, so a handful of
+// append helpers cover the format. The output is gzipped, as `go tool
+// pprof` expects.
+
+// protoBuf is an append-only protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// varintField appends a field with wire type 0 (varint).
+func (p *protoBuf) varintField(field int, v uint64) {
+	p.uvarint(uint64(field)<<3 | 0)
+	p.uvarint(v)
+}
+
+// int64Field appends a signed value as a plain (non-zigzag) varint, the
+// encoding profile.proto's int64 fields use.
+func (p *protoBuf) int64Field(field int, v int64) {
+	p.varintField(field, uint64(v))
+}
+
+// bytesField appends a field with wire type 2 (length-delimited).
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.uvarint(uint64(field)<<3 | 2)
+	p.uvarint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// stringTable interns strings; index 0 is always "".
+type stringTable struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (st *stringTable) id(s string) int64 {
+	if i, ok := st.idx[s]; ok {
+		return i
+	}
+	i := int64(len(st.list))
+	st.idx[s] = i
+	st.list = append(st.list, s)
+	return i
+}
+
+// valueType encodes a ValueType{type, unit} submessage.
+func valueType(st *stringTable, typ, unit string) []byte {
+	var p protoBuf
+	p.int64Field(1, st.id(typ))
+	p.int64Field(2, st.id(unit))
+	return p.b
+}
+
+// WritePprof emits the aggregated profile as gzipped pprof protobuf,
+// decodable by `go tool pprof -raw`. Each sample's stack reads leaf to
+// root: the guest PC (named by its symbol), a synthetic core-kind frame,
+// and a synthetic actor frame — so pprof's aggregation views can slice the
+// guest profile by replica and by big/little core.
+func (r *Recorder) WritePprof(w io.Writer) error {
+	st := newStringTable()
+	var body protoBuf
+
+	// sample_type: samples/count and cycles/cycles; the default view is
+	// cycles. period_type documents the deterministic sampling period.
+	body.bytesField(1, valueType(st, "samples", "count"))
+	body.bytesField(1, valueType(st, "cycles", "cycles"))
+
+	flat := r.flatten()
+
+	// Functions: one per guest symbol, plus one synthetic function per
+	// actor and per core kind. IDs are dense and deterministic.
+	progName := "guest"
+	if r.prog != nil && r.prog.Name != "" {
+		progName = r.prog.Name
+	}
+	funcID := make(map[string]uint64)
+	var funcs protoBuf
+	addFunc := func(name string) uint64 {
+		if id, ok := funcID[name]; ok {
+			return id
+		}
+		id := uint64(len(funcID) + 1)
+		funcID[name] = id
+		var f protoBuf
+		f.varintField(1, id)
+		f.int64Field(2, st.id(name))
+		f.int64Field(3, st.id(name))
+		f.int64Field(4, st.id(progName))
+		funcs.bytesField(5, f.b)
+		return id
+	}
+
+	// Locations: one per distinct (pc, symbol) for guest frames, address
+	// carrying the PC and the line number the basic-block leader; one per
+	// synthetic frame.
+	locID := make(map[string]uint64)
+	var locs protoBuf
+	addLoc := func(key string, address uint64, fn uint64, line int64) uint64 {
+		if id, ok := locID[key]; ok {
+			return id
+		}
+		id := uint64(len(locID) + 1)
+		locID[key] = id
+		var l protoBuf
+		l.varintField(1, id)
+		if address != 0 {
+			l.varintField(3, address)
+		}
+		var ln protoBuf
+		ln.varintField(1, fn)
+		ln.int64Field(2, line)
+		l.bytesField(4, ln.b)
+		locs.bytesField(4, l.b)
+		return id
+	}
+
+	var samples protoBuf
+	for _, fs := range flat {
+		pcLoc := addLoc(fmt.Sprintf("pc%d", fs.pc), fs.pc+1, addFunc(fs.symbol), int64(fs.leader))
+		kindName := "core:" + fs.kind.String()
+		kindLoc := addLoc(kindName, 0, addFunc(kindName), 0)
+		actorName := "actor:" + fs.actor
+		actorLoc := addLoc(actorName, 0, addFunc(actorName), 0)
+		var s protoBuf
+		s.varintField(1, pcLoc)
+		s.varintField(1, kindLoc)
+		s.varintField(1, actorLoc)
+		s.int64Field(2, fs.count)
+		s.int64Field(2, fs.count*int64(r.period))
+		samples.bytesField(2, s.b)
+	}
+	body.b = append(body.b, samples.b...)
+	body.b = append(body.b, locs.b...)
+	body.b = append(body.b, funcs.b...)
+
+	// period_type + period, and the default sample type (cycles).
+	body.bytesField(11, valueType(st, "cycles", "cycles"))
+	body.int64Field(12, int64(r.period))
+	body.int64Field(14, st.id("cycles"))
+
+	// string_table must land after every id() call has interned its string;
+	// field order within a message is free in protobuf.
+	var tail protoBuf
+	for _, s := range st.list {
+		tail.bytesField(6, []byte(s))
+	}
+	body.b = append(body.b, tail.b...)
+
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(body.b); err != nil {
+		return err
+	}
+	return zw.Close()
+}

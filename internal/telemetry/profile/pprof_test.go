@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/machine"
+)
+
+// profiledRecorder builds a recorder with a small program and a spread of
+// samples across two actors and both core kinds.
+func profiledRecorder() *Recorder {
+	b := asm.NewBuilder("toy")
+	b.Label("hot")
+	b.AddI(1, 1, 1)
+	b.AddI(2, 2, 1)
+	b.Label("cold")
+	b.AddI(3, 3, 1)
+	prog := b.MustBuild()
+
+	rec := NewRecorder(0)
+	rec.SetProgram(prog)
+	main := rec.Actor("main")
+	for i := 0; i < 10; i++ {
+		main.ProfileSample(0, machine.Big)
+	}
+	main.ProfileSample(1, machine.Big)
+	rep := rec.Actor("replica-0")
+	rep.ProfileSample(2, machine.Little)
+	return rec
+}
+
+// TestPprofGzipProtobufShape: the emitted profile is valid gzip wrapping a
+// protobuf whose string table carries the sample-type names, symbols and
+// actor labels.
+func TestPprofGzipProtobufShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := profiledRecorder().WritePprof(&buf); err != nil {
+		t.Fatalf("WritePprof: %v", err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	for _, want := range []string{"samples", "count", "cycles", "hot", "cold", "actor:main", "actor:replica-0", "core:big", "core:little"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("decoded protobuf missing string %q", want)
+		}
+	}
+}
+
+// TestPprofAcceptedByGoToolPprof is the interoperability acceptance: `go
+// tool pprof -raw` must parse the emitted profile and report our samples.
+func TestPprofAcceptedByGoToolPprof(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	path := filepath.Join(t.TempDir(), "prof.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profiledRecorder().WritePprof(f); err != nil {
+		t.Fatalf("WritePprof: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "tool", "pprof", "-raw", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -raw rejected the profile: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"PeriodType: cycles", "Samples", "actor:main", "core:big", "hot"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pprof -raw output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parallaft/internal/asm"
+	"parallaft/internal/isa"
+	"parallaft/internal/machine"
+	"parallaft/internal/telemetry"
+)
+
+// DefaultPeriodCycles is the sampling period when NewRecorder is given a
+// non-positive one: one sample every 50k simulated cycles keeps even short
+// test workloads visible without perturbing interpreter throughput.
+const DefaultPeriodCycles = 50_000
+
+// Recorder is the run-wide profile: it hands out one Sampler per actor
+// (main, replica-0, ...) and aggregates their deterministic sim-clock
+// samples into a guest profile attributable to PC → basic block → symbol.
+//
+// Sample points are deterministic — every PeriodCycles simulated user
+// cycles of each actor, regardless of host scheduling — so two runs of the
+// same workload produce byte-identical folded stacks.
+type Recorder struct {
+	period float64
+	prog   *asm.Program
+
+	actors   []*Sampler
+	byName   map[string]*Sampler
+	samples  *telemetry.Counter // optional paft_profile_* instruments
+	actorsIn *telemetry.Gauge
+}
+
+// NewRecorder creates a profile recorder sampling every periodCycles
+// simulated cycles (<= 0 selects DefaultPeriodCycles).
+func NewRecorder(periodCycles float64) *Recorder {
+	if periodCycles <= 0 {
+		periodCycles = DefaultPeriodCycles
+	}
+	return &Recorder{period: periodCycles, byName: make(map[string]*Sampler)}
+}
+
+// PeriodCycles returns the sampling period.
+func (r *Recorder) PeriodCycles() float64 { return r.period }
+
+// SetMetrics registers the paft_profile_* instruments in reg. Nil-safe.
+func (r *Recorder) SetMetrics(reg *telemetry.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.samples = reg.Counter("paft_profile_samples_total",
+		"deterministic sim-clock profile samples taken in the interpreter dispatch loop")
+	r.actorsIn = reg.Gauge("paft_profile_actors",
+		"actors (main and checker replicas) with an attached profile sampler")
+}
+
+// SetProgram attaches the guest program image used to attribute samples to
+// basic blocks and symbols at emission time. Without it, samples fall back
+// to raw-PC attribution.
+func (r *Recorder) SetProgram(p *asm.Program) {
+	if r == nil {
+		return
+	}
+	r.prog = p
+}
+
+// Actor returns the sampler for one actor name, creating it on first use.
+// The runtime attaches it to the actor's process; all samplers feed this
+// recorder.
+func (r *Recorder) Actor(name string) *Sampler {
+	if r == nil {
+		return nil
+	}
+	if s, ok := r.byName[name]; ok {
+		return s
+	}
+	s := &Sampler{rec: r, actor: name, counts: make(map[sampleKey]int64)}
+	r.byName[name] = s
+	r.actors = append(r.actors, s)
+	if r.actorsIn != nil {
+		r.actorsIn.Set(float64(len(r.actors)))
+	}
+	return s
+}
+
+// sampleKey is one sample bucket: the guest PC the simulated clock landed
+// on and the kind of core it was executing on.
+type sampleKey struct {
+	pc   uint64
+	kind machine.CoreKind
+}
+
+// Sampler is one actor's sample sink. It implements proc.Sampler; the
+// interpreter calls ProfileSample at each deterministic sample point.
+type Sampler struct {
+	rec    *Recorder
+	actor  string
+	counts map[sampleKey]int64
+}
+
+// PeriodCycles implements proc.Sampler.
+func (s *Sampler) PeriodCycles() float64 { return s.rec.period }
+
+// ProfileSample records one sample. Allocation-free in steady state (map
+// buckets for already-seen PCs are reused), which the alloc-guard test
+// pins: this runs inside the interpreter dispatch loop.
+func (s *Sampler) ProfileSample(pc uint64, kind machine.CoreKind) {
+	s.counts[sampleKey{pc: pc, kind: kind}]++
+	s.rec.samples.Inc()
+}
+
+// flatSample is one aggregated profile row after attribution.
+type flatSample struct {
+	actor  string
+	kind   machine.CoreKind
+	pc     uint64
+	leader uint64 // basic-block leader PC
+	symbol string
+	count  int64
+}
+
+// attribution precomputes PC → block leader and PC → symbol maps from the
+// guest program image.
+type attribution struct {
+	leaders []uint64 // sorted basic-block leader PCs
+	labels  []labelAt
+}
+
+type labelAt struct {
+	pc   uint64
+	name string
+}
+
+// newAttribution derives basic blocks and symbols from the program: block
+// leaders are the entry point, every static branch target, and every
+// fall-through successor of a branch; symbols are the program's code
+// labels, a sample resolving to the nearest label at or before its PC.
+func newAttribution(p *asm.Program) *attribution {
+	a := &attribution{}
+	if p == nil {
+		return a
+	}
+	isLeader := make([]bool, len(p.Code))
+	if len(isLeader) > 0 {
+		isLeader[0] = true
+	}
+	if p.Entry < uint64(len(isLeader)) {
+		isLeader[p.Entry] = true
+	}
+	for pc, ins := range p.Code {
+		if !ins.Op.IsBranch() {
+			continue
+		}
+		if ins.Op != isa.OpJr {
+			if tgt := uint64(ins.Imm); tgt < uint64(len(isLeader)) {
+				isLeader[tgt] = true
+			}
+		}
+		if pc+1 < len(isLeader) {
+			isLeader[pc+1] = true
+		}
+	}
+	for pc, lead := range isLeader {
+		if lead {
+			a.leaders = append(a.leaders, uint64(pc))
+		}
+	}
+	for name, pc := range p.Labels {
+		a.labels = append(a.labels, labelAt{pc: pc, name: name})
+	}
+	// Sort by PC; ties broken by name so attribution is deterministic when
+	// two labels share an address.
+	sort.Slice(a.labels, func(i, j int) bool {
+		if a.labels[i].pc != a.labels[j].pc {
+			return a.labels[i].pc < a.labels[j].pc
+		}
+		return a.labels[i].name < a.labels[j].name
+	})
+	return a
+}
+
+// blockOf returns the basic-block leader PC covering pc.
+func (a *attribution) blockOf(pc uint64) uint64 {
+	i := sort.Search(len(a.leaders), func(i int) bool { return a.leaders[i] > pc })
+	if i == 0 {
+		return pc
+	}
+	return a.leaders[i-1]
+}
+
+// symbolOf returns the nearest code label at or before pc.
+func (a *attribution) symbolOf(pc uint64) string {
+	i := sort.Search(len(a.labels), func(i int) bool { return a.labels[i].pc > pc })
+	if i == 0 {
+		return "_start"
+	}
+	return a.labels[i-1].name
+}
+
+// flatten aggregates every actor's samples with attribution applied, in a
+// deterministic order: actor (creation order), core kind, PC.
+func (r *Recorder) flatten() []flatSample {
+	att := newAttribution(r.prog)
+	var out []flatSample
+	for _, s := range r.actors {
+		keys := make([]sampleKey, 0, len(s.counts))
+		for k := range s.counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].kind != keys[j].kind {
+				return keys[i].kind < keys[j].kind
+			}
+			return keys[i].pc < keys[j].pc
+		})
+		for _, k := range keys {
+			out = append(out, flatSample{
+				actor:  s.actor,
+				kind:   k.kind,
+				pc:     k.pc,
+				leader: att.blockOf(k.pc),
+				symbol: att.symbolOf(k.pc),
+				count:  s.counts[k],
+			})
+		}
+	}
+	return out
+}
+
+// TotalSamples returns the number of samples across every actor.
+func (r *Recorder) TotalSamples() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range r.actors {
+		for _, c := range s.counts {
+			n += c
+		}
+	}
+	return n
+}
+
+// FoldedStacks renders the profile in folded-stacks text form, one line per
+// (actor, core kind, symbol, basic block) with the aggregated sample count:
+//
+//	main;big;loop;bb@12 340
+//
+// Lines are sorted lexicographically, so the output is byte-deterministic
+// for a deterministic run — the form the profile golden pins.
+func (r *Recorder) FoldedStacks() string {
+	agg := make(map[string]int64)
+	for _, fs := range r.flatten() {
+		line := fmt.Sprintf("%s;%s;%s;bb@%d", fs.actor, fs.kind, fs.symbol, fs.leader)
+		agg[line] += fs.count
+	}
+	lines := make([]string, 0, len(agg))
+	for l := range agg {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&sb, "%s %d\n", l, agg[l])
+	}
+	return sb.String()
+}

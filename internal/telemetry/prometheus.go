@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -13,7 +14,7 @@ import (
 // name. A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, m := range r.Snapshot() {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.Name, m.Help, m.Name, m.Type); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.Name, escapeHelp(m.Help), m.Name, m.Type); err != nil {
 			return err
 		}
 		switch m.Type {
@@ -35,6 +36,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	return nil
 }
+
+// escapeHelp escapes a HELP docstring for the text exposition format: only
+// backslash and line feed are special on HELP lines (double quotes pass
+// through unescaped, unlike in label values). An unescaped newline would
+// split the docstring into a garbage sample line, so this is a correctness
+// fix, not cosmetics.
+func escapeHelp(s string) string {
+	return helpEscaper.Replace(s)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
 
 // formatFloat renders a sample value the way Prometheus clients expect:
 // integral values without an exponent or trailing zeros.

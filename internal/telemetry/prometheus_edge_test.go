@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundary pins the `le` (less-or-equal) semantics of the
+// Prometheus bucket contract: a sample exactly on an upper bound belongs to
+// that bound's bucket, not the next one. A drift to strict less-than here
+// silently shifts every boundary sample one bucket right — cumulative counts
+// still add up, so only an exact pin catches it.
+func TestHistogramBucketBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("paft_test_edge_seconds", "boundary semantics", []float64{1, 10, 100})
+	h.Observe(1)   // exactly on the first bound
+	h.Observe(10)  // exactly on the second
+	h.Observe(100) // exactly on the last finite bound
+	h.Observe(100.000001)
+
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d metrics, want 1", len(snap))
+	}
+	m := snap[0]
+	// Bucket counts are cumulative: le=1 holds the 1-sample, le=10 that plus
+	// the 10-sample, le=100 all three boundary samples; only the epsilon
+	// overshoot spills to +Inf.
+	wantCum := []uint64{1, 2, 3}
+	for i, b := range m.Buckets {
+		if b.UpperBound != []float64{1, 10, 100}[i] {
+			t.Fatalf("bucket %d bound = %v", i, b.UpperBound)
+		}
+		if b.Count != wantCum[i] {
+			t.Errorf("le=%v count = %d, want %d (boundary sample landed in the wrong bucket)",
+				b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if m.Count != 4 {
+		t.Errorf("total count = %d, want 4", m.Count)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`paft_test_edge_seconds_bucket{le="1"} 1`,
+		`paft_test_edge_seconds_bucket{le="10"} 2`,
+		`paft_test_edge_seconds_bucket{le="100"} 3`,
+		`paft_test_edge_seconds_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestPrometheusHelpEscaping: HELP docstrings with the characters the text
+// exposition format treats specially. Backslash and line feed must be
+// escaped (`\\`, `\n`); a double quote passes through unescaped on HELP
+// lines (it is only special inside label values). An unescaped newline
+// would split the comment into a garbage sample line and corrupt the whole
+// scrape.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("paft_test_back_total", `path C:\paft\x`).Add(1)
+	r.Counter("paft_test_quote_total", `the "hot" path`).Add(1)
+	r.Counter("paft_test_newline_total", "first line\nsecond line").Add(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`# HELP paft_test_back_total path C:\\paft\\x`,
+		`# HELP paft_test_quote_total the "hot" path`,
+		`# HELP paft_test_newline_total first line\nsecond line`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No help text may leak a literal newline: every line is either a
+	// well-formed comment or a `name value` sample.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q (unescaped newline in a HELP string?)", line)
+		}
+	}
+}
